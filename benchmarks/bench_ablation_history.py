@@ -1,0 +1,70 @@
+"""Ablation: classification-history depth before compaction.
+
+The default CSHF waits for two consecutive cold classifications before
+compacting (one missed sample may be noise).  Compacting on the first
+cold phase thrashes under noisy skew; waiting much longer wastes memory
+after the hot set moves.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.bptree.hybrid import BTREE_ENCODING_ORDER, AdaptiveBPlusTree
+from repro.bptree.leaves import LeafEncoding
+from repro.core.heuristics import make_threshold_heuristic
+from repro.harness.experiments import scaled_manager_config
+from repro.harness.report import format_table
+from repro.harness.runner import IntKeyIndexAdapter, RunResult, run_operations
+from repro.sim.costmodel import CostModel
+from repro.workloads.datasets import osm_like_keys
+from repro.workloads.spec import w11
+from repro.workloads.stream import generate_phase
+
+NUM_KEYS = 20_000
+OPS = 30_000
+
+
+def run_arm(name, cold_phases, keys, phases, cost_model):
+    pairs = [(int(key), index) for index, key in enumerate(keys)]
+    config = scaled_manager_config()
+    config.heuristic = make_threshold_heuristic(
+        fast_encoding=LeafEncoding.GAPPED,
+        compact_encoding=LeafEncoding.SUCCINCT,
+        cold_phases_to_compact=cold_phases,
+    )
+    tree = AdaptiveBPlusTree.bulk_load_adaptive(
+        pairs, leaf_capacity=32, manager_config=config
+    )
+    adapter = IntKeyIndexAdapter(tree)
+    result = RunResult()
+    for operations in phases:
+        run_operations(adapter, operations, cost_model, 10_000, result)
+    migrations = tree.manager.counters.expansions + tree.manager.counters.compactions
+    return (name, round(result.modeled_ns_per_op, 1), migrations, result.final_index_bytes)
+
+
+def test_ablation_history_depth(benchmark):
+    rng = np.random.default_rng(0)
+    keys = osm_like_keys(NUM_KEYS, rng)
+    cost_model = CostModel()
+    phases = [
+        generate_phase(keys, w11(alpha=1.2, num_ops=OPS).phases[0], rng=1),
+        generate_phase(keys[::-1].copy(), w11(alpha=1.2, num_ops=OPS).phases[0], rng=2),
+    ]
+
+    def run_all():
+        return [
+            run_arm("compact after 1 cold phase", 1, keys, phases, cost_model),
+            run_arm("compact after 2 (paper default)", 2, keys, phases, cost_model),
+            run_arm("compact after 6", 6, keys, phases, cost_model),
+        ]
+
+    rows = run_once(benchmark, run_all)
+    print(banner("Ablation — cold phases required before compaction"))
+    print(format_table(["arm", "modeled_ns_per_op", "migrations", "final_bytes"], rows))
+
+    one, two, six = rows
+    # Very patient compaction holds memory longer after the shift.
+    assert six[3] >= two[3]
+    # Hair-trigger compaction performs more migrations overall (thrash).
+    assert one[2] >= two[2]

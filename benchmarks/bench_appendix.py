@@ -1,0 +1,51 @@
+"""Online-appendix experiments the paper references but does not print.
+
+The paper twice defers to its online appendix: Figure 2's precision
+holds "for other distributions as well", and Figure 5's overhead is
+similar "for other workloads".  These benchmarks regenerate both.
+"""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import (
+    experiment_appendix_fig2_distributions,
+    experiment_appendix_fig5_workloads,
+)
+from repro.harness.report import format_table
+
+
+def test_appendix_fig2_all_distributions(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_appendix_fig2_distributions(
+            num_items=100_000, workload_size=150_000, k=500
+        ),
+    )
+    print(banner("Appendix (Fig. 2) — top-k precision across distributions"))
+    print(format_table(result["headers"], result["rows"]))
+
+    by_key = {(row[0], row[1]): row for row in result["rows"]}
+    for distribution in ("zipf", "normal", "lognormal", "uniform"):
+        tight = by_key[(distribution, "2%")]
+        loose = by_key[(distribution, "10%")]
+        # Recovered mass approaches the true mass as epsilon shrinks.
+        assert tight[4] >= loose[4] * 0.98
+        assert tight[4] >= 0.8 * tight[3]
+
+
+def test_appendix_fig5_all_workloads(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_appendix_fig5_workloads(
+            num_keys=30_000, num_lookups=60_000, skip_lengths=(0, 5, 20)
+        ),
+    )
+    print(banner("Appendix (Fig. 5) — sampling overhead across workloads"))
+    print(format_table(result["headers"], result["rows"]))
+
+    by_key = {(row[0], row[1]): row[2] for row in result["rows"]}
+    for distribution in ("zipf", "normal", "lognormal", "uniform"):
+        # The hyperbolic skip amortization holds for every distribution.
+        assert by_key[(distribution, 0)] > by_key[(distribution, 5)]
+        assert by_key[(distribution, 5)] > by_key[(distribution, 20)]
+        assert by_key[(distribution, 20)] < 15

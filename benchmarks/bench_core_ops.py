@@ -1,0 +1,103 @@
+"""Raw operation throughput of every index (honest wall-clock).
+
+Unlike the figure benchmarks (which report modeled latencies through the
+calibrated cost model), these measure real Python wall time per operation
+via pytest-benchmark's statistics — the numbers a user of this library
+would actually see.
+"""
+
+import random
+
+import pytest
+
+from repro.art.tree import ART
+from repro.bptree.hybrid import AdaptiveBPlusTree
+from repro.bptree.leaves import LeafEncoding
+from repro.bptree.tree import BPlusTree
+from repro.dualstage.index import DualStageIndex
+from repro.fst.trie import FST
+from repro.hybridtrie.tree import HybridTrie
+
+NUM_KEYS = 20_000
+
+
+@pytest.fixture(scope="module")
+def int_pairs():
+    rng = random.Random(0)
+    keys = sorted(rng.sample(range(2**48), NUM_KEYS))
+    return [(key, key ^ 0xDEAD) for key in keys]
+
+
+@pytest.fixture(scope="module")
+def byte_pairs(int_pairs):
+    return [(key.to_bytes(8, "big"), value) for key, value in int_pairs]
+
+
+@pytest.fixture(scope="module")
+def lookup_keys(int_pairs):
+    rng = random.Random(1)
+    return [int_pairs[rng.randrange(NUM_KEYS)][0] for _ in range(512)]
+
+
+def _lookup_loop(index, keys):
+    def run():
+        for key in keys:
+            index.lookup(key)
+
+    return run
+
+
+@pytest.mark.parametrize("encoding", list(LeafEncoding), ids=lambda e: e.value)
+def test_btree_lookup(benchmark, int_pairs, lookup_keys, encoding):
+    tree = BPlusTree.bulk_load(int_pairs, encoding)
+    benchmark(_lookup_loop(tree, lookup_keys))
+
+
+def test_adaptive_btree_lookup(benchmark, int_pairs, lookup_keys):
+    tree = AdaptiveBPlusTree.bulk_load_adaptive(int_pairs)
+    benchmark(_lookup_loop(tree, lookup_keys))
+
+
+def test_btree_insert(benchmark, int_pairs):
+    tree = BPlusTree.bulk_load(int_pairs, LeafEncoding.GAPPED)
+    counter = iter(range(10**9))
+
+    def run():
+        base = 2**50 + next(counter) * 4096
+        for offset in range(64):
+            tree.insert(base + offset, offset)
+
+    benchmark(run)
+
+
+def test_btree_scan(benchmark, int_pairs, lookup_keys):
+    tree = BPlusTree.bulk_load(int_pairs, LeafEncoding.GAPPED)
+
+    def run():
+        for key in lookup_keys[:64]:
+            tree.scan(key, 25)
+
+    benchmark(run)
+
+
+def test_dualstage_lookup(benchmark, int_pairs, lookup_keys):
+    index = DualStageIndex.bulk_load(int_pairs)
+    benchmark(_lookup_loop(index, lookup_keys))
+
+
+def test_art_lookup(benchmark, byte_pairs, lookup_keys):
+    art = ART.from_sorted(byte_pairs)
+    byte_keys = [key.to_bytes(8, "big") for key in lookup_keys]
+    benchmark(_lookup_loop(art, byte_keys))
+
+
+def test_fst_lookup(benchmark, byte_pairs, lookup_keys):
+    fst = FST(byte_pairs)
+    byte_keys = [key.to_bytes(8, "big") for key in lookup_keys]
+    benchmark(_lookup_loop(fst, byte_keys))
+
+
+def test_hybrid_trie_lookup(benchmark, byte_pairs, lookup_keys):
+    trie = HybridTrie(byte_pairs, art_levels=2)
+    byte_keys = [key.to_bytes(8, "big") for key in lookup_keys]
+    benchmark(_lookup_loop(trie, byte_keys))

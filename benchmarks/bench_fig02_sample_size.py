@@ -1,0 +1,33 @@
+"""Figure 2: error-bounded top-k sample sizes and precision vs epsilon."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig2
+from repro.harness.report import format_table
+
+
+def test_fig02_sample_size(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig2(
+            num_items=500_000,
+            workload_size=300_000,
+            ks=(250, 1000),
+            epsilons=(0.02, 0.04, 0.05, 0.06, 0.08, 0.10),
+        ),
+    )
+    print(banner("Figure 2 — sample sizes for error-bounded top-k (Equation 1)"))
+    print(format_table(result["headers"], result["rows"]))
+
+    rows = result["rows"]
+    by_key = {(row[0], row[1]): row for row in rows}
+    # Sample size grows as epsilon shrinks (quadratically).
+    assert by_key[("2%", 1000)][2] > 15 * by_key[("10%", 1000)][2]
+    # Sampled top-k mass approaches the true mass as epsilon shrinks.
+    for k in (250, 1000):
+        tight_gap = by_key[("2%", k)][3] - by_key[("2%", k)][4]
+        loose_gap = by_key[("10%", k)][3] - by_key[("10%", k)][4]
+        assert tight_gap <= loose_gap
+        # The paper's operating point (5%) loses only a small mass share.
+        mid = by_key[("5%", k)]
+        assert mid[4] > 0.75 * mid[3]

@@ -1,0 +1,28 @@
+"""Figure 3: (un)compressed leaf-page access latencies per storage tier."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig3
+from repro.harness.report import format_table
+
+
+def test_fig03_storage_latencies(benchmark):
+    result = run_once(benchmark, experiment_fig3)
+    print(banner("Figure 3 — leaf-page access latency by device"))
+    print(format_table(result["headers"], result["rows"]))
+    print(
+        f"page: {result['page_bytes']}B, LZ-compressed: {result['compressed_bytes']}B "
+        f"(saves {result['compression_ratio']:.0%}; paper: up to 47%)"
+    )
+
+    reads = {row[0]: row[1] for row in result["rows"]}
+    writes = {row[0]: row[2] for row in result["rows"]}
+    # The figure's ordering: SSD >> NVMe >> PMEM > DRAM-compressed >> DRAM.
+    assert reads["Samsung 870 SSD"] > 4 * reads["Samsung 970 NVMe"]
+    assert reads["Samsung 970 NVMe"] > 4 * reads["PMEM"]
+    assert reads["PMEM"] > reads["DRAM compressed"] > reads["DRAM uncompressed"]
+    assert writes["DRAM compressed"] > writes["DRAM uncompressed"]
+    # On-the-fly decompression beats every I/O tier by orders of magnitude.
+    assert reads["DRAM compressed"] < reads["Samsung 970 NVMe"] / 5
+    # Real compressor really saved space on the 70%-occupancy page.
+    assert 0.25 < result["compression_ratio"] < 0.75

@@ -1,0 +1,30 @@
+"""Figure 5: relative sampling overhead vs skip length."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig5
+from repro.harness.report import format_table
+
+
+def test_fig05_sampling_overhead(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig5(
+            num_keys=50_000,
+            num_lookups=150_000,
+            skip_lengths=(0, 1, 2, 3, 4, 5, 10, 15, 20),
+        ),
+    )
+    print(banner("Figure 5 — sampling overhead vs skip length (baseline: Gapped tree)"))
+    print(format_table(result["headers"], result["rows"]))
+    print(f"baseline modeled latency: {result['baseline_ns']:.1f} ns/lookup")
+
+    overhead = {row[0]: row[1] for row in result["rows"]}
+    filtered = {row[0]: row[2] for row in result["rows"]}
+    # Sampling every access is very expensive; skip 20 nearly free.
+    assert overhead[0] > 40  # paper: 61.9%
+    assert overhead[20] < 15  # paper: 1.6%
+    # Overhead decreases monotonically (allowing small noise).
+    assert overhead[0] > overhead[5] > overhead[20]
+    # At the operating range the Bloom filter pays for itself.
+    assert filtered[20] <= overhead[20] * 1.05

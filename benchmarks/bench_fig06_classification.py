@@ -1,0 +1,33 @@
+"""Figure 6: classification cost per sample and sample-map size."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig6
+from repro.harness.report import format_table
+
+
+def test_fig06_classification_cost(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig6(
+            unique_sample_counts=(1_000, 2_000, 5_000, 10_000),
+            ks=(250, 500, 1_000, 2_000, 4_000, 6_000),
+        ),
+    )
+    print(banner("Figure 6 — top-k classification latency and map size"))
+    print(format_table(result["headers"], result["rows"]))
+
+    rows = result["rows"]
+    by_key = {(row[0], row[1]): row for row in rows}
+    # Heap work peaks around k ~ u/2 and drops for k near u (the paper's
+    # explanation of the latency bump).
+    u = 10_000
+    mid = by_key[(u, 4_000)][3]
+    small = by_key[(u, 250)][3]
+    full = by_key[(u, 6_000)][3]
+    assert mid > small
+    assert mid >= full * 0.8
+    # Map size is linear in the number of unique samples, independent of k.
+    assert by_key[(10_000, 250)][4] == 10 * by_key[(1_000, 250)][4]
+    # Single-pass bound: heap operations never exceed u * 2.
+    assert all(row[3] <= row[0] * 2 for row in rows)

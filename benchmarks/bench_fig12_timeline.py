@@ -1,0 +1,42 @@
+"""Figure 12: the headline timeline — W1.1 -> W1.2 -> W1.3 on OSM keys."""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig12
+from repro.harness.report import format_series, human_bytes
+
+
+def test_fig12_workload_timeline(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig12(
+            num_keys=60_000, ops_per_phase=60_000, interval_ops=6_000,
+            training_ops=15_000,
+        ),
+    )
+    boundary = result["intervals_per_phase"]
+    print(banner("Figure 12 — latency over time, three workload phases"))
+    print(f"(phase boundaries at intervals {boundary} and {2 * boundary})")
+    for name, series in result["series"].items():
+        print("  " + format_series(name.ljust(10), series, unit="ns"))
+    print("\nfinal sizes:")
+    for name, (index_bytes, aux_bytes) in result["sizes"].items():
+        print(f"  {name:<11} {human_bytes(index_bytes):>10} (+{human_bytes(aux_bytes)})")
+
+    series = result["series"]
+    sizes = result["sizes"]
+    gapped_mean = np.mean(series["gapped"])
+    succinct_mean = np.mean(series["succinct"])
+    ahi = series["ahi"]
+
+    # Within each phase the adaptive tree's latency falls over time.
+    for phase in range(3):
+        phase_slice = ahi[phase * boundary : (phase + 1) * boundary]
+        assert min(phase_slice[2:]) < phase_slice[0]
+    # Overall: adaptive sits between gapped and succinct, far below succinct.
+    assert gapped_mean < np.mean(ahi) < succinct_mean
+    assert np.mean(ahi[boundary - 3 : boundary]) < 0.7 * succinct_mean
+    # Space: adaptive far below gapped (paper: -72%), sampling overhead tiny.
+    assert sizes["ahi"][0] < 0.7 * sizes["gapped"][0]
+    assert sizes["ahi"][1] < 0.05 * sizes["ahi"][0]  # paper: 0.1%

@@ -1,0 +1,34 @@
+"""Figure 13: space-performance trade-off under the cost C = P * S."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig13
+from repro.harness.report import format_table
+
+
+def test_fig13_cost_function(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig13(num_keys=40_000, num_ops=50_000, interval_ops=10_000),
+    )
+    print(banner("Figure 13 — cost C = latency x size (lower is better)"))
+    print(format_table(result["headers"], result["rows"]))
+
+    by_key = {(row[0], row[1]): row for row in result["rows"]}
+    for workload in ("W1.2", "W1.3"):
+        costs = {
+            name: by_key[(workload, name)][4]
+            for name in ("gapped", "packed", "succinct", "ahi", "pretrained")
+        }
+        # The compact and adaptive variants beat the plain gapped tree on C.
+        assert costs["succinct"] < costs["gapped"]
+        assert costs["ahi"] < costs["gapped"]
+        assert costs["pretrained"] < costs["gapped"]
+    # For the highly skewed lognormal workload the adaptive tree achieves
+    # the best (or tied-best) trade-off, as in the paper.
+    lognormal_costs = {
+        name: by_key[("W1.3", name)][4]
+        for name in ("gapped", "packed", "succinct", "ahi", "pretrained")
+    }
+    best = min(lognormal_costs.values())
+    assert lognormal_costs["ahi"] <= best * 1.4

@@ -1,0 +1,38 @@
+"""Figure 14: latency and size across workload skew (Zipf alpha sweep)."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig14
+from repro.harness.report import format_table
+
+
+def test_fig14_skew_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig14(
+            num_keys=30_000,
+            num_ops=40_000,
+            alphas=(0.2, 0.6, 1.0, 1.4),
+        ),
+    )
+    print(banner("Figure 14 — skew sweep (W1.1, varying alpha)"))
+    print(format_table(result["headers"], result["rows"]))
+
+    by_key = {(row[0], row[1]): row for row in result["rows"]}
+
+    def latency(alpha, name):
+        return by_key[(alpha, name)][2]
+
+    def size(alpha, name):
+        return by_key[(alpha, name)][3]
+
+    # The adaptive tree improves with skew; the static trees do not care
+    # nearly as much.
+    assert latency(1.4, "ahi") < latency(0.2, "ahi")
+    # At high skew the adaptive tree approaches gapped performance while
+    # staying far smaller (paper at alpha=1: -71% size, +17% latency).
+    assert latency(1.4, "ahi") < 1.6 * latency(1.4, "gapped")
+    assert size(1.4, "ahi") < 0.6 * size(1.4, "gapped")
+    # At low skew it does not collapse: stays within reach of succinct
+    # (paper: 3% above succinct at alpha ~ 0).
+    assert latency(0.2, "ahi") < 1.4 * latency(0.2, "succinct")

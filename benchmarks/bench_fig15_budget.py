@@ -1,0 +1,37 @@
+"""Figure 15: the memory-budget sweep on consecutive keys."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig15
+from repro.harness.report import format_table
+
+
+def test_fig15_memory_budget(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig15(
+            num_keys=30_000,
+            num_ops=60_000,
+            budget_fractions=(0.35, 0.45, 0.55, 0.70, 0.85, 1.0),
+        ),
+    )
+    print(banner("Figure 15 — AHI-BTree under increasing memory budgets"))
+    print(format_table(result["headers"], result["rows"]))
+    print(f"bounds: succinct {result['succinct_bytes']:,}B, gapped {result['gapped_bytes']:,}B")
+
+    rows = result["rows"]
+    latencies = [row[1] for row in rows]
+    sizes = [row[2] for row in rows]
+    shares = [row[3] for row in rows]
+    # More budget -> more expanded leaves, never smaller.
+    assert shares == sorted(shares)
+    assert sizes == sorted(sizes)
+    # More budget -> latency improves (monotone within noise).
+    assert latencies[-1] <= latencies[0]
+    # Diminishing returns: the first budget step buys more than the last.
+    first_gain = latencies[0] - latencies[1]
+    last_gain = latencies[-2] - latencies[-1]
+    assert first_gain >= last_gain
+    # Budgets are respected.
+    for row in rows:
+        assert row[2] <= row[0] * 1.05

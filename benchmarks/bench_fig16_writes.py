@@ -1,0 +1,36 @@
+"""Figure 16: write-dominated then scan-dominated phases (W5.1 -> W5.2)."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig16
+from repro.harness.report import format_series
+
+
+def test_fig16_write_scan_phases(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig16(
+            num_keys=30_000, ops_per_phase=40_000, interval_ops=4_000
+        ),
+    )
+    boundary = result["intervals_per_phase"]
+    print(banner("Figure 16 — W5.1 writes then W5.2 scans"))
+    for name, series in result["series"].items():
+        print("  " + format_series(name.ljust(9), series, unit="ns"))
+    print("  expansions (cum):", result["expansions"])
+    print("  compactions (cum):", result["compactions"])
+
+    expansions = result["expansions"]
+    compactions = result["compactions"]
+    # The write phase eagerly expands succinct leaves.
+    assert expansions[boundary - 1] > 0
+    # The scan phase compacts the no-longer-written leaves again.
+    assert compactions[-1] > compactions[boundary - 1] or compactions[-1] > 0
+    # Index size shrinks again during the scan phase.
+    size_series = result["size_series"]["ahi"]
+    assert size_series[-1] <= max(size_series[boundary - 2 : boundary + 1])
+    # Succinct pays heavily for writes: during W5.1 the succinct tree is
+    # far slower than the adaptive one.
+    succinct_w51 = result["series"]["succinct"][: boundary]
+    ahi_w51 = result["series"]["ahi"][: boundary]
+    assert sum(ahi_w51) < sum(succinct_w51)

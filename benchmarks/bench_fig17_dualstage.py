@@ -1,0 +1,37 @@
+"""Figure 17: AHI-BTree vs the Dual-Stage hybrid index baseline."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig17
+from repro.harness.report import format_table
+
+
+def test_fig17_vs_dualstage(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig17(num_keys=50_000, num_ops=40_000, interval_ops=8_000),
+    )
+    print(banner("Figure 17 — AHI-BTree vs Dual-Stage (W2 and W4)"))
+    print(format_table(result["headers"], result["rows"]))
+
+    by_key = {(row[0], row[1]): row for row in result["rows"]}
+
+    def latency(workload, name):
+        return by_key[(workload, name)][2]
+
+    def size(workload, name):
+        return by_key[(workload, name)][3]
+
+    # W4 (skewed YCSB reads+scans): the adaptive tree leverages skew that
+    # the dual-stage design cannot (its fast stage holds *recent* keys,
+    # not *hot* keys).
+    assert latency("W4", "ahi") < latency("W4", "dualstage-succinct")
+    assert latency("W4", "ahi") < latency("W4", "dualstage-packed")
+    assert size("W4", "ahi") < size("W4", "dualstage-packed")
+    # Dual-stage packed buys no latency over dual-stage succinct here but
+    # costs far more space.
+    assert size("W4", "dualstage-packed") > 2 * size("W4", "dualstage-succinct")
+    # W2 (uniform reads): nobody can leverage skew; the adaptive tree still
+    # lands between gapped and succinct on both axes.
+    assert latency("W2", "gapped") < latency("W2", "ahi") < latency("W2", "succinct") * 1.1
+    assert size("W2", "succinct") < size("W2", "ahi") < size("W2", "gapped")

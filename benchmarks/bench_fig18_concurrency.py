@@ -1,0 +1,31 @@
+"""Figure 18: concurrent sampling — global (GS) vs thread-local (TLS)."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig18
+from repro.harness.report import format_table
+
+
+def test_fig18_gs_vs_tls(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig18(
+            num_keys=20_000, ops_per_thread=4_000, thread_counts=(1, 2, 4, 8)
+        ),
+    )
+    print(banner("Figure 18 — GS vs TLS concurrent workload adaptation"))
+    print(format_table(result["headers"], result["rows"]))
+    print("note: wall Mops is GIL-bound; modeled Mops prices the real lock events")
+
+    by_key = {(row[0], row[1], row[2]): row for row in result["rows"]}
+    for workload in ("W5.1 writes", "W5.2 reads"):
+        for threads in (2, 4, 8):
+            gs = by_key[(workload, threads, "GS")]
+            tls = by_key[(workload, threads, "TLS")]
+            # TLS avoids the per-record lock: modeled throughput >= GS.
+            assert tls[4] >= gs[4] * 0.95
+        # Modeled TLS throughput scales with threads; GS saturates earlier.
+        tls_scaling = by_key[(workload, 8, "TLS")][4] / by_key[(workload, 1, "TLS")][4]
+        assert tls_scaling > 3.0
+    # Adaptations actually ran in both arms.
+    assert any(row[6] > 0 for row in result["rows"])

@@ -1,0 +1,33 @@
+"""Figure 19: trie lineup on e-mail keys — points (W6.1) and scans (W6.2)."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig19
+from repro.harness.report import format_table
+
+
+def test_fig19_email_tries(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig19(
+            num_keys=8_000, num_ops=10_000, interval_ops=2_500, art_levels=8
+        ),
+    )
+    print(banner("Figure 19 — tries on e-mail addresses (W6.1 points, W6.2 scans)"))
+    print(format_table(result["headers"], result["rows"]))
+
+    by_key = {(row[0], row[1]): row for row in result["rows"]}
+    for workload in ("W6.1 points", "W6.2 scans"):
+        art = by_key[(workload, "art")]
+        fst = by_key[(workload, "fst")]
+        adaptive = by_key[(workload, "ahi-trie")]
+        trained = by_key[(workload, "pretrained")]
+        # The frontier: ART fastest/largest, FST smallest/slowest, hybrids
+        # in between on both axes.
+        assert art[2] < adaptive[2] < fst[2] * 1.02
+        assert fst[4] <= adaptive[4] < art[4]
+        assert fst[4] <= trained[4] < art[4]
+    # On the skewed point workload the hybrids buy real latency over FST.
+    points_fst = by_key[("W6.1 points", "fst")][2]
+    points_adaptive = by_key[("W6.1 points", "ahi-trie")][2]
+    assert points_adaptive < 0.95 * points_fst

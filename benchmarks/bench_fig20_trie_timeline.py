@@ -1,0 +1,43 @@
+"""Figure 20: Hybrid Trie adaptation timeline on prefix-random W3."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_fig20
+from repro.harness.report import format_series
+
+
+def test_fig20_trie_timeline(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_fig20(
+            num_keys=40_000, ops_per_phase=40_000, interval_ops=4_000
+        ),
+    )
+    boundary = result["intervals_per_phase"]
+    print(banner("Figure 20 — prefix-random W3 timeline (two hot-range phases)"))
+    for name, series in result["series"].items():
+        print("  " + format_series(name.ljust(10), series, unit="ns"))
+    print("  expansions (cum):", result["expansions"])
+    print("  compactions (cum):", result["compactions"])
+    print("  skip lengths:", result["skip_lengths"])
+
+    series = result["series"]
+    expansions = result["expansions"]
+
+    # Phase 1: expansions only (everything below c_art starts in FST).
+    assert expansions[boundary - 1] > 0
+    assert result["compactions"][boundary - 1] == 0
+    # Phase 2 expands the *new* hot ranges too.
+    assert expansions[-1] > expansions[boundary - 1]
+    # The adaptive trie ends each phase faster than it started it, and
+    # faster than plain FST.
+    ahi = series["ahi-trie"]
+    fst = series["fst"]
+    assert ahi[boundary - 1] < ahi[0]
+    assert ahi[-1] < fst[-1]
+    # The pre-trained trie (trained on phase 1) goes stale in phase 2.
+    pretrained = series["pretrained"]
+    assert pretrained[boundary + 1] > pretrained[boundary - 1]
+    # The skip length adapts over the run.
+    skips = [skip for skip in result["skip_lengths"] if skip is not None]
+    assert len(set(skips)) > 1

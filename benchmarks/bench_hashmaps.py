@@ -1,0 +1,62 @@
+"""Wall-clock comparison of the sample-store hash maps.
+
+The paper's C++ implementation uses a hopscotch map (single-threaded)
+and a concurrent cuckoo map; in CPython the built-in dict is the
+pragmatic default.  This benchmark quantifies that choice honestly and
+verifies that all three behave identically.
+"""
+
+import random
+
+import pytest
+
+from repro.hashmap.cuckoo import CuckooMap
+from repro.hashmap.hopscotch import HopscotchMap
+
+NUM_KEYS = 5_000
+rng = random.Random(0)
+KEYS = [rng.randrange(2**40) for _ in range(NUM_KEYS)]
+PROBES = [rng.choice(KEYS) for _ in range(1_000)] + [
+    rng.randrange(2**40) for _ in range(1_000)
+]
+
+FACTORIES = {
+    "dict": dict,
+    "hopscotch": lambda: HopscotchMap(initial_capacity=1024),
+    "cuckoo": lambda: CuckooMap(initial_buckets=256),
+}
+
+
+def build(factory):
+    table = factory()
+    for key in KEYS:
+        table[key] = key
+    return table
+
+
+@pytest.mark.parametrize("name", list(FACTORIES), ids=list(FACTORIES))
+def test_hashmap_insert(benchmark, name):
+    benchmark(lambda: build(FACTORIES[name]))
+
+
+@pytest.mark.parametrize("name", list(FACTORIES), ids=list(FACTORIES))
+def test_hashmap_probe(benchmark, name):
+    table = build(FACTORIES[name])
+
+    def probe():
+        hits = 0
+        for key in PROBES:
+            if table.get(key) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(probe)
+    assert hits >= 1_000  # every known key must be found
+
+
+def test_all_maps_agree():
+    tables = {name: build(factory) for name, factory in FACTORIES.items()}
+    for key in PROBES:
+        expected = tables["dict"].get(key)
+        assert tables["hopscotch"].get(key) == expected
+        assert tables["cuckoo"].get(key) == expected

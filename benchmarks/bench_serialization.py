@@ -1,0 +1,91 @@
+"""Serialization benchmarks: FST and trained Hybrid Trie persistence.
+
+Static succinct structures are built offline and shipped to query nodes;
+the relevant costs are blob size (vs the modeled in-memory size), load
+time (vs rebuild time), and fidelity (answers and byte-identity after a
+round trip).
+"""
+
+import random
+
+from conftest import banner, run_once
+
+from repro.core.budget import MemoryBudget
+from repro.fst import FST
+from repro.harness.report import format_table, human_bytes
+from repro.hybridtrie import HybridTrie
+
+NUM_KEYS = 20_000
+
+
+def make_pairs(seed=0):
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(2**44), NUM_KEYS))
+    return [(key.to_bytes(8, "big"), index) for index, key in enumerate(keys)]
+
+
+def test_fst_serialization_roundtrip(benchmark):
+    import time
+
+    pairs = make_pairs()
+
+    def run():
+        build_start = time.perf_counter()
+        fst = FST(pairs)
+        build_seconds = time.perf_counter() - build_start
+        blob = fst.to_bytes()
+        load_start = time.perf_counter()
+        loaded = FST.from_bytes(blob)
+        load_seconds = time.perf_counter() - load_start
+        return fst, blob, loaded, build_seconds, load_seconds
+
+    fst, blob, loaded, build_seconds, load_seconds = run_once(benchmark, run)
+
+    rows = [
+        ("modeled in-memory size", human_bytes(fst.size_bytes())),
+        ("serialized blob", human_bytes(len(blob))),
+        ("build time", f"{build_seconds * 1000:.0f} ms"),
+        ("load time", f"{load_seconds * 1000:.1f} ms"),
+        ("load speedup vs rebuild", f"{build_seconds / max(load_seconds, 1e-9):.0f}x"),
+    ]
+    print(banner(f"FST persistence over {NUM_KEYS:,} keys"))
+    print(format_table(["metric", "value"], rows))
+
+    # The blob must stay in the same regime as the modeled size (the
+    # rank directories are rebuilt on load, so the blob is smaller).
+    assert len(blob) < 1.2 * fst.size_bytes()
+    # Loading is far cheaper than rebuilding from keys.
+    assert load_seconds < build_seconds / 3
+    # Fidelity.
+    for key, value in pairs[::511]:
+        assert loaded.lookup(key) == value
+    assert loaded.to_bytes() == blob
+
+
+def test_trained_trie_layout_ships(benchmark):
+    pairs = make_pairs(seed=1)
+
+    def run():
+        trie = HybridTrie(pairs, art_levels=2, adaptive=False)
+        hot = [pairs[index % 80][0] for index in range(4000)]
+        trie.train(hot, budget=MemoryBudget.absolute(trie.size_bytes() + 40_000))
+        blob = trie.to_bytes()
+        loaded = HybridTrie.from_bytes(blob, adaptive=False)
+        return trie, blob, loaded
+
+    trie, blob, loaded = run_once(benchmark, run)
+    print(banner("Trained Hybrid Trie persistence"))
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("expanded branches", trie.expanded_branch_count()),
+            ("blob size", human_bytes(len(blob))),
+            ("loaded expanded branches", loaded.expanded_branch_count()),
+        ],
+    ))
+
+    assert trie.expanded_branch_count() >= 1
+    assert loaded.expanded_branch_count() == trie.expanded_branch_count()
+    assert loaded.size_bytes() == trie.size_bytes()
+    for key, value in pairs[::307]:
+        assert loaded.lookup(key) == value

@@ -1,0 +1,25 @@
+"""Table 2: ART vs FST-dense vs FST-sparse on the prefix-random dataset."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_table2
+from repro.harness.report import format_table
+
+
+def test_tab2_trie_variants(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiment_table2(num_keys=60_000, num_lookups=20_000),
+    )
+    print(banner("Table 2 — trie variants on prefix-random user ids"))
+    print(format_table(result["headers"], result["rows"]))
+    print("paper: ART 274MB/81ns, FST-dense 116MB/206ns, FST-sparse 104MB/576ns")
+
+    rows = {row[0]: row for row in result["rows"]}
+    # Latency ordering: ART < FST-dense < FST-sparse.
+    assert rows["ART"][2] < rows["FST-dense"][2] < rows["FST-sparse"][2]
+    # Size: ART largest, the two FST encodings close together and smaller.
+    assert rows["FST-sparse"][1] < rows["ART"][1]
+    assert rows["FST-dense"][1] < rows["ART"][1]
+    # The latency factor ART vs sparse is in the several-x regime (paper ~7x).
+    assert rows["FST-sparse"][2] > 3 * rows["ART"][2]

@@ -1,0 +1,25 @@
+"""Table 4: lines of code — index logic vs workload tracking."""
+
+from conftest import banner, run_once
+
+from repro.harness.experiments import experiment_table4
+from repro.harness.report import format_table
+
+
+def test_tab4_lines_of_code(benchmark):
+    result = run_once(benchmark, experiment_table4)
+    print(banner("Table 4 — LoC of lookup/insert, logic vs tracking"))
+    print(format_table(result["headers"], result["rows"]))
+    print("paper: tracking adds at most 3/5 lines to lookups/inserts")
+
+    rows = {row[0]: row for row in result["rows"]}
+    # Non-adaptive structures carry zero tracking code.
+    assert rows["B+-tree"][2] == 0
+    assert rows["ART"][2] == 0
+    assert rows["FST"][2] == 0
+    # The adaptive variants add only a handful of tracking lines to the
+    # lookup path (the paper's point: integration is cheap).
+    assert 1 <= rows["AHI-BTree"][2] <= 8
+    assert 1 <= rows["AHI-Trie"][2] <= 8
+    # ...and the logic itself stays in the same ballpark.
+    assert rows["AHI-BTree"][1] <= rows["B+-tree"][1] + 6

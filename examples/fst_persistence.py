@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Persisting the static trie: build once, serialize, reload, query.
+
+The FST is immutable — exactly the structure worth building offline and
+shipping to query nodes.  This example builds an FST over e-mail keys,
+serializes it to disk with the library's binary format, reloads it, and
+answers prefix queries ("every address under this host") from the loaded
+copy.
+
+Run:  python examples/fst_persistence.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import FST
+from repro.art.tree import terminated
+from repro.harness.report import human_bytes
+from repro.workloads.datasets import email_keys
+
+NUM_EMAILS = 5_000
+
+
+def main() -> None:
+    emails = [terminated(email) for email in email_keys(NUM_EMAILS, rng=0)]
+    pairs = [(email, index) for index, email in enumerate(emails)]
+
+    started = time.perf_counter()
+    fst = FST(pairs)
+    build_seconds = time.perf_counter() - started
+    print(f"built FST over {len(pairs):,} e-mail addresses in {build_seconds:.2f}s")
+    print(f"  {fst.num_nodes:,} nodes ({fst.num_dense_nodes:,} dense), "
+          f"height {fst.height}, modeled size {human_bytes(fst.size_bytes())}")
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / "emails.fst"
+        blob = fst.to_bytes()
+        path.write_bytes(blob)
+        print(f"\nserialized to {path.name}: {human_bytes(len(blob))} on disk")
+
+        started = time.perf_counter()
+        loaded = FST.from_bytes(path.read_bytes())
+        load_seconds = time.perf_counter() - started
+        print(f"reloaded in {load_seconds:.3f}s "
+              f"({build_seconds / max(load_seconds, 1e-9):.0f}x faster than rebuilding)")
+
+    # Point lookups and prefix queries on the loaded copy.
+    probe = emails[NUM_EMAILS // 3]
+    assert loaded.lookup(probe) == NUM_EMAILS // 3
+    host = probe.split(b"@")[0] + b"@"
+    matches = list(loaded.prefix_items(host))
+    print(f"\nall addresses under {host.decode()!r}: {len(matches)}")
+    terminator = bytes([0])
+    for key, value in matches[:5]:
+        print(f"   #{value}: {key.rstrip(terminator).decode()}")
+    if len(matches) > 5:
+        print(f"   ... and {len(matches) - 5} more")
+
+    # The loaded structure is bit-identical under re-serialization.
+    assert loaded.to_bytes() == blob
+    print("\nre-serialization is bit-identical — done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""The Adaptive Radix Tree (ART) substrate (Leis et al., ICDE 2013).
+
+ART is the performance-optimized trie of the paper's Hybrid Trie: four
+node types sized by fanout (Node4/16/48/256), path compression, and lazy
+leaf expansion.  :class:`~repro.art.tree.ART` supports lookups, inserts,
+deletes, and ordered range scans over byte-string keys.
+"""
+
+from repro.art.nodes import Node4, Node16, Node48, Node256, art_node_for_fanout
+from repro.art.tree import ART
+
+__all__ = ["ART", "Node4", "Node16", "Node48", "Node256", "art_node_for_fanout"]

@@ -1,0 +1,258 @@
+"""AHI-BTree: the workload-adaptive Hybrid B+-tree (Section 4.1).
+
+Subclasses :class:`~repro.bptree.tree.BPlusTree`, defaults all leaves to
+the Succinct (cold) encoding, and wires an
+:class:`~repro.core.manager.AdaptationManager` into every access path:
+
+* lookups, inserts, and scan iterator steps ask ``is_sample()`` and, when
+  sampled, ``track()`` the touched leaf with its parent as context;
+* inserts into a Succinct leaf *eagerly* migrate it to Gapped first (the
+  paper: "AHI-BTree eagerly migrates Succinct nodes to the Gapped
+  encoding on inserts and defers their compaction until they are cold
+  again");
+* leaf splits propagate the new sibling's context to the manager;
+* the manager calls back into :meth:`migrate` / :meth:`encoding_census` /
+  :meth:`used_memory` to drive encoding migrations under the configured
+  memory budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.bptree.inner import InnerNode
+from repro.bptree.leaves import (
+    DEFAULT_LEAF_CAPACITY,
+    LeafEncoding,
+    LeafNode,
+)
+from repro.bptree.migrate import migrate_leaf
+from repro.bptree.tree import DEFAULT_INNER_FANOUT, BPlusTree
+from repro.core.access import AccessType
+from repro.core.budget import MemoryBudget
+from repro.core.heuristics import Heuristic
+from repro.core.manager import AdaptationManager, ManagerConfig
+
+# Encodings ordered compact -> fast, as the manager expects.
+BTREE_ENCODING_ORDER: Tuple[LeafEncoding, ...] = (
+    LeafEncoding.SUCCINCT,
+    LeafEncoding.PACKED,
+    LeafEncoding.GAPPED,
+)
+
+
+class AdaptiveBPlusTree(BPlusTree):
+    """The adaptive Hybrid B+-tree (AHI-BTree)."""
+
+    def __init__(
+        self,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        inner_fanout: int = DEFAULT_INNER_FANOUT,
+        cold_encoding: LeafEncoding = LeafEncoding.SUCCINCT,
+        budget: Optional[MemoryBudget] = None,
+        heuristic: Optional[Heuristic] = None,
+        manager_config: Optional[ManagerConfig] = None,
+        eager_insert_expansion: bool = True,
+    ) -> None:
+        super().__init__(cold_encoding, leaf_capacity, inner_fanout)
+        self.eager_insert_expansion = eager_insert_expansion
+        if manager_config is None:
+            manager_config = ManagerConfig(
+                encoding_order=BTREE_ENCODING_ORDER,
+                budget=budget or MemoryBudget.unbounded(),
+                heuristic=heuristic,
+            )
+        self.manager = AdaptationManager(self, manager_config)
+
+    @classmethod
+    def bulk_load_adaptive(
+        cls,
+        pairs: Sequence[Tuple[int, int]],
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        inner_fanout: int = DEFAULT_INNER_FANOUT,
+        fill_factor: float = 0.70,
+        cold_encoding: LeafEncoding = LeafEncoding.SUCCINCT,
+        budget: Optional[MemoryBudget] = None,
+        heuristic: Optional[Heuristic] = None,
+        manager_config: Optional[ManagerConfig] = None,
+        eager_insert_expansion: bool = True,
+    ) -> "AdaptiveBPlusTree":
+        """Bulk load sorted pairs, all leaves starting cold."""
+        tree = cls(
+            leaf_capacity=leaf_capacity,
+            inner_fanout=inner_fanout,
+            cold_encoding=cold_encoding,
+            budget=budget,
+            heuristic=heuristic,
+            manager_config=manager_config,
+            eager_insert_expansion=eager_insert_expansion,
+        )
+        tree._bulk_load_into(pairs, fill_factor)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Tracked access paths
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> Optional[int]:
+        """Return the value stored under ``key``, or None."""
+        leaf, path = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        self.counters.add("sample_check")
+        if self.manager.is_sample():
+            parent = path[-1][0] if path else None
+            self.manager.track(leaf, AccessType.READ, context=parent)
+        return leaf.lookup(key)
+
+    def insert(self, key: int, value: int) -> bool:
+        """Insert ``key``; returns False when the key already existed."""
+        leaf, path = self._descend(key)
+        parent = path[-1][0] if path else None
+        if leaf.encoding is not LeafEncoding.GAPPED and self.eager_insert_expansion:
+            # Eager expansion: writes into compact leaves are expensive, so
+            # the tree switches the leaf to the write-optimized encoding
+            # immediately and lets the next cold classification compact it
+            # — unless the memory budget is already exhausted.
+            budget = self.manager.config.budget
+            if not budget.exceeded(self.size_bytes(), self.num_keys):
+                source = leaf.encoding
+                before = leaf.size_bytes()
+                if migrate_leaf(leaf, LeafEncoding.GAPPED, self.counters):
+                    self.note_leaf_resized(leaf.size_bytes() - before)
+                    self.counters.add(f"eager_expansion:{source}")
+                    # Register so a later cold classification compacts it.
+                    self.manager.register(leaf, context=parent)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        self.counters.add("sample_check")
+        if self.manager.is_sample():
+            self.manager.track(leaf, AccessType.INSERT, context=parent)
+        existed = leaf.lookup(key) is not None
+        self._count_leaf_write(leaf)
+        before = leaf.size_bytes()
+        if not leaf.insert(key, value):
+            self._leaf_bytes += leaf.size_bytes() - before
+            self._split_leaf(leaf, path)
+            leaf, path = self._descend(key)
+            before = leaf.size_bytes()
+            if not leaf.insert(key, value):  # pragma: no cover
+                raise AssertionError("leaf still full after split")
+        self._leaf_bytes += leaf.size_bytes() - before
+        if not existed:
+            self._num_keys += 1
+        return not existed
+
+    def update(self, key: int, value: int) -> bool:
+        """Overwrite the value of an existing ``key``; False if absent."""
+        leaf, path = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        self.counters.add("sample_check")
+        if self.manager.is_sample():
+            parent = path[-1][0] if path else None
+            self.manager.track(leaf, AccessType.UPDATE, context=parent)
+        self._count_leaf_write(leaf)
+        before = leaf.size_bytes()
+        updated = leaf.update(key, value)
+        self._leaf_bytes += leaf.size_bytes() - before
+        return updated
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False when it was absent."""
+        leaf, path = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        self.counters.add("sample_check")
+        if self.manager.is_sample():
+            parent = path[-1][0] if path else None
+            self.manager.track(leaf, AccessType.DELETE, context=parent)
+        self._count_leaf_write(leaf)
+        before = leaf.size_bytes()
+        removed = leaf.delete(key)
+        self._leaf_bytes += leaf.size_bytes() - before
+        if removed:
+            self._num_keys -= 1
+            if leaf.num_entries() == 0:
+                self.manager.forget(leaf)
+        return removed
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, int]]:
+        """Range scan; each visited leaf is a sampling opportunity
+        (iterator-based tracking, Section 4.1.3)."""
+        result: List[Tuple[int, int]] = []
+        for leaf, taken in self.scan_leaves(start_key, count):
+            self.counters.add("sample_check")
+            if self.manager.is_sample():
+                    self.manager.track(leaf, AccessType.SCAN)
+            result.extend(taken)
+        return result
+
+    # ------------------------------------------------------------------
+    # Split context propagation (Section 4.1.4)
+    # ------------------------------------------------------------------
+    def _on_leaf_split(self, left: LeafNode, right: LeafNode) -> None:
+        # The split may hang both halves under a (possibly new) parent;
+        # refresh the tracked context lazily: parents are re-resolved on
+        # the next sampled access, and the stale pointer is only used for
+        # locality hints, so updating the left leaf's entry suffices here.
+        self.manager.update_context(left, None)
+
+    # ------------------------------------------------------------------
+    # AdaptiveIndex protocol (manager callbacks)
+    # ------------------------------------------------------------------
+    def tracked_population(self) -> int:
+        """Number of trackable units (n in Equation 1)."""
+        return self.num_leaves
+
+    def used_memory(self) -> int:
+        """Modeled index size in bytes (AdaptiveIndex protocol)."""
+        return self.size_bytes()
+
+    def encoding_of(self, identifier: Hashable) -> Optional[LeafEncoding]:
+        """Current encoding of a tracked unit (AdaptiveIndex protocol)."""
+        if isinstance(identifier, LeafNode):
+            if identifier.num_entries() == 0 and identifier is not self._root:
+                return None  # emptied leaf: treat as vanished
+            return identifier.encoding
+        return None
+
+    def migrate(
+        self,
+        identifier: Hashable,
+        target_encoding: LeafEncoding,
+        context: object,
+    ) -> bool:
+        """Re-encode one unit via its callback (AdaptiveIndex protocol)."""
+        if not isinstance(identifier, LeafNode):
+            return False
+        before = identifier.size_bytes()
+        migrated = migrate_leaf(identifier, target_encoding, self.counters)
+        if migrated:
+            self.note_leaf_resized(identifier.size_bytes() - before)
+        return migrated
+
+    def encoding_census(self) -> Dict[LeafEncoding, Tuple[int, float]]:
+        """Encoding -> (count, avg bytes) map (AdaptiveIndex protocol)."""
+        return self.leaf_encoding_census()
+
+    # num_keys property is inherited from BPlusTree and satisfies the
+    # AdaptiveIndex protocol.
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_size_bytes(self) -> int:
+        """Index plus the sampling framework's own footprint."""
+        return self.size_bytes() + self.manager.size_bytes()
+
+    def encoding_counts(self) -> Dict[LeafEncoding, int]:
+        """Encoding -> leaf count for the current layout."""
+        counts: Dict[LeafEncoding, int] = {}
+        for leaf in self.leaves():
+            counts[leaf.encoding] = counts.get(leaf.encoding, 0) + 1
+        return counts
+
+
+def find_parent(tree: BPlusTree, leaf: LeafNode) -> Optional[InnerNode]:
+    """Resolve a leaf's parent by key descent (context refresh helper)."""
+    min_key = leaf.min_key()
+    if min_key is None:
+        return None
+    _, parent = tree.find_leaf(min_key)
+    return parent

@@ -1,0 +1,417 @@
+"""A full B+-tree over 64-bit integer keys and values.
+
+Supports point lookups, inserts (with node splits), updates, deletes
+(lazy, no rebalancing — matching the long-running-system behaviour the
+paper motivates, where deletes leave gaps), range scans over the leaf
+chain, and sorted bulk loading at a configurable fill factor.
+
+All leaves share a single :class:`~repro.bptree.leaves.LeafEncoding`; the
+single-encoding trees are the paper's *Gapped*, *Packed*, and *Succinct*
+baselines.  The adaptive tree subclasses this one and migrates leaf
+encodings at run-time.
+
+Every structural step is counted in :attr:`BPlusTree.counters` so the
+cost model can price traversals (see :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.bptree.inner import Child, InnerNode
+from repro.bptree.leaves import (
+    DEFAULT_LEAF_CAPACITY,
+    LeafEncoding,
+    LeafNode,
+)
+from repro.sim.counters import OpCounters
+
+DEFAULT_INNER_FANOUT = 64
+DEFAULT_FILL_FACTOR = 0.70
+
+
+class BPlusTree:
+    """B+-tree with one leaf encoding for all leaves."""
+
+    def __init__(
+        self,
+        leaf_encoding: LeafEncoding = LeafEncoding.GAPPED,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        inner_fanout: int = DEFAULT_INNER_FANOUT,
+    ) -> None:
+        if leaf_capacity < 4:
+            raise ValueError(f"leaf capacity must be >= 4, got {leaf_capacity}")
+        if inner_fanout < 4:
+            raise ValueError(f"inner fanout must be >= 4, got {inner_fanout}")
+        self.leaf_encoding = leaf_encoding
+        self.leaf_capacity = leaf_capacity
+        self.inner_fanout = inner_fanout
+        self.counters = OpCounters()
+        self._root: Child = LeafNode([], leaf_encoding, leaf_capacity)
+        self._num_keys = 0
+        self._num_leaves = 1
+        self._height = 1
+        self._leaf_bytes = self._root.size_bytes()
+        self._inner_bytes_cache: Optional[int] = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        pairs: Sequence[Tuple[int, int]],
+        leaf_encoding: LeafEncoding = LeafEncoding.GAPPED,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        inner_fanout: int = DEFAULT_INNER_FANOUT,
+        fill_factor: float = DEFAULT_FILL_FACTOR,
+    ) -> "BPlusTree":
+        """Build a tree from sorted unique pairs at ``fill_factor`` occupancy.
+
+        The 70% default matches the occupancy the paper assumes for its
+        leaf-size comparisons (Table 1).
+        """
+        tree = cls(leaf_encoding, leaf_capacity, inner_fanout)
+        tree._bulk_load_into(pairs, fill_factor)
+        return tree
+
+    def _bulk_load_into(self, pairs: Sequence[Tuple[int, int]], fill_factor: float) -> None:
+        if not 0.1 <= fill_factor <= 1.0:
+            raise ValueError(f"fill factor must be in [0.1, 1.0], got {fill_factor}")
+        if self._num_keys:
+            raise ValueError("bulk load requires an empty tree")
+        pairs = list(pairs)
+        for (a, _), (b, _) in zip(pairs, pairs[1:]):
+            if a >= b:
+                raise ValueError("bulk load requires strictly sorted unique keys")
+        if not pairs:
+            return
+        per_leaf = max(1, int(self.leaf_capacity * fill_factor))
+        leaves: List[LeafNode] = []
+        for start in range(0, len(pairs), per_leaf):
+            leaf = LeafNode(
+                pairs[start : start + per_leaf], self.leaf_encoding, self.leaf_capacity
+            )
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        self._num_keys = len(pairs)
+        self._num_leaves = len(leaves)
+        self._root, self._height = self._build_inner_levels(leaves)
+        self._leaf_bytes = sum(leaf.size_bytes() for leaf in leaves)
+        self._inner_bytes_cache = None
+
+    def _build_inner_levels(self, nodes: List[Child]) -> Tuple[Child, int]:
+        height = 1
+        level: List[Child] = nodes
+        per_node = max(2, int(self.inner_fanout * DEFAULT_FILL_FACTOR))
+        while len(level) > 1:
+            parents: List[Child] = []
+            for start in range(0, len(level), per_node):
+                group = level[start : start + per_node]
+                if len(group) == 1:
+                    # A lone trailing child joins the previous parent.
+                    previous = parents[-1]
+                    assert isinstance(previous, InnerNode)
+                    separator = self._subtree_min_key(group[0])
+                    previous.keys.append(separator)
+                    previous.children.append(group[0])
+                    continue
+                keys = [self._subtree_min_key(child) for child in group[1:]]
+                parents.append(InnerNode(keys, list(group)))
+            level = parents
+            height += 1
+        return level[0], height
+
+    @staticmethod
+    def _subtree_min_key(node: Child) -> int:
+        while isinstance(node, InnerNode):
+            node = node.children[0]
+        min_key = node.min_key()
+        if min_key is None:
+            raise ValueError("cannot compute separator for an empty leaf")
+        return min_key
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def _descend(self, key: int) -> Tuple[LeafNode, List[Tuple[InnerNode, int]]]:
+        """Walk to the leaf for ``key``; return it and the (node, child
+        index) path for split propagation."""
+        path: List[Tuple[InnerNode, int]] = []
+        node: Child = self._root
+        while isinstance(node, InnerNode):
+            self.counters.add("inner_visit")
+            index = node.child_index(key)
+            path.append((node, index))
+            node = node.children[index]
+        return node, path
+
+    def find_leaf(self, key: int) -> Tuple[LeafNode, Optional[InnerNode]]:
+        """The leaf responsible for ``key`` and its direct parent."""
+        leaf, path = self._descend(key)
+        parent = path[-1][0] if path else None
+        return leaf, parent
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Return the value stored under ``key``, or None."""
+        leaf, _ = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        return leaf.lookup(key)
+
+    def insert(self, key: int, value: int) -> bool:
+        """Insert ``key``; returns False when the key already existed (the
+        value is overwritten either way)."""
+        leaf, path = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        existed = leaf.lookup(key) is not None
+        self._count_leaf_write(leaf)
+        before = leaf.size_bytes()
+        if not leaf.insert(key, value):
+            self._leaf_bytes += leaf.size_bytes() - before
+            self._split_leaf(leaf, path)
+            leaf, path = self._descend(key)
+            before = leaf.size_bytes()
+            if not leaf.insert(key, value):  # pragma: no cover - split guarantees room
+                raise AssertionError("leaf still full after split")
+        self._leaf_bytes += leaf.size_bytes() - before
+        if not existed:
+            self._num_keys += 1
+        return not existed
+
+    def update(self, key: int, value: int) -> bool:
+        """Overwrite the value of an existing ``key``; False if absent."""
+        leaf, _ = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        self._count_leaf_write(leaf)
+        before = leaf.size_bytes()
+        updated = leaf.update(key, value)
+        self._leaf_bytes += leaf.size_bytes() - before
+        return updated
+
+    def delete(self, key: int) -> bool:
+        """Delete ``key`` (lazy: leaves are never merged)."""
+        leaf, _ = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        self._count_leaf_write(leaf)
+        before = leaf.size_bytes()
+        removed = leaf.delete(key)
+        self._leaf_bytes += leaf.size_bytes() - before
+        if removed:
+            self._num_keys -= 1
+        return removed
+
+    def _count_leaf_write(self, leaf: LeafNode) -> None:
+        self.counters.add(f"leaf_write:{leaf.encoding}")
+        if leaf.encoding is LeafEncoding.SUCCINCT:
+            self.counters.add("leaf_rebuild_entry", leaf.num_entries())
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, int]]:
+        """Up to ``count`` pairs with key >= ``start_key``, in key order."""
+        if count <= 0:
+            return []
+        leaf, _ = self._descend(start_key)
+        result: List[Tuple[int, int]] = []
+        current: Optional[LeafNode] = leaf
+        first = True
+        while current is not None and len(result) < count:
+            self.counters.add(f"leaf_visit:{current.encoding}")
+            entries = (
+                current.entries_from(start_key) if first else current.entries_from(0)
+            )
+            for pair in entries:
+                result.append(pair)
+                if len(result) >= count:
+                    break
+            first = False
+            current = current.next_leaf
+        return result
+
+    def scan_leaves(self, start_key: int, count: int):
+        """Like :meth:`scan` but yields ``(leaf, pairs_taken)`` per leaf —
+        the hook the adaptive tree uses to sample iterator accesses."""
+        if count <= 0:
+            return
+        leaf, _ = self._descend(start_key)
+        remaining = count
+        current: Optional[LeafNode] = leaf
+        first = True
+        while current is not None and remaining > 0:
+            self.counters.add(f"leaf_visit:{current.encoding}")
+            taken: List[Tuple[int, int]] = []
+            entries = (
+                current.entries_from(start_key) if first else current.entries_from(0)
+            )
+            for pair in entries:
+                taken.append(pair)
+                remaining -= 1
+                if remaining == 0:
+                    break
+            yield current, taken
+            first = False
+            current = current.next_leaf
+
+    def iterator(self, start_key: Optional[int] = None):
+        """A stateful :class:`~repro.bptree.iterator.TreeIterator`
+        positioned at ``start_key`` (or the smallest entry)."""
+        from repro.bptree.iterator import TreeIterator
+
+        return TreeIterator(self, start_key)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All pairs in key order."""
+        node: Child = self._root
+        while isinstance(node, InnerNode):
+            node = node.children[0]
+        current: Optional[LeafNode] = node
+        while current is not None:
+            yield from current.to_pairs()
+            current = current.next_leaf
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+    def _split_leaf(self, leaf: LeafNode, path: List[Tuple[InnerNode, int]]) -> None:
+        self.counters.add("leaf_split")
+        pairs = leaf.to_pairs()
+        middle = len(pairs) // 2
+        before = leaf.size_bytes()
+        # The left half stays in the existing wrapper so tracked identity
+        # and the parent pointer survive; the right half is a new leaf.
+        right = LeafNode(pairs[middle:], leaf.encoding, leaf.capacity)
+        right.next_leaf = leaf.next_leaf
+        leaf.storage = type(leaf.storage)(pairs[:middle], leaf.capacity)
+        leaf.next_leaf = right
+        self._leaf_bytes += leaf.size_bytes() + right.size_bytes() - before
+        self._inner_bytes_cache = None
+        self._num_leaves += 1
+        separator = pairs[middle][0]
+        self._on_leaf_split(leaf, right)
+        self._insert_into_parent(leaf, separator, right, path)
+
+    def _on_leaf_split(self, left: LeafNode, right: LeafNode) -> None:
+        """Hook for subclasses (the adaptive tree propagates context)."""
+
+    def _insert_into_parent(
+        self,
+        left: Child,
+        separator: int,
+        right: Child,
+        path: List[Tuple[InnerNode, int]],
+    ) -> None:
+        if not path:
+            self._root = InnerNode([separator], [left, right])
+            self._height += 1
+            return
+        parent, child_index = path[-1]
+        parent.insert_child(child_index, separator, right)
+        if parent.is_overfull(self.inner_fanout):
+            left_node, parent_separator, right_node = parent.split()
+            self._insert_into_parent(
+                left_node, parent_separator, right_node, path[:-1]
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    def num_keys(self) -> int:
+        """Number of indexed keys."""
+        return self._num_keys
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return self._num_leaves
+
+    @property
+    def height(self) -> int:
+        """The tree height (leaves included)."""
+        return self._height
+
+    @property
+    def root(self) -> Child:
+        """The root node."""
+        return self._root
+
+    def leaves(self) -> Iterator[LeafNode]:
+        """Yield all leaf nodes in key order."""
+        node: Child = self._root
+        while isinstance(node, InnerNode):
+            node = node.children[0]
+        current: Optional[LeafNode] = node
+        while current is not None:
+            yield current
+            current = current.next_leaf
+
+    def inner_nodes(self) -> Iterator[InnerNode]:
+        """Yield all inner nodes (preorder)."""
+        stack: List[Child] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, InnerNode):
+                yield node
+                stack.extend(node.children)
+
+    def size_bytes(self) -> int:
+        """Modeled footprint: all inner nodes plus all leaves.
+
+        Leaf bytes are tracked incrementally at every mutation site; inner
+        bytes are cached and recomputed only after structural changes.
+        """
+        if self._inner_bytes_cache is None:
+            self._inner_bytes_cache = sum(node.size_bytes() for node in self.inner_nodes())
+        return self._inner_bytes_cache + self._leaf_bytes
+
+    def note_leaf_resized(self, delta_bytes: int) -> None:
+        """Subclasses report out-of-band leaf size changes (migrations)."""
+        self._leaf_bytes += delta_bytes
+
+    def leaf_encoding_census(self):
+        """Mapping encoding -> (leaf count, average modeled bytes)."""
+        totals = {}
+        for leaf in self.leaves():
+            count, total_bytes = totals.get(leaf.encoding, (0, 0))
+            totals[leaf.encoding] = (count + 1, total_bytes + leaf.size_bytes())
+        return {
+            encoding: (count, total_bytes / count)
+            for encoding, (count, total_bytes) in totals.items()
+        }
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants (tests and debugging)."""
+        leaves_via_chain = list(self.leaves())
+        leaves_via_tree: List[LeafNode] = []
+
+        def visit(node: Child, lo: Optional[int], hi: Optional[int]) -> None:
+            if isinstance(node, InnerNode):
+                assert node.keys == sorted(node.keys), "inner keys out of order"
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [lo, *node.keys, hi]
+                for index, child in enumerate(node.children):
+                    visit(child, bounds[index], bounds[index + 1])
+            else:
+                leaves_via_tree.append(node)
+                pairs = node.to_pairs()
+                keys = [key for key, _ in pairs]
+                assert keys == sorted(set(keys)), "leaf keys out of order"
+                for key in keys:
+                    if lo is not None:
+                        assert key >= lo, f"key {key} below separator {lo}"
+                    if hi is not None:
+                        assert key < hi, f"key {key} not below separator {hi}"
+
+        visit(self._root, None, None)
+        assert leaves_via_tree == leaves_via_chain, "leaf chain disagrees with tree"
+        assert sum(leaf.num_entries() for leaf in leaves_via_chain) == self._num_keys
+        assert len(leaves_via_chain) == self._num_leaves
+        actual_leaf_bytes = sum(leaf.size_bytes() for leaf in leaves_via_chain)
+        assert actual_leaf_bytes == self._leaf_bytes, (
+            f"incremental leaf bytes {self._leaf_bytes} != actual {actual_leaf_bytes}"
+        )

@@ -1,0 +1,104 @@
+"""Bloom filter guarding the sample hash map.
+
+The paper installs a Bloom filter in front of the aggregate map so that a
+unit enters the (more expensive) hash map only on its *second* sampled
+access within a phase: the first access merely sets the filter bits.  This
+keeps one-off cold-node accesses out of the map.  The configuration the
+paper uses — 10 bits per item, capacity = half the sample size — yields
+roughly a 1% false-positive rate; we default to the same.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+BITS_PER_ITEM = 10
+
+
+def _mix(value: int, seed: int) -> int:
+    """A cheap 64-bit multiply-xor hash with a per-function seed."""
+    value ^= seed
+    value = (value * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    return value
+
+
+class BloomFilter:
+    """A standard Bloom filter over hashable identifiers.
+
+    ``capacity`` is the expected number of distinct insertions; the number
+    of bits is ``capacity * bits_per_item`` and the number of hash
+    functions is the optimum ``ln 2 * bits_per_item`` (rounded).
+    """
+
+    def __init__(self, capacity: int, bits_per_item: int = BITS_PER_ITEM) -> None:
+        if capacity < 1:
+            capacity = 1
+        if bits_per_item < 1:
+            raise ValueError(f"bits_per_item must be >= 1, got {bits_per_item}")
+        self._num_bits = max(8, capacity * bits_per_item)
+        self._num_hashes = max(1, round(math.log(2) * bits_per_item))
+        self._bits = 0
+        self._count = 0
+
+    @property
+    def num_bits(self) -> int:
+        """Size of the bit array."""
+        return self._num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        """Number of hash functions."""
+        return self._num_hashes
+
+    @property
+    def approximate_count(self) -> int:
+        """Number of insertions since the last reset (not distinct-exact)."""
+        return self._count
+
+    def _positions(self, item: Hashable):
+        base = hash(item) & 0xFFFFFFFFFFFFFFFF
+        h1 = _mix(base, 0x9E3779B97F4A7C15)
+        h2 = _mix(base, 0xD1B54A32D192ED03) | 1
+        for i in range(self._num_hashes):
+            yield (h1 + i * h2) % self._num_bits
+
+    def add(self, item: Hashable) -> None:
+        """Insert ``item`` into the filter."""
+        for position in self._positions(item):
+            self._bits |= 1 << position
+        self._count += 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        for position in self._positions(item):
+            if not (self._bits >> position) & 1:
+                return False
+        return True
+
+    def add_and_check(self, item: Hashable) -> bool:
+        """Insert ``item``; return True iff it was (probably) seen before.
+
+        This is the exact operation the sampling hot path needs: first
+        sighting returns False (only the filter is touched), repeat
+        sightings return True (the caller promotes the item into the
+        sample map).
+        """
+        seen = True
+        for position in self._positions(item):
+            if not (self._bits >> position) & 1:
+                seen = False
+                self._bits |= 1 << position
+        self._count += 1
+        return seen
+
+    def reset(self) -> None:
+        """Clear the filter (done after every sampling phase)."""
+        self._bits = 0
+        self._count = 0
+
+    def size_bytes(self) -> int:
+        """Modeled footprint: the bit array."""
+        return (self._num_bits + 7) // 8

@@ -1,0 +1,102 @@
+"""Memory budgets and the budget-derived choice of k.
+
+The framework accepts either an absolute budget (bytes) or a relative one
+(bits per key), the latter being the natural choice for workloads with
+inserts and deletes (Section 3.1.6).  The budget also determines ``k`` for
+the top-k classification: the number of nodes that could be expanded to
+the performance-optimized encoding without exceeding the budget,
+
+    k = (mb - (n_c * m_c + n_u * m_u)) / (m_u - m_c)
+
+with ``n_c``/``n_u`` compressed/uncompressed node counts and ``m_c``/
+``m_u`` their average sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def estimate_expandable_k(
+    budget_bytes: int,
+    compressed_count: int,
+    compressed_avg_bytes: float,
+    expanded_count: int,
+    expanded_avg_bytes: float,
+) -> int:
+    """The paper's k estimate: expandable nodes under ``budget_bytes``.
+
+    Returns 0 when the index already exceeds the budget and is clamped to
+    the number of still-compressed nodes (expanding more is impossible).
+    """
+    if budget_bytes <= 0:
+        return 0
+    current = compressed_count * compressed_avg_bytes + expanded_count * expanded_avg_bytes
+    headroom = budget_bytes - current
+    if headroom <= 0:
+        return 0
+    per_node_growth = expanded_avg_bytes - compressed_avg_bytes
+    if per_node_growth <= 0:
+        # Expansion is free under this size model; every node qualifies.
+        return compressed_count
+    return min(compressed_count, int(headroom / per_node_growth))
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """An optional absolute or relative memory budget.
+
+    Exactly one of ``absolute_bytes`` / ``bits_per_key`` may be set; with
+    neither set the budget is unbounded (the adaptation manager then uses
+    its fallback k).
+    """
+
+    absolute_bytes: int | None = None
+    bits_per_key: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.absolute_bytes is not None and self.bits_per_key is not None:
+            raise ValueError("set either absolute_bytes or bits_per_key, not both")
+        if self.absolute_bytes is not None and self.absolute_bytes <= 0:
+            raise ValueError(f"absolute budget must be positive, got {self.absolute_bytes}")
+        if self.bits_per_key is not None and self.bits_per_key <= 0:
+            raise ValueError(f"relative budget must be positive, got {self.bits_per_key}")
+
+    @classmethod
+    def unbounded(cls) -> "MemoryBudget":
+        """A budget with no limit at all."""
+        return cls()
+
+    @classmethod
+    def absolute(cls, num_bytes: int) -> "MemoryBudget":
+        """A fixed byte limit (read-mostly workloads)."""
+        return cls(absolute_bytes=num_bytes)
+
+    @classmethod
+    def relative(cls, bits_per_key: float) -> "MemoryBudget":
+        """A bits-per-key limit that scales with inserts (Section 3.1.6)."""
+        return cls(bits_per_key=bits_per_key)
+
+    @property
+    def bounded(self) -> bool:
+        """True when a limit is configured."""
+        return self.absolute_bytes is not None or self.bits_per_key is not None
+
+    def limit_bytes(self, num_keys: int) -> float:
+        """The byte limit for an index currently holding ``num_keys`` keys."""
+        if self.absolute_bytes is not None:
+            return float(self.absolute_bytes)
+        if self.bits_per_key is not None:
+            return self.bits_per_key * num_keys / 8.0
+        return float("inf")
+
+    def exceeded(self, used_bytes: int, num_keys: int) -> bool:
+        """True when ``used_bytes`` violates the budget."""
+        return used_bytes > self.limit_bytes(num_keys)
+
+    def utilization(self, used_bytes: int, num_keys: int) -> float:
+        """``used / limit``; 0.0 for an unbounded budget."""
+        limit = self.limit_bytes(num_keys)
+        if limit == float("inf"):
+            return 0.0
+        return used_bytes / limit

@@ -1,0 +1,69 @@
+"""Adaptation telemetry.
+
+The timeline figures of the paper (12, 16, 20) plot encoding migrations,
+skip lengths, and index sizes over time.  Every adaptation phase appends
+one :class:`AdaptationEvent` to the manager's :class:`EventLog`; the
+benchmark harness reads the log to regenerate those series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """Summary of one adaptation phase."""
+
+    epoch: int
+    accesses_seen: int       # total index accesses when the phase ran
+    sampled: int             # sampled accesses aggregated this phase
+    unique_tracked: int      # distinct units in the sample map
+    hot: int                 # units classified hot
+    expansions: int          # migrations toward the fast encoding
+    compactions: int         # migrations toward the compact encoding
+    evictions: int           # units dropped from tracking
+    skip_length_before: int
+    skip_length_after: int
+    sample_size_after: int
+    index_bytes: int         # modeled index size after the phase
+
+
+@dataclass
+class EventLog:
+    """Append-only record of adaptation phases."""
+
+    events: List[AdaptationEvent] = field(default_factory=list)
+
+    def append(self, event: AdaptationEvent) -> None:
+        """Append one entry."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> AdaptationEvent:
+        return self.events[index]
+
+    @property
+    def total_expansions(self) -> int:
+        """Expansions across all logged phases."""
+        return sum(event.expansions for event in self.events)
+
+    @property
+    def total_compactions(self) -> int:
+        """Compactions across all logged phases."""
+        return sum(event.compactions for event in self.events)
+
+    @property
+    def total_migrations(self) -> int:
+        """Expansions plus compactions across all phases."""
+        return self.total_expansions + self.total_compactions
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self.events.clear()

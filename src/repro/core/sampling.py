@@ -1,0 +1,135 @@
+"""Sample-size math (Equation 1) and the skip-length sampler.
+
+Equation (1) of the paper gives the sample size needed for an
+e-approximation of the top-k frequent items over ``n`` items with
+reliability ``1 - delta``:
+
+    |S| = (2 / eps^2) * ln((2n + k(n - k)) / delta)
+
+Sampling itself follows Vitter's skip-counting idea: instead of flipping a
+coin per access, a counter skips a fixed number of accesses between two
+samples, so the per-access cost is a single decrement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+DEFAULT_EPSILON = 0.05
+DEFAULT_DELTA = 0.05
+SKIP_MIN = 50
+SKIP_MAX = 500
+
+
+def required_sample_size(
+    population: int,
+    k: int,
+    epsilon: float = DEFAULT_EPSILON,
+    delta: float = DEFAULT_DELTA,
+) -> int:
+    """Equation (1): sample size for an error-bounded top-k approximation.
+
+    ``population`` is ``n`` (for indexes: the number of trackable units,
+    e.g. leaf nodes), ``k`` the number of items to identify, ``epsilon``
+    the tolerated frequency error, and ``delta`` the failure probability.
+    """
+    if population <= 0:
+        return 0
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    k = max(1, min(k, population))
+    numerator = 2 * population + k * (population - k)
+    size = (2.0 / (epsilon * epsilon)) * math.log(numerator / delta)
+    return max(1, math.ceil(size))
+
+
+@dataclass
+class SkipSampler:
+    """Skip-length access sampler.
+
+    Every call to :meth:`is_sample` models one index access; every
+    ``skip_length + 1``-th access is a sample.  ``skip_length = 0`` samples
+    every access (the worst case of Figure 5).  The adaptation manager
+    adjusts :attr:`skip_length` between phases; the new value takes effect
+    when the current countdown expires, matching the thread-local reload
+    from the global skip in Listing 1.
+
+    With ``jitter > 0`` each reload draws the countdown uniformly from
+    ``skip_length * [1 - jitter, 1 + jitter]`` — the randomization the
+    paper suggests (Section 3.1.4) so periodic query patterns cannot
+    alias with the sampling stride.  The expected sampling rate is
+    unchanged.
+    """
+
+    skip_length: int = SKIP_MIN
+    jitter: float = 0.0
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.skip_length < 0:
+            raise ValueError(f"skip length must be >= 0, got {self.skip_length}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        self._state = self.seed & 0xFFFFFFFFFFFFFFFF or 1
+        self._countdown = self._next_skip()
+
+    def _next_skip(self) -> int:
+        if self.jitter == 0.0 or self.skip_length == 0:
+            return self.skip_length
+        # xorshift64: a tiny deterministic PRNG keeps the hot path cheap
+        # and runs reproducible.
+        state = self._state
+        state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+        state ^= state >> 7
+        state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+        self._state = state
+        low = int(self.skip_length * (1.0 - self.jitter))
+        high = int(self.skip_length * (1.0 + self.jitter))
+        return low + state % (high - low + 1)
+
+    def is_sample(self) -> bool:
+        """Return True when the current access should be sampled."""
+        if self._countdown == 0:
+            self._countdown = self._next_skip()
+            return True
+        self._countdown -= 1
+        return False
+
+    def set_skip_length(self, skip_length: int) -> None:
+        """Install a new skip length (takes effect at the next reload)."""
+        if skip_length < 0:
+            raise ValueError(f"skip length must be >= 0, got {skip_length}")
+        self.skip_length = skip_length
+
+
+def adjust_skip_length(
+    current: int,
+    migrated: int,
+    sampled: int,
+    lower_share: float = 0.10,
+    upper_share: float = 0.30,
+    factor: float = 2.0,
+    skip_min: int = SKIP_MIN,
+    skip_max: int = SKIP_MAX,
+) -> int:
+    """Adapt the skip length from observed workload stability.
+
+    The paper uses the share of encoding migrations among sampled accesses
+    as a stability proxy: below ``lower_share`` the workload is stable and
+    the skip grows (less overhead); above ``upper_share`` the workload is
+    shifting and the skip shrinks (faster adaptation).  The result is
+    clamped to ``[skip_min, skip_max]``.
+    """
+    if sampled <= 0:
+        return min(skip_max, max(skip_min, current))
+    share = migrated / sampled
+    if share < lower_share:
+        proposed = int(current * factor)
+    elif share > upper_share:
+        proposed = int(current / factor)
+    else:
+        proposed = current
+    return min(skip_max, max(skip_min, proposed))

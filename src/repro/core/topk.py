@@ -1,0 +1,73 @@
+"""Single-pass bounded-heap top-k classification.
+
+The adaptation phase labels the k most frequently sampled units hot and
+everything else cold.  As in the paper, a binary min-heap of capacity k is
+fed one pass over the sample map: units displaced from the heap are cold,
+units surviving in the heap are hot.  Runtime is O(u (1 + log k)) for u
+unique samples and space is O(k).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+
+class TopKClassifier:
+    """Maintain the k highest-frequency items seen in one pass.
+
+    Ties are broken by insertion order (earlier offers win), which keeps
+    the classification deterministic for reproducible experiments.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self._k = k
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._counter = itertools.count()
+        self.heap_operations = 0
+
+    @property
+    def k(self) -> int:
+        """The classifier's capacity (number of hot slots)."""
+        return self._k
+
+    def offer(self, item: Hashable, frequency: float) -> None:
+        """Consider ``item`` with ``frequency`` for the top-k set."""
+        if self._k == 0:
+            return
+        entry = (frequency, -next(self._counter), item)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, entry)
+            self.heap_operations += 1
+        elif entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            self.heap_operations += 2
+        # else: below the current k-th frequency; item stays cold.
+
+    def hot_items(self) -> Set[Hashable]:
+        """The items currently classified hot."""
+        return {item for _, _, item in self._heap}
+
+    def threshold(self) -> float:
+        """The smallest frequency inside the top-k set (inf when empty)."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def classify_top_k(
+    frequencies: Dict[Hashable, float] | Iterable[Tuple[Hashable, float]],
+    k: int,
+) -> Set[Hashable]:
+    """Convenience wrapper: the set of (up to) k most frequent items."""
+    classifier = TopKClassifier(k)
+    items = frequencies.items() if isinstance(frequencies, dict) else frequencies
+    for item, frequency in items:
+        classifier.offer(item, frequency)
+    return classifier.hot_items()

@@ -1,0 +1,290 @@
+"""Dual-Stage hybrid index: dynamic B+-tree + compact static stage.
+
+The static stage is a :class:`CompactSortedArray`: all merged pairs in
+one sorted run, physically laid out either *packed* (plain dense arrays)
+or *succinct* (frame-of-reference blocks, mirroring Compact-X of the
+original paper).  Lookups binary-search a block directory and then the
+block.  The structure is immutable; inserts land in the dynamic stage and
+periodic merges rebuild the run — the "expensive merge process" the
+Adaptive-Hybrid-Indexes paper contrasts itself against.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.bptree.leaves import LeafEncoding
+from repro.bptree.tree import BPlusTree
+from repro.core.bloom import BloomFilter
+from repro.sim.counters import OpCounters
+from repro.succinct.for_codec import ForBlock, for_encode
+
+_BLOCK_SIZE = 256
+_HEADER_BYTES = 16
+_SLOT_BYTES = 16
+
+
+class StaticEncoding(enum.Enum):
+    """Physical layout of the static stage."""
+
+    PACKED = "packed"
+    SUCCINCT = "succinct"
+
+
+class CompactSortedArray:
+    """An immutable sorted run with a block directory."""
+
+    def __init__(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        encoding: StaticEncoding = StaticEncoding.SUCCINCT,
+        counters: Optional[OpCounters] = None,
+    ) -> None:
+        self.counters = counters if counters is not None else OpCounters()
+        keys = [key for key, _ in pairs]
+        if any(a >= b for a, b in zip(keys, keys[1:])):
+            raise ValueError("static stage requires strictly sorted unique keys")
+        self.encoding = encoding
+        self._num_entries = len(pairs)
+        self._block_mins: List[int] = []
+        if encoding is StaticEncoding.PACKED:
+            self._keys = keys
+            self._values = [value for _, value in pairs]
+            self._blocks: List[ForBlock] = []
+            self._value_blocks: List[ForBlock] = []
+        else:
+            self._keys = []
+            self._values = []
+            self._blocks = []
+            self._value_blocks = []
+            for start in range(0, len(pairs), _BLOCK_SIZE):
+                chunk = pairs[start : start + _BLOCK_SIZE]
+                self._blocks.append(for_encode([key for key, _ in chunk]))
+                self._value_blocks.append(for_encode([value for _, value in chunk]))
+                self._block_mins.append(chunk[0][0])
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Return the value stored under ``key``, or None."""
+        if self._num_entries == 0:
+            return None
+        if self.encoding is StaticEncoding.PACKED:
+            index = bisect.bisect_left(self._keys, key)
+            if index < len(self._keys) and self._keys[index] == key:
+                return self._values[index]
+            return None
+        block_index = bisect.bisect_right(self._block_mins, key) - 1
+        if block_index < 0:
+            return None
+        block = self._blocks[block_index]
+        lo, hi = 0, len(block)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if block[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(block) and block[lo] == key:
+            return self._value_blocks[block_index][lo]
+        return None
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Yield all ``(key, value)`` pairs in key order."""
+        if self.encoding is StaticEncoding.PACKED:
+            yield from zip(self._keys, self._values)
+            return
+        for block, values in zip(self._blocks, self._value_blocks):
+            yield from zip(block.to_list(), values.to_list())
+
+    def items_from(self, start_key: int) -> Iterator[Tuple[int, int]]:
+        """Pairs with key >= start_key, starting at the right block."""
+        if self._num_entries == 0:
+            return
+        if self.encoding is StaticEncoding.PACKED:
+            index = bisect.bisect_left(self._keys, start_key)
+            for position in range(index, len(self._keys)):
+                self.counters.add("static_scan_item")
+                yield self._keys[position], self._values[position]
+            return
+        block_index = max(0, bisect.bisect_right(self._block_mins, start_key) - 1)
+        for current in range(block_index, len(self._blocks)):
+            keys = self._blocks[current].to_list()
+            values = self._value_blocks[current].to_list()
+            for key, value in zip(keys, values):
+                if key >= start_key:
+                    self.counters.add("static_scan_item")
+                    yield key, value
+
+    def size_bytes(self) -> int:
+        """Return the modeled C++ footprint in bytes."""
+        if self.encoding is StaticEncoding.PACKED:
+            return _HEADER_BYTES + self._num_entries * _SLOT_BYTES
+        total = _HEADER_BYTES + 8 * len(self._block_mins)
+        total += sum(block.size_bytes() for block in self._blocks)
+        total += sum(block.size_bytes() for block in self._value_blocks)
+        return total
+
+
+class DualStageIndex:
+    """Dynamic stage + static stage + Bloom filter, with ratio merges."""
+
+    def __init__(
+        self,
+        static_encoding: StaticEncoding = StaticEncoding.SUCCINCT,
+        merge_ratio: float = 0.05,
+        bloom_bits_per_key: int = 10,
+    ) -> None:
+        if not 0 < merge_ratio < 1:
+            raise ValueError(f"merge ratio must be in (0, 1), got {merge_ratio}")
+        self.static_encoding = static_encoding
+        self.merge_ratio = merge_ratio
+        self.bloom_bits_per_key = bloom_bits_per_key
+        self.counters = OpCounters()
+        self._dynamic = BPlusTree(LeafEncoding.GAPPED)
+        self._dynamic.counters = self.counters  # one event stream
+        self._static = CompactSortedArray([], static_encoding, self.counters)
+        self._bloom = BloomFilter(capacity=1024, bits_per_item=bloom_bits_per_key)
+        self._tombstones: set = set()
+        self.merges = 0
+
+    @classmethod
+    def bulk_load(
+        cls,
+        pairs: Sequence[Tuple[int, int]],
+        static_encoding: StaticEncoding = StaticEncoding.SUCCINCT,
+        merge_ratio: float = 0.05,
+    ) -> "DualStageIndex":
+        """Load sorted pairs directly into the static stage."""
+        index = cls(static_encoding, merge_ratio)
+        index._static = CompactSortedArray(list(pairs), static_encoding, index.counters)
+        return index
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> Optional[int]:
+        """Return the value stored under ``key``, or None."""
+        self.counters.add("bloom_probe")
+        if key in self._bloom:
+            self.counters.add("dynamic_stage_probe")
+            value = self._dynamic.lookup(key)
+            if value is not None:
+                return value
+            if key in self._tombstones:
+                return None
+        self.counters.add("static_stage_probe")
+        return self._static.lookup(key)
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert ``key``; returns False when the key already existed."""
+        self._dynamic.insert(key, value)
+        self._bloom.add(key)
+        self._tombstones.discard(key)
+        if self._should_merge():
+            self.merge()
+
+    def update(self, key: int, value: int) -> bool:
+        """Overwrite the value of an existing ``key``; False if absent."""
+        if self.lookup(key) is None:
+            return False
+        self.insert(key, value)  # newest version shadows the static stage
+        return True
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False when it was absent."""
+        existed = self.lookup(key) is not None
+        if not existed:
+            return False
+        self._dynamic.delete(key)
+        self._tombstones.add(key)
+        self._bloom.add(key)  # tombstones must be found before the static stage
+        return True
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, int]]:
+        """Merge-scan both stages in key order."""
+        if count <= 0:
+            return []
+        result: List[Tuple[int, int]] = []
+        dynamic_iter = iter(self._dynamic.scan(start_key, count + len(self._tombstones)))
+        static_iter = self._static.items_from(start_key)
+        dynamic_pair = next(dynamic_iter, None)
+        static_pair = next(static_iter, None)
+        while len(result) < count and (dynamic_pair or static_pair):
+            if static_pair is None or (
+                dynamic_pair is not None and dynamic_pair[0] <= static_pair[0]
+            ):
+                if static_pair is not None and dynamic_pair[0] == static_pair[0]:
+                    static_pair = next(static_iter, None)  # shadowed version
+                result.append(dynamic_pair)
+                dynamic_pair = next(dynamic_iter, None)
+            else:
+                key = static_pair[0]
+                if key not in self._tombstones:
+                    result.append(static_pair)
+                static_pair = next(static_iter, None)
+        return result
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def _should_merge(self) -> bool:
+        total = len(self._dynamic) + len(self._static)
+        if total == 0:
+            return False
+        return len(self._dynamic) / total > self.merge_ratio
+
+    def merge(self) -> None:
+        """Fold the dynamic stage into the static one (full rebuild)."""
+        merged: List[Tuple[int, int]] = []
+        dynamic_items = list(self._dynamic.items())
+        static_items = self._static.items()
+        self.counters.add("merge_entry", len(dynamic_items) + len(self._static))
+        dynamic_index = 0
+        for key, value in static_items:
+            while dynamic_index < len(dynamic_items) and dynamic_items[dynamic_index][0] < key:
+                merged.append(dynamic_items[dynamic_index])
+                dynamic_index += 1
+            if dynamic_index < len(dynamic_items) and dynamic_items[dynamic_index][0] == key:
+                merged.append(dynamic_items[dynamic_index])  # newer version wins
+                dynamic_index += 1
+                continue
+            if key not in self._tombstones:
+                merged.append((key, value))
+        merged.extend(dynamic_items[dynamic_index:])
+        self._static = CompactSortedArray(merged, self.static_encoding, self.counters)
+        self._dynamic = BPlusTree(LeafEncoding.GAPPED)
+        self._dynamic.counters = self.counters
+        self._bloom = BloomFilter(
+            capacity=max(1024, len(merged) // 16),
+            bits_per_item=self.bloom_bits_per_key,
+        )
+        self._tombstones.clear()
+        self.merges += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        seen_in_dynamic = sum(
+            1 for key, _ in self._dynamic.items() if self._static.lookup(key) is not None
+        )
+        return len(self._dynamic) + len(self._static) - seen_in_dynamic
+
+    @property
+    def dynamic_size(self) -> int:
+        """Number of keys in the dynamic stage."""
+        return len(self._dynamic)
+
+    @property
+    def static_size(self) -> int:
+        """Number of keys in the static stage."""
+        return len(self._static)
+
+    def size_bytes(self) -> int:
+        """Return the modeled C++ footprint in bytes."""
+        bloom_bytes = self._bloom.size_bytes()
+        return self._dynamic.size_bytes() + self._static.size_bytes() + bloom_bytes

@@ -1,0 +1,119 @@
+"""Trie construction from sorted keys, in LOUDS (BFS) order.
+
+The FST encodings consume trie nodes strictly in breadth-first order —
+that order *is* the node numbering the rank/select navigation relies on.
+:func:`build_trie_levels` turns sorted unique byte-string keys into
+per-level node specs; each spec lists the node's labels in ascending
+order and, per label, whether it has a child or terminates a key.
+
+Keys must be prefix-free (no key a strict prefix of another); append a
+terminator byte to variable-length keys (``repro.art.tree.terminated``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TrieNodeSpec:
+    """One trie node: parallel lists in ascending label order."""
+
+    level: int
+    labels: List[int] = field(default_factory=list)
+    has_child: List[bool] = field(default_factory=list)
+    values: List[Optional[int]] = field(default_factory=list)
+
+    def fanout(self) -> int:
+        """Number of labels stored in this node."""
+        return len(self.labels)
+
+
+@dataclass
+class TrieLevels:
+    """All trie nodes, grouped by level, BFS order within each level."""
+
+    levels: List[List[TrieNodeSpec]]
+    num_keys: int
+
+    @property
+    def height(self) -> int:
+        """The tree height (leaves included)."""
+        return len(self.levels)
+
+    def nodes_in_bfs_order(self):
+        """Yield node specs in BFS (numbering) order."""
+        for level_nodes in self.levels:
+            yield from level_nodes
+
+    def node_count(self) -> int:
+        """Total number of trie nodes."""
+        return sum(len(level_nodes) for level_nodes in self.levels)
+
+    def level_node_counts(self) -> List[int]:
+        """Nodes per level, top-down."""
+        return [len(level_nodes) for level_nodes in self.levels]
+
+    def average_fanout(self, level: int) -> float:
+        """Mean labels per node on ``level``."""
+        nodes = self.levels[level]
+        if not nodes:
+            return 0.0
+        return sum(node.fanout() for node in nodes) / len(nodes)
+
+
+def build_trie_levels(pairs: Sequence[Tuple[bytes, int]]) -> TrieLevels:
+    """Build BFS-ordered trie levels from sorted unique (key, value) pairs."""
+    keys = [key for key, _ in pairs]
+    values = [value for _, value in pairs]
+    for a, b in zip(keys, keys[1:]):
+        if a >= b:
+            raise ValueError("keys must be strictly sorted and unique")
+    if not keys:
+        return TrieLevels(levels=[], num_keys=0)
+
+    levels: List[List[TrieNodeSpec]] = []
+    # BFS frontier: each entry is a key range [lo, hi) whose keys share the
+    # first ``depth`` bytes and together form one node at that depth.
+    frontier: List[Tuple[int, int]] = [(0, len(keys))]
+    depth = 0
+    while frontier:
+        level_nodes: List[TrieNodeSpec] = []
+        next_frontier: List[Tuple[int, int]] = []
+        for lo, hi in frontier:
+            node = TrieNodeSpec(level=depth)
+            index = lo
+            while index < hi:
+                key = keys[index]
+                if len(key) <= depth:
+                    raise ValueError(
+                        f"key {key!r} is a prefix of another key; "
+                        "terminate variable-length keys first"
+                    )
+                label = key[depth]
+                # Find the end of this label group.
+                end = index + 1
+                while end < hi and len(keys[end]) > depth and keys[end][depth] == label:
+                    end += 1
+                group_terminal = len(key) == depth + 1
+                if group_terminal:
+                    if end - index > 1:
+                        raise ValueError(
+                            f"key {key!r} is a prefix of another key; "
+                            "terminate variable-length keys first"
+                        )
+                    node.labels.append(label)
+                    node.has_child.append(False)
+                    node.values.append(values[index])
+                else:
+                    node.labels.append(label)
+                    node.has_child.append(True)
+                    node.values.append(None)
+                    next_frontier.append((index, end))
+                index = end
+            level_nodes.append(node)
+        levels.append(level_nodes)
+        frontier = next_frontier
+        depth += 1
+    return TrieLevels(levels=levels, num_keys=len(keys))

@@ -1,0 +1,136 @@
+"""FST binary serialization.
+
+A static succinct trie is built once and queried forever — exactly the
+structure worth persisting.  This module defines a compact, versioned
+binary format:
+
+``FST1`` magic, a fixed header (key/node counts, dense split, height),
+the level directory, the two dense bitvectors, the sparse label bytes and
+bitvectors, and the value array (64-bit signed little-endian).
+
+Bitvectors serialize as ``bit_length u64 || payload words``; the
+rank/select directories are rebuilt on load (they are derived data and
+smaller to recompute than to ship).
+
+The format is *not* the SuRF wire format (see DESIGN.md §6); it is this
+library's own stable representation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.fst.trie import FST
+from repro.succinct.bitvector import BitVector
+
+MAGIC = b"FST1"
+_HEADER = struct.Struct("<4sQQQQQQ")  # magic, keys, nodes, dense, height, dense_levels, value_count
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+
+
+def _bitvector_to_bytes(vector: BitVector) -> bytes:
+    words = vector._words  # serialization is a friend of the class
+    parts = [_U64.pack(len(vector)), _U64.pack(len(words))]
+    parts.extend(_U64.pack(word) for word in words)
+    return b"".join(parts)
+
+
+def _bitvector_from_bytes(blob: bytes, offset: int):
+    bit_length = _U64.unpack_from(blob, offset)[0]
+    word_count = _U64.unpack_from(blob, offset + 8)[0]
+    offset += 16
+    vector = BitVector()
+    vector._words = [
+        _U64.unpack_from(blob, offset + 8 * index)[0] for index in range(word_count)
+    ]
+    vector._size = bit_length
+    offset += 8 * word_count
+    return vector.seal(), offset
+
+
+def fst_to_bytes(fst: FST) -> bytes:
+    """Serialize ``fst`` to a self-contained byte string."""
+    parts: List[bytes] = [
+        _HEADER.pack(
+            MAGIC,
+            fst.num_keys,
+            fst.num_nodes,
+            fst.num_dense_nodes,
+            fst.height,
+            fst.dense_levels,
+            len(fst._values),
+        )
+    ]
+    parts.append(_U64.pack(len(fst._level_first_node)))
+    parts.extend(_U64.pack(entry) for entry in fst._level_first_node)
+    parts.append(_bitvector_to_bytes(fst._dense_labels))
+    parts.append(_bitvector_to_bytes(fst._dense_haschild))
+    parts.append(_U64.pack(len(fst._sparse_labels)))
+    parts.append(bytes(fst._sparse_labels))
+    parts.append(_bitvector_to_bytes(fst._sparse_haschild))
+    parts.append(_bitvector_to_bytes(fst._sparse_louds))
+    parts.extend(_I64.pack(value) for value in fst._values)
+    return b"".join(parts)
+
+
+def fst_from_bytes(blob: bytes) -> FST:
+    """Reconstruct an :class:`FST` serialized by :func:`fst_to_bytes`."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("truncated FST blob")
+    magic, num_keys, num_nodes, num_dense, height, dense_levels, value_count = (
+        _HEADER.unpack_from(blob, 0)
+    )
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r}; not an FST blob")
+    offset = _HEADER.size
+
+    level_count = _U64.unpack_from(blob, offset)[0]
+    offset += 8
+    level_first_node = [
+        _U64.unpack_from(blob, offset + 8 * index)[0] for index in range(level_count)
+    ]
+    offset += 8 * level_count
+
+    dense_labels, offset = _bitvector_from_bytes(blob, offset)
+    dense_haschild, offset = _bitvector_from_bytes(blob, offset)
+
+    sparse_count = _U64.unpack_from(blob, offset)[0]
+    offset += 8
+    sparse_labels = list(blob[offset : offset + sparse_count])
+    if len(sparse_labels) != sparse_count:
+        raise ValueError("truncated sparse label section")
+    offset += sparse_count
+
+    sparse_haschild, offset = _bitvector_from_bytes(blob, offset)
+    sparse_louds, offset = _bitvector_from_bytes(blob, offset)
+
+    if offset + 8 * value_count > len(blob):
+        raise ValueError("truncated value section")
+    values = [
+        _I64.unpack_from(blob, offset + 8 * index)[0] for index in range(value_count)
+    ]
+
+    # Assemble without re-building from keys.
+    fst = FST.__new__(FST)
+    from repro.sim.counters import OpCounters
+
+    fst.counters = OpCounters()
+    fst.dense_levels = dense_levels
+    fst._num_keys = num_keys
+    fst._height = height
+    fst._num_nodes = num_nodes
+    fst._num_dense_nodes = num_dense
+    fst._level_first_node = level_first_node
+    fst._dense_labels = dense_labels
+    fst._dense_haschild = dense_haschild
+    fst._sparse_labels = sparse_labels
+    fst._sparse_haschild = sparse_haschild
+    fst._sparse_louds = sparse_louds
+    fst._values = values
+    fst._dense_hc_total = dense_haschild.ones if len(dense_haschild) else 0
+    fst._dense_terminal_total = (
+        (dense_labels.ones - dense_haschild.ones) if len(dense_labels) else 0
+    )
+    return fst

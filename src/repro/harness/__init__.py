@@ -1,0 +1,25 @@
+"""Experiment harness: run workloads, collect series, render paper tables.
+
+:mod:`~repro.harness.runner` executes an operation stream against any
+index (through a small adapter), snapshotting modeled latency, sizes, and
+migration counts per interval — the raw material of the paper's timeline
+figures.  :mod:`~repro.harness.experiments` has one entry point per paper
+table/figure; :mod:`~repro.harness.report` renders their results in the
+paper's row/series shape.
+"""
+
+from repro.harness.runner import (
+    ByteKeyIndexAdapter,
+    IntKeyIndexAdapter,
+    IntervalStats,
+    RunResult,
+    run_operations,
+)
+
+__all__ = [
+    "ByteKeyIndexAdapter",
+    "IntKeyIndexAdapter",
+    "IntervalStats",
+    "RunResult",
+    "run_operations",
+]

@@ -1,0 +1,135 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure from the shell::
+
+    python -m repro.harness list               # show available experiments
+    python -m repro.harness fig12              # run one at default scale
+    python -m repro.harness tab1 fig9          # run several
+    python -m repro.harness all                # run everything (minutes)
+    python -m repro.harness fig14 --scale 0.5  # shrink the default sizes
+
+``--scale`` multiplies every integer size parameter (key counts,
+operation counts) of the chosen experiments; 1.0 is the benchmark
+default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.harness import experiments as exp
+from repro.harness.report import format_series, format_table, human_bytes
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": exp.experiment_fig2,
+    "fig3": exp.experiment_fig3,
+    "fig5": exp.experiment_fig5,
+    "fig6": exp.experiment_fig6,
+    "fig9": exp.experiment_fig9,
+    "fig12": exp.experiment_fig12,
+    "fig13": exp.experiment_fig13,
+    "fig14": exp.experiment_fig14,
+    "fig15": exp.experiment_fig15,
+    "fig16": exp.experiment_fig16,
+    "fig17": exp.experiment_fig17,
+    "fig18": exp.experiment_fig18,
+    "fig19": exp.experiment_fig19,
+    "fig20": exp.experiment_fig20,
+    "tab1": exp.experiment_table1,
+    "tab2": exp.experiment_table2,
+    "tab4": exp.experiment_table4,
+}
+
+_SCALABLE_PARAMS = (
+    "num_items", "workload_size", "num_keys", "num_lookups", "num_ops",
+    "ops_per_phase", "ops_per_thread", "training_ops", "small_keys",
+    "large_keys", "migrations_per_pair",
+)
+
+
+def _scaled_kwargs(function: Callable, scale: float) -> Dict[str, int]:
+    if scale == 1.0:
+        return {}
+    kwargs: Dict[str, int] = {}
+    signature = inspect.signature(function)
+    for name, parameter in signature.parameters.items():
+        if name in _SCALABLE_PARAMS and isinstance(parameter.default, int):
+            kwargs[name] = max(64, int(parameter.default * scale))
+    return kwargs
+
+
+def _render(name: str, result: Dict) -> None:
+    line = "=" * 68
+    print(f"\n{line}\n  {name}\n{line}")
+    if "rows" in result:
+        print(format_table(result["headers"], result["rows"]))
+    if "series" in result:
+        for series_name, series in result["series"].items():
+            print("  " + format_series(series_name.ljust(11), series, unit="ns"))
+    if "sizes" in result:
+        print("final sizes:")
+        for index_name, (index_bytes, aux_bytes) in result["sizes"].items():
+            print(f"  {index_name:<12} {human_bytes(index_bytes):>10} (+{human_bytes(aux_bytes)})")
+    for extra in ("expansions", "compactions", "skip_lengths"):
+        if extra in result:
+            print(f"{extra} (cumulative per interval): {result[extra]}")
+    if "compression_ratio" in result:
+        print(f"compression ratio: {result['compression_ratio']:.1%}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (fig2..fig20, tab1/tab2/tab4), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply default size parameters (default 1.0)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write each result as JSON/CSV under DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name, function in EXPERIMENTS.items():
+            summary = (inspect.getdoc(function) or "").splitlines()[0]
+            print(f"{name:<6} {summary}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)} (try 'list')")
+
+    for name in names:
+        function = EXPERIMENTS[name]
+        started = time.perf_counter()
+        result = function(**_scaled_kwargs(function, args.scale))
+        elapsed = time.perf_counter() - started
+        _render(f"{name}  ({elapsed:.1f}s)", result)
+        if args.export:
+            from repro.harness.export import write_result
+
+            written = write_result(result, args.export, name)
+            print("exported: " + ", ".join(str(path) for path in written.values()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

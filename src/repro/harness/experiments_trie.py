@@ -1,0 +1,201 @@
+"""Hybrid Trie experiments: Figures 19 and 20.
+
+Figure 19 compares ART, FST, the adaptive Hybrid Trie (AHI-Trie), and a
+pre-trained Hybrid Trie on e-mail keys for point lookups (W6.1) and range
+scans (W6.2).  Figure 20 runs the prefix-random workload W3 (two phases
+with disjoint hot prefix ranges) over user-id keys and charts latency,
+size, and the expansion/compaction timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.art.tree import ART, terminated
+from repro.core.budget import MemoryBudget
+from repro.core.manager import ManagerConfig
+from repro.fst.trie import FST
+from repro.harness.runner import ByteKeyIndexAdapter, RunResult, run_operations
+from repro.hybridtrie.tree import TRIE_ENCODING_ORDER, HybridTrie
+from repro.sim.costmodel import CostModel
+from repro.workloads.datasets import email_keys, prefix_random_keys
+from repro.workloads.distributions import zipf_indices
+from repro.workloads.spec import WorkloadSpec, w3, w61, w62
+from repro.workloads.stream import generate_phase
+
+
+def scaled_trie_manager_config(
+    budget: Optional[MemoryBudget] = None,
+    skip_min: int = 5,
+    skip_max: int = 100,
+    max_sample_size: int = 1_000,
+    epsilon: float = 0.10,
+    delta: float = 0.10,
+) -> ManagerConfig:
+    """Laptop-scaled adaptation knobs for the Hybrid Trie (see
+    ``scaled_manager_config`` in the B+-tree experiments)."""
+    return ManagerConfig(
+        encoding_order=TRIE_ENCODING_ORDER,
+        budget=budget or MemoryBudget.unbounded(),
+        initial_skip_length=skip_min,
+        skip_min=skip_min,
+        skip_max=skip_max,
+        max_sample_size=max_sample_size,
+        epsilon=epsilon,
+        delta=delta,
+    )
+
+
+def build_trie_variants(
+    byte_keys: Sequence[bytes],
+    art_levels: int = 2,
+    training_ranks: Optional[np.ndarray] = None,
+    budget: Optional[MemoryBudget] = None,
+    include: Sequence[str] = ("art", "fst", "ahi-trie", "pretrained"),
+) -> Dict[str, object]:
+    """The Section 5.3 trie lineup over one sorted byte-key set."""
+    pairs = [(key, rank) for rank, key in enumerate(byte_keys)]
+    variants: Dict[str, object] = {}
+    for name in include:
+        if name == "art":
+            variants[name] = ART.from_sorted(pairs)
+        elif name == "fst":
+            variants[name] = FST(pairs)
+        elif name == "ahi-trie":
+            variants[name] = HybridTrie(
+                pairs,
+                art_levels=art_levels,
+                manager_config=scaled_trie_manager_config(budget),
+            )
+        elif name == "pretrained":
+            trie = HybridTrie(
+                pairs,
+                art_levels=art_levels,
+                adaptive=False,
+                manager_config=scaled_trie_manager_config(budget),
+            )
+            if training_ranks is not None:
+                training_budget = budget or MemoryBudget.absolute(2 * trie.size_bytes())
+                trie.train(
+                    [byte_keys[rank] for rank in training_ranks], training_budget
+                )
+            variants[name] = trie
+        else:
+            raise ValueError(f"unknown trie variant {name!r}")
+    return variants
+
+
+def _run_over_variants(
+    variants: Dict[str, object],
+    byte_keys: Sequence[bytes],
+    workload: WorkloadSpec,
+    interval_ops: int,
+    cost_model: Optional[CostModel] = None,
+    seed: int = 1,
+) -> Dict[str, RunResult]:
+    """Run the same rank-keyed operation stream against every variant."""
+    cost_model = cost_model or CostModel()
+    ranks = np.arange(len(byte_keys), dtype=np.int64)
+    phase_operations = [
+        generate_phase(ranks, phase, rng=np.random.default_rng(seed + index), phase_index=index)
+        for index, phase in enumerate(workload.phases)
+    ]
+    results: Dict[str, RunResult] = {}
+    for name, index in variants.items():
+        adapter = ByteKeyIndexAdapter(index, byte_keys)
+        result = RunResult()
+        for operations in phase_operations:
+            run_operations(adapter, operations, cost_model, interval_ops, result)
+        results[name] = result
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 19: point lookups and scans on e-mail keys
+# ----------------------------------------------------------------------
+def experiment_fig19(
+    num_keys: int = 30_000,
+    num_ops: int = 60_000,
+    interval_ops: int = 10_000,
+    art_levels: int = 8,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> Dict:
+    """Size and throughput of the trie lineup on e-mail addresses, for
+    the point workload W6.1 and the scan workload W6.2."""
+    rng = np.random.default_rng(seed)
+    byte_keys = [terminated(key) for key in email_keys(num_keys, rng)]
+    training_ranks = zipf_indices(num_keys, num_ops // 4, alpha=alpha, rng=rng)
+    rows = []
+    throughput: Dict[str, Dict[str, float]] = {}
+    for workload_factory, label in ((w61, "W6.1 points"), (w62, "W6.2 scans")):
+        variants = build_trie_variants(
+            byte_keys, art_levels=art_levels, training_ranks=training_ranks
+        )
+        results = _run_over_variants(
+            variants, byte_keys, workload_factory(num_ops, alpha), interval_ops, seed=seed + 1
+        )
+        for name, result in results.items():
+            modeled_mops = 1000.0 / max(1e-9, result.modeled_ns_per_op)
+            rows.append(
+                (
+                    label,
+                    name,
+                    round(result.modeled_ns_per_op, 1),
+                    round(modeled_mops, 2),
+                    result.final_total_bytes,
+                )
+            )
+            throughput.setdefault(label, {})[name] = modeled_mops
+    return {
+        "headers": ["workload", "index", "modeled_ns_per_op", "modeled_Mops", "total_bytes"],
+        "rows": rows,
+        "throughput": throughput,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 20: the prefix-random adaptation timeline
+# ----------------------------------------------------------------------
+def experiment_fig20(
+    num_keys: int = 80_000,
+    ops_per_phase: int = 100_000,
+    interval_ops: int = 5_000,
+    art_levels: int = 2,
+    num_phases: int = 2,
+    seed: int = 0,
+) -> Dict:
+    """W3 over user-id keys: two phases with disjoint hot prefix ranges;
+    the adaptive trie expands in phase 1, then compacts/re-expands as the
+    hot set moves in phase 2."""
+    rng = np.random.default_rng(seed)
+    keys = prefix_random_keys(num_keys, rng=rng)
+    byte_keys = [int(key).to_bytes(8, "big") for key in keys]
+    # Train the offline variant on phase-0 accesses only: in phase 1 its
+    # choices are stale, which is the contrast the figure draws.
+    workload = w3(num_ops=ops_per_phase, num_phases=num_phases)
+    phase0_ops = generate_phase(
+        np.arange(num_keys), workload.phases[0], rng=np.random.default_rng(seed + 7), phase_index=0
+    )
+    training_ranks = np.array([op.key for op in phase0_ops[: ops_per_phase // 4]])
+    variants = build_trie_variants(
+        byte_keys, art_levels=art_levels, training_ranks=training_ranks
+    )
+    results = _run_over_variants(
+        variants, byte_keys, workload, interval_ops, seed=seed + 7
+    )
+    ahi: RunResult = results["ahi-trie"]
+    trie: HybridTrie = variants["ahi-trie"]  # type: ignore[assignment]
+    return {
+        "series": {name: result.series("modeled_ns_per_op") for name, result in results.items()},
+        "size_series": {name: result.series("index_bytes") for name, result in results.items()},
+        "expansions": ahi.series("expansions"),
+        "compactions": ahi.series("compactions"),
+        "skip_lengths": ahi.series("skip_length"),
+        "adaptation_phases": ahi.series("adaptation_phases"),
+        "results": results,
+        "final_expanded_branches": trie.expanded_branch_count(),
+        "intervals_per_phase": ops_per_phase // interval_ops,
+    }

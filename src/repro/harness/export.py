@@ -1,0 +1,85 @@
+"""Exporting experiment results to CSV and JSON.
+
+The experiment functions return plain dicts (``headers``/``rows`` for
+tables, ``series`` for timelines).  These helpers write them in formats
+external tooling can plot: one CSV per table, one JSON document per full
+result.  The CLI (`python -m repro.harness ... --export DIR`) uses them.
+"""
+
+from __future__ import annotations
+
+import csv
+import enum
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Dict
+
+
+def _jsonable(value):
+    """Recursively convert experiment payloads to JSON-safe values."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(entry) for entry in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if hasattr(value, "intervals"):  # RunResult: keep the series, drop the object
+        return {
+            "total_operations": value.total_operations,
+            "modeled_ns_per_op": value.modeled_ns_per_op,
+            "final_index_bytes": value.final_index_bytes,
+            "final_aux_bytes": value.final_aux_bytes,
+        }
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_to_json(result: Dict) -> str:
+    """One experiment result as a JSON document."""
+    return json.dumps(_jsonable(result), indent=2, sort_keys=True)
+
+
+def write_result(result: Dict, directory: Path, name: str) -> Dict[str, Path]:
+    """Write ``result`` under ``directory`` as JSON (always) and CSV
+    (when the result has table rows).  Returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    json_path = directory / f"{name}.json"
+    json_path.write_text(result_to_json(result))
+    written["json"] = json_path
+
+    if "headers" in result and "rows" in result:
+        csv_path = directory / f"{name}.csv"
+        with csv_path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(result["headers"])
+            for row in result["rows"]:
+                writer.writerow([_jsonable(cell) for cell in row])
+        written["csv"] = csv_path
+
+    if "series" in result:
+        series_path = directory / f"{name}_series.csv"
+        series = result["series"]
+        names = sorted(series)
+        length = max((len(series[key]) for key in names), default=0)
+        with series_path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["interval", *names])
+            for index in range(length):
+                writer.writerow(
+                    [index]
+                    + [
+                        series[key][index] if index < len(series[key]) else ""
+                        for key in names
+                    ]
+                )
+        written["series_csv"] = series_path
+    return written

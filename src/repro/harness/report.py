@@ -1,0 +1,78 @@
+"""Rendering experiment results in the paper's row/series shape.
+
+Plain-text tables and series printers; every benchmark target prints
+through these so the regenerated "figures" are directly comparable with
+the paper's (EXPERIMENTS.md records the side-by-side).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table."""
+    materialized: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    values: Sequence[float],
+    max_points: int = 24,
+    unit: str = "",
+) -> str:
+    """One named series, downsampled, with a small ASCII sparkline."""
+    if not values:
+        return f"{name}: (empty)"
+    step = max(1, len(values) // max_points)
+    sampled = list(values[::step])
+    low, high = min(sampled), max(sampled)
+    blocks = " .:-=+*#%@"
+    if high > low:
+        spark = "".join(
+            blocks[min(len(blocks) - 1, int((v - low) / (high - low) * (len(blocks) - 1)))]
+            for v in sampled
+        )
+    else:
+        spark = blocks[0] * len(sampled)
+    return (
+        f"{name}: min={low:.1f}{unit} max={high:.1f}{unit} "
+        f"first={sampled[0]:.1f}{unit} last={sampled[-1]:.1f}{unit}  [{spark}]"
+    )
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def human_bytes(num_bytes: float) -> str:
+    """1536 -> '1.5KiB' etc."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{value:.0f}B"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover

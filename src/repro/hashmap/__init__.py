@@ -1,0 +1,24 @@
+"""Hash-map substrates for the sample store (Section 3.1.3).
+
+The paper stores aggregated samples in "a high-performance hop-scotch
+hash map for single-threaded execution [6], and a concurrent cuckoo-based
+hash map for parallel workloads [34]".  This package implements both from
+scratch:
+
+* :class:`~repro.hashmap.hopscotch.HopscotchMap` — open addressing with
+  hopscotch neighbourhoods (every key lives within H slots of its home
+  bucket, so lookups probe one cache-line-sized window);
+* :class:`~repro.hashmap.cuckoo.CuckooMap` — two-choice cuckoo hashing
+  with BFS kickout paths and striped locks for concurrent readers and
+  writers.
+
+Python dicts are faster in CPython, so the adaptation manager uses them
+by default; ``ManagerConfig(sample_map="hopscotch")`` switches to the
+paper's structure (same semantics, real implementation), and the GS
+concurrency strategy accepts a :class:`CuckooMap` store.
+"""
+
+from repro.hashmap.cuckoo import CuckooMap
+from repro.hashmap.hopscotch import HopscotchMap
+
+__all__ = ["CuckooMap", "HopscotchMap"]

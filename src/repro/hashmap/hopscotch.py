@@ -1,0 +1,235 @@
+"""Hopscotch hash map (Herlihy, Shavit, Tzafrir 2008).
+
+Open addressing with the *hopscotch* invariant: every key is stored
+within ``H`` slots of its home bucket (its hash position), and each home
+bucket keeps an ``H``-bit hop bitmap marking which of its neighbourhood
+slots hold its keys.  Lookups therefore probe at most the H-slot window —
+one cache line in the C++ original, which is why the paper picks this map
+for the single-threaded sample store.
+
+Inserts first find any free slot by linear probing and then *hop* it
+backwards into the neighbourhood by displacing keys whose own invariant
+allows the move; if no free slot can be hopped close enough, the table
+resizes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+NEIGHBOURHOOD = 32  # H: bitmap width, matching the C++ reference
+_FREE = object()
+
+
+class HopscotchMap:
+    """A dict-like map with hopscotch open addressing.
+
+    Supports the mapping protocol subset the sample store needs:
+    ``get`` / ``__setitem__`` / ``__getitem__`` / ``__delitem__`` /
+    ``__contains__`` / ``items`` / ``pop`` / ``__len__``.
+    """
+
+    def __init__(self, initial_capacity: int = 64) -> None:
+        capacity = max(NEIGHBOURHOOD * 2, initial_capacity)
+        # Round up to a power of two for cheap masking.
+        self._capacity = 1 << (capacity - 1).bit_length()
+        self._mask = self._capacity - 1
+        self._keys: List[object] = [_FREE] * self._capacity
+        self._values: List[object] = [None] * self._capacity
+        self._hop_info: List[int] = [0] * self._capacity
+        self._size = 0
+        self.resizes = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _home(self, key: Hashable) -> int:
+        return hash(key) & self._mask
+
+    def _find_slot(self, key: Hashable) -> Optional[int]:
+        """The slot holding ``key``, scanning only the home neighbourhood."""
+        home = self._home(key)
+        hop_info = self._hop_info[home]
+        while hop_info:
+            offset = (hop_info & -hop_info).bit_length() - 1
+            hop_info &= hop_info - 1
+            slot = (home + offset) & self._mask
+            if self._keys[slot] == key:
+                return slot
+        return None
+
+    def get(self, key: Hashable, default=None):
+        """Return the value for ``key``, or ``default`` when absent."""
+        slot = self._find_slot(key)
+        return default if slot is None else self._values[slot]
+
+    def __getitem__(self, key: Hashable):
+        slot = self._find_slot(key)
+        if slot is None:
+            raise KeyError(key)
+        return self._values[slot]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self._find_slot(key) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def __setitem__(self, key: Hashable, value: object) -> None:
+        slot = self._find_slot(key)
+        if slot is not None:
+            self._values[slot] = value
+            return
+        while not self._try_insert(key, value):
+            self._resize()
+
+    def _try_insert(self, key: Hashable, value: object) -> bool:
+        if self._size >= self._capacity * 0.9:
+            return False
+        home = self._home(key)
+        # Linear-probe for any free slot.
+        free = None
+        for distance in range(self._capacity):
+            candidate = (home + distance) & self._mask
+            if self._keys[candidate] is _FREE:
+                free = candidate
+                free_distance = distance
+                break
+        if free is None:
+            return False
+        # Hop the free slot backwards until it is inside the neighbourhood.
+        while free_distance >= NEIGHBOURHOOD:
+            moved = self._hop_backwards(free)
+            if moved is None:
+                return False  # displacement impossible: resize
+            free = moved
+            free_distance = (free - home) & self._mask
+        self._keys[free] = key
+        self._values[free] = value
+        self._hop_info[home] |= 1 << free_distance
+        self._size += 1
+        return True
+
+    def _hop_backwards(self, free: int) -> Optional[int]:
+        """Move ``free`` at least one slot toward lower indices by
+        relocating a displaceable key into it; returns the new free slot."""
+        for distance in range(NEIGHBOURHOOD - 1, 0, -1):
+            candidate_home_start = (free - distance) & self._mask
+            hop_info = self._hop_info[candidate_home_start]
+            if not hop_info:
+                continue
+            # The lowest set bit is the key closest to its home — moving it
+            # to ``free`` keeps it within its neighbourhood iff the new
+            # offset still fits.
+            offset = (hop_info & -hop_info).bit_length() - 1
+            if offset >= distance:
+                continue  # its current slot is not before ``free``
+            victim = (candidate_home_start + offset) & self._mask
+            new_offset = distance  # victim's distance when moved to free
+            if new_offset >= NEIGHBOURHOOD:
+                continue
+            self._keys[free] = self._keys[victim]
+            self._values[free] = self._values[victim]
+            self._hop_info[candidate_home_start] &= ~(1 << offset)
+            self._hop_info[candidate_home_start] |= 1 << new_offset
+            self._keys[victim] = _FREE
+            self._values[victim] = None
+            return victim
+        return None
+
+    def _resize(self) -> None:
+        entries = list(self.items())
+        self._capacity *= 2
+        self._mask = self._capacity - 1
+        self._keys = [_FREE] * self._capacity
+        self._values = [None] * self._capacity
+        self._hop_info = [0] * self._capacity
+        self._size = 0
+        self.resizes += 1
+        for key, value in entries:
+            if not self._try_insert(key, value):  # pragma: no cover
+                raise AssertionError("re-insert failed right after resize")
+
+    # ------------------------------------------------------------------
+    # Delete and iteration
+    # ------------------------------------------------------------------
+    def __delitem__(self, key: Hashable) -> None:
+        slot = self._find_slot(key)
+        if slot is None:
+            raise KeyError(key)
+        home = self._home(key)
+        offset = (slot - home) & self._mask
+        self._hop_info[home] &= ~(1 << offset)
+        self._keys[slot] = _FREE
+        self._values[slot] = None
+        self._size -= 1
+
+    def pop(self, key: Hashable, default=_FREE):
+        """Remove ``key`` and return its value (or ``default``)."""
+        slot = self._find_slot(key)
+        if slot is None:
+            if default is _FREE:
+                raise KeyError(key)
+            return default
+        value = self._values[slot]
+        del self[key]
+        return value
+
+    def items(self) -> Iterator[Tuple[Hashable, object]]:
+        """Yield all ``(key, value)`` pairs in key order."""
+        for slot in range(self._capacity):
+            if self._keys[slot] is not _FREE:
+                yield self._keys[slot], self._values[slot]
+
+    def keys(self) -> Iterator[Hashable]:
+        """Yield all keys."""
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[object]:
+        """Yield all values."""
+        for _, value in self.items():
+            yield value
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._keys = [_FREE] * self._capacity
+        self._values = [None] * self._capacity
+        self._hop_info = [0] * self._capacity
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """The structure's current capacity."""
+        return self._capacity
+
+    def load_factor(self) -> float:
+        """Occupied fraction of the structure's capacity."""
+        return self._size / self._capacity
+
+    def max_probe_window(self) -> int:
+        """The hopscotch guarantee: lookups probe at most this many slots."""
+        return NEIGHBOURHOOD
+
+    def check_invariants(self) -> None:
+        """Every key lies within its home neighbourhood, and hop bitmaps
+        agree with slot contents (tests and debugging)."""
+        seen = 0
+        for home in range(self._capacity):
+            hop_info = self._hop_info[home]
+            while hop_info:
+                offset = (hop_info & -hop_info).bit_length() - 1
+                hop_info &= hop_info - 1
+                slot = (home + offset) & self._mask
+                key = self._keys[slot]
+                assert key is not _FREE, f"hop bit {offset} of {home} points at a free slot"
+                assert self._home(key) == home, f"key {key!r} charted by the wrong home"
+                assert offset < NEIGHBOURHOOD
+                seen += 1
+        assert seen == self._size, f"hop bitmaps chart {seen} keys, size says {self._size}"

@@ -1,0 +1,17 @@
+"""Hybrid Trie (AHI-Trie): level-wise ART + FST with run-time refinement.
+
+Built from a static key set, :class:`~repro.hybridtrie.tree.HybridTrie`
+represents the upper ``c_art`` levels as ART nodes and everything below
+as one global FST (dense upper region, sparse lower region).  At the
+boundary — and inside every expanded branch — *tagged branches*
+(:class:`~repro.hybridtrie.tagged.TrieBranch`) stand in for the paper's
+tagged pointers: each holds either an FST node number (compact) or a
+materialized ART node (expanded).  The adaptation manager expands hot
+branches and compacts cold ones at run-time; inserts are unsupported,
+matching the paper (Section 4.2.2 leaves them to future work).
+"""
+
+from repro.hybridtrie.tagged import TrieBranch, TrieEncoding
+from repro.hybridtrie.tree import HybridTrie
+
+__all__ = ["HybridTrie", "TrieBranch", "TrieEncoding"]

@@ -1,0 +1,71 @@
+"""Tagged branch identifiers for the Hybrid Trie.
+
+The paper's Hybrid Trie tags child pointers with an extra bit to
+distinguish ART pointers, inlined TIDs, and inlined FST node numbers
+(Section 4.2.1); the tagged pointer doubles as the unit identifier the
+adaptation manager tracks.  The Python analogue is :class:`TrieBranch`:
+a small wrapper with *stable identity* that is either
+
+* **compact** — it carries only ``fst_node``, the LOUDS node number where
+  this subtree lives inside the global FST, or
+* **expanded** — it additionally carries ``art_node``, a materialized ART
+  node whose children are values or further (compact) branches.
+
+Because the wrapper survives expansion and compaction, tracked access
+statistics survive encoding migrations, as the paper requires.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+
+class TrieEncoding(enum.Enum):
+    """Branch encodings, ordered compact -> fast for the manager."""
+
+    FST = "fst"
+    ART = "art"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_branch_ids = itertools.count(1)
+
+# Modeled bookkeeping per branch: one tagged 8-byte pointer slot.
+BRANCH_POINTER_BYTES = 8
+
+
+class TrieBranch:
+    """A subtree root below the ART cutoff, with stable identity."""
+
+    __slots__ = ("branch_id", "fst_node", "level", "art_node", "detached")
+
+    def __init__(self, fst_node: int, level: int) -> None:
+        self.branch_id = next(_branch_ids)
+        self.fst_node = fst_node
+        self.level = level
+        self.art_node: Optional[object] = None
+        self.detached = False
+
+    def __hash__(self) -> int:
+        return self.branch_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    @property
+    def encoding(self) -> TrieEncoding:
+        """The current physical encoding."""
+        return TrieEncoding.ART if self.art_node is not None else TrieEncoding.FST
+
+    @property
+    def expanded(self) -> bool:
+        """True when the branch is materialized as an ART node."""
+        return self.art_node is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "detached" if self.detached else str(self.encoding)
+        return f"TrieBranch(id={self.branch_id}, fst_node={self.fst_node}, level={self.level}, {state})"

@@ -1,0 +1,497 @@
+"""The Hybrid Trie (AHI-Trie), Section 4.2 of the paper.
+
+Construction (level-wise, Figure 10): one global FST is built over the
+whole key set; the upper ``c_art`` levels are then materialized as ART
+nodes whose boundary children are compact :class:`TrieBranch` wrappers
+pointing into the FST.  The FST's own dense/sparse split (``c_fst``) is
+independent and configured through ``dense_levels``.
+
+Run-time refinement (branch-wise): the adaptation manager tracks sampled
+accesses to branches; hot branches *expand* — one ART node is built from
+the FST node's labels (node type chosen by fanout), its children becoming
+new compact branches one level deeper — and cold branches *compact* back
+to their FST node number.  The FST is static and complete, so compaction
+is pointer surgery only (the paper: ~100 ns) while expansion must collect
+the labels (~5 µs).
+
+Inserts are not supported (the paper leaves them to future work since
+FST is static); lookups and range scans are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.art.nodes import ARTNode, art_node_for_fanout
+from repro.core.access import AccessType
+from repro.core.budget import MemoryBudget
+from repro.core.heuristics import Heuristic
+from repro.core.manager import AdaptationManager, ManagerConfig
+from repro.core.trained import rank_units
+from repro.fst.trie import FST
+from repro.hybridtrie.tagged import BRANCH_POINTER_BYTES, TrieBranch, TrieEncoding
+from repro.sim.counters import OpCounters
+
+TRIE_ENCODING_ORDER: Tuple[TrieEncoding, ...] = (TrieEncoding.FST, TrieEncoding.ART)
+DEFAULT_ART_LEVELS = 2
+
+
+class HybridTrie:
+    """Level-wise ART + FST with adaptive branch-wise refinement."""
+
+    def __init__(
+        self,
+        pairs: Sequence[Tuple[bytes, int]],
+        art_levels: int = DEFAULT_ART_LEVELS,
+        dense_levels: Optional[int] = None,
+        adaptive: bool = True,
+        budget: Optional[MemoryBudget] = None,
+        heuristic: Optional[Heuristic] = None,
+        manager_config: Optional[ManagerConfig] = None,
+    ) -> None:
+        self.counters = OpCounters()
+        self._fst = FST(pairs, dense_levels=dense_levels, counters=self.counters)
+        self._num_keys = self._fst.num_keys
+        self.art_levels = max(0, min(art_levels, self._fst.height))
+        self._num_branches = 0
+        self._root = self._build_upper(0, 0) if self._num_keys else None
+        self.adaptive = adaptive
+        if manager_config is None:
+            manager_config = ManagerConfig(
+                encoding_order=TRIE_ENCODING_ORDER,
+                budget=budget or MemoryBudget.unbounded(),
+                heuristic=heuristic,
+            )
+        self.manager = AdaptationManager(self, manager_config)
+        if not adaptive:
+            self.manager.disable()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_upper(self, fst_node: int, level: int):
+        """Materialize the permanent ART region down to ``art_levels``."""
+        if level >= self.art_levels:
+            branch = TrieBranch(fst_node, level)
+            self._num_branches += 1
+            return branch
+        entries = self._fst.children(fst_node)
+        node = art_node_for_fanout(len(entries))
+        for label, child, value in entries:
+            if value is not None:
+                node.set_child(label, value)
+            else:
+                node.set_child(label, self._build_upper(child, level + 1))
+        return node
+
+    # ------------------------------------------------------------------
+    # Lookups (Listing 2)
+    # ------------------------------------------------------------------
+    def lookup(self, key: bytes) -> Optional[int]:
+        """Return the value stored under ``key``, or None."""
+        if self._root is None:
+            return None
+        self.counters.add("sample_check")
+        track = self.adaptive and self.manager.is_sample()
+        current = self._root
+        depth = 0
+        while True:
+            if isinstance(current, TrieBranch):
+                if track:
+                    self.manager.track(current, AccessType.READ)
+                if not current.expanded:
+                    return self._fst.lookup_from(current.fst_node, key, depth)
+                current = current.art_node
+                continue
+            # ART node (upper region or an expanded branch's node).
+            self.counters.add("art_visit")
+            if depth >= len(key):
+                return None
+            child = current.find_child(key[depth])
+            depth += 1
+            if child is None:
+                return None
+            if isinstance(child, int):
+                self.counters.add("trie_value_fetch")
+                return child if depth == len(key) else None
+            current = child
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.lookup(key) is not None
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, int]]:
+        """Up to ``count`` pairs with key >= ``start_key`` in key order."""
+        if count <= 0 or self._root is None:
+            return []
+        self.counters.add("sample_check")
+        track = self.adaptive and self.manager.is_sample()
+        result: List[Tuple[bytes, int]] = []
+        self._scan(self._root, b"", start_key, count, result, track)
+        return result
+
+    def _scan(
+        self,
+        current,
+        path: bytes,
+        start_key: bytes,
+        count: int,
+        result: List[Tuple[bytes, int]],
+        track: bool,
+    ) -> None:
+        if isinstance(current, TrieBranch):
+            if track:
+                self.manager.track(current, AccessType.SCAN)
+            if not current.expanded:
+                self._fst._scan(current.fst_node, path, start_key, count, result)
+                return
+            current = current.art_node
+        self.counters.add("art_visit")
+        depth = len(path)
+        on_boundary = path == start_key[:depth]
+        minimum_label = start_key[depth] if on_boundary and depth < len(start_key) else 0
+        for label, child in current.children_items():
+            if len(result) >= count:
+                return
+            if label < minimum_label:
+                continue
+            extended = path + bytes([label])
+            if isinstance(child, int):
+                if extended >= start_key:
+                    result.append((extended, child))
+            else:
+                if extended < start_key[: len(extended)]:
+                    continue
+                self._scan(child, extended, start_key, count, result, track)
+
+    def prefix_items(self, prefix: bytes) -> List[Tuple[bytes, int]]:
+        """All (key, value) pairs whose key starts with ``prefix``, in key
+        order — answered across the mixed ART/FST structure via chunked
+        range scans."""
+        results: List[Tuple[bytes, int]] = []
+        start = prefix
+        chunk = 256
+        while True:
+            batch = self.scan(start, chunk)
+            for key, value in batch:
+                if not key.startswith(prefix):
+                    return results
+                results.append((key, value))
+            if len(batch) < chunk:
+                return results
+            start = batch[-1][0] + b"\x00"
+
+    def successor(self, key: bytes) -> Optional[Tuple[bytes, int]]:
+        """The smallest stored (key, value) with key >= ``key``."""
+        batch = self.scan(key, 1)
+        return batch[0] if batch else None
+
+    def items(self) -> List[Tuple[bytes, int]]:
+        """All pairs in key order (scans without sampling)."""
+        if self._root is None:
+            return []
+        result: List[Tuple[bytes, int]] = []
+        self._scan(self._root, b"", b"", self._num_keys, result, False)
+        return result
+
+    # ------------------------------------------------------------------
+    # Branch migrations (the Encode callback of Listing 2)
+    # ------------------------------------------------------------------
+    def expand_branch(self, branch: TrieBranch) -> bool:
+        """FST -> ART: materialize one ART node for the branch (cf. (1) in
+        Figure 10).  Children become compact branches one level deeper."""
+        if branch.expanded or branch.detached:
+            return False
+        entries = self._fst.children(branch.fst_node)
+        node = art_node_for_fanout(len(entries))
+        for label, child, value in entries:
+            if value is not None:
+                node.set_child(label, value)
+            else:
+                child_branch = TrieBranch(child, branch.level + 1)
+                self._num_branches += 1
+                node.set_child(label, child_branch)
+        branch.art_node = node
+        self.counters.add("migration:fst->art")
+        self.counters.add("migration_label:fst->art", len(entries))
+        return True
+
+    def compact_branch(self, branch: TrieBranch) -> bool:
+        """ART -> FST: drop the materialized node, keep the node number
+        (cf. (2) in Figure 10).  Nested expanded descendants are dropped
+        with it; their wrappers are detached so tracking can evict them."""
+        if not branch.expanded or branch.detached:
+            return False
+        self._detach_children(branch.art_node)
+        branch.art_node = None
+        self.counters.add("migration:art->fst")
+        return True
+
+    def _detach_children(self, node: ARTNode) -> None:
+        for _, child in node.children_items():
+            if isinstance(child, TrieBranch):
+                child.detached = True
+                self._num_branches -= 1
+                self.manager.forget(child)
+                if child.expanded:
+                    self._detach_children(child.art_node)
+
+    # ------------------------------------------------------------------
+    # Offline training (Section 3.2)
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        workload_keys: Sequence[bytes],
+        budget: Optional[MemoryBudget] = None,
+        rounds: int = 4,
+    ) -> int:
+        """Expand the branches a historic workload touches most.
+
+        Replays ``workload_keys`` (without sampling), ranks touched
+        branches by frequency, and expands best-first until the budget is
+        hit.  Because expansion reveals one more level of branches, the
+        trace is replayed for up to ``rounds`` refinement rounds.
+        """
+        budget = budget or MemoryBudget.unbounded()
+        was_adaptive = self.adaptive
+        self.adaptive = False
+        migrated = 0
+        try:
+            for _ in range(rounds):
+                trace = []
+                for key in workload_keys:
+                    branch = self._branch_on_path(key)
+                    if branch is not None:
+                        trace.append((branch, AccessType.READ))
+                if not trace:
+                    break
+                progressed = False
+                for branch in rank_units(trace):
+                    if budget.exceeded(self.used_memory(), self.num_keys):
+                        return migrated
+                    if branch.expanded or branch.detached:
+                        continue
+                    if self.expand_branch(branch):
+                        migrated += 1
+                        progressed = True
+                if not progressed:
+                    break
+        finally:
+            self.adaptive = was_adaptive
+        return migrated
+
+    def _branch_on_path(self, key: bytes) -> Optional[TrieBranch]:
+        """The first compact branch a lookup for ``key`` crosses."""
+        current = self._root
+        depth = 0
+        while True:
+            if isinstance(current, TrieBranch):
+                if not current.expanded:
+                    return current
+                current = current.art_node
+                continue
+            if current is None or depth >= len(key):
+                return None
+            child = current.find_child(key[depth])
+            depth += 1
+            if child is None or isinstance(child, int):
+                return None
+            current = child
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def expanded_fst_nodes(self) -> List[int]:
+        """FST node numbers of all currently expanded branches."""
+        numbers: List[int] = []
+
+        def walk(current) -> None:
+            if isinstance(current, TrieBranch):
+                if current.expanded:
+                    numbers.append(current.fst_node)
+                    walk(current.art_node)
+                return
+            for _, child in current.children_items():
+                if not isinstance(child, int):
+                    walk(child)
+
+        if self._root is not None:
+            walk(self._root)
+        return sorted(numbers)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the trie: the FST plus the expansion layout.
+
+        A trained trie round-trips exactly — the offline-training story of
+        Section 3.2 (build and train centrally, ship to query nodes).
+        Run-time sampling state is deliberately not persisted.
+        """
+        import struct
+
+        fst_blob = self._fst.to_bytes()
+        expanded = self.expanded_fst_nodes()
+        header = struct.pack("<4sQQQ", b"AHT1", self.art_levels, len(fst_blob), len(expanded))
+        body = b"".join(struct.pack("<Q", number) for number in expanded)
+        return header + fst_blob + body
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, adaptive: bool = True) -> "HybridTrie":
+        """Load a trie serialized with :meth:`to_bytes`."""
+        import struct
+
+        magic, art_levels, fst_length, expanded_count = struct.unpack_from("<4sQQQ", blob, 0)
+        if magic != b"AHT1":
+            raise ValueError(f"bad magic {magic!r}; not a HybridTrie blob")
+        offset = struct.calcsize("<4sQQQ")
+        fst = FST.from_bytes(blob[offset : offset + fst_length])
+        offset += fst_length
+        expanded = {
+            struct.unpack_from("<Q", blob, offset + 8 * index)[0]
+            for index in range(expanded_count)
+        }
+        trie = cls.__new__(cls)
+        trie.counters = OpCounters()
+        trie._fst = fst
+        fst.counters = trie.counters
+        trie._num_keys = fst.num_keys
+        trie.art_levels = max(0, min(art_levels, fst.height))
+        trie._num_branches = 0
+        trie._root = trie._build_upper(0, 0) if trie._num_keys else None
+        trie.adaptive = adaptive
+        trie.manager = AdaptationManager(
+            trie, ManagerConfig(encoding_order=TRIE_ENCODING_ORDER)
+        )
+        if not adaptive:
+            trie.manager.disable()
+        # Re-expand outer-to-inner: expanding a branch reveals its children
+        # as new compact branches, so iterate until no listed node remains
+        # compact.
+        progressed = True
+        while expanded and progressed:
+            progressed = False
+            stack = [trie._root] if trie._root is not None else []
+            while stack:
+                current = stack.pop()
+                if isinstance(current, TrieBranch):
+                    if current.fst_node in expanded and not current.expanded:
+                        trie.expand_branch(current)
+                        expanded.discard(current.fst_node)
+                        progressed = True
+                    if current.expanded:
+                        stack.append(current.art_node)
+                    continue
+                for _, child in current.children_items():
+                    if not isinstance(child, int):
+                        stack.append(child)
+        return trie
+
+    # ------------------------------------------------------------------
+    # AdaptiveIndex protocol
+    # ------------------------------------------------------------------
+    def tracked_population(self) -> int:
+        """Number of trackable units (n in Equation 1)."""
+        return max(1, self._num_branches)
+
+    def used_memory(self) -> int:
+        """Modeled index size in bytes (AdaptiveIndex protocol)."""
+        return self.size_bytes()
+
+    @property
+    def num_keys(self) -> int:
+        """Number of indexed keys."""
+        return self._num_keys
+
+    def encoding_of(self, identifier: Hashable) -> Optional[TrieEncoding]:
+        """Current encoding of a tracked unit (AdaptiveIndex protocol)."""
+        if isinstance(identifier, TrieBranch) and not identifier.detached:
+            return identifier.encoding
+        return None
+
+    def migrate(
+        self,
+        identifier: Hashable,
+        target_encoding: TrieEncoding,
+        context: object,
+    ) -> bool:
+        """Re-encode one unit via its callback (AdaptiveIndex protocol)."""
+        if not isinstance(identifier, TrieBranch):
+            return False
+        if target_encoding is TrieEncoding.ART:
+            return self.expand_branch(identifier)
+        return self.compact_branch(identifier)
+
+    def encoding_census(self) -> Dict[TrieEncoding, Tuple[int, float]]:
+        """Encoding -> (count, avg bytes) map (AdaptiveIndex protocol)."""
+        expanded_sizes: List[int] = []
+        compact_count = 0
+
+        def walk(current) -> None:
+            nonlocal compact_count
+            if isinstance(current, TrieBranch):
+                if current.expanded:
+                    expanded_sizes.append(current.art_node.size_bytes())
+                    walk(current.art_node)
+                else:
+                    compact_count += 1
+                return
+            for _, child in current.children_items():
+                if not isinstance(child, int):
+                    walk(child)
+
+        if self._root is not None:
+            walk(self._root)
+        census: Dict[TrieEncoding, Tuple[int, float]] = {}
+        census[TrieEncoding.FST] = (compact_count, float(BRANCH_POINTER_BYTES))
+        if expanded_sizes:
+            census[TrieEncoding.ART] = (
+                len(expanded_sizes),
+                sum(expanded_sizes) / len(expanded_sizes),
+            )
+        return census
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def fst(self) -> FST:
+        """The underlying global FST."""
+        return self._fst
+
+    @property
+    def num_branches(self) -> int:
+        """Number of live tracked branches."""
+        return self._num_branches
+
+    def expanded_branch_count(self) -> int:
+        """Number of branches currently expanded to ART."""
+        census = self.encoding_census()
+        count, _ = census.get(TrieEncoding.ART, (0, 0.0))
+        return count
+
+    def size_bytes(self) -> int:
+        """Modeled footprint: the (complete, static) FST plus every
+        materialized ART node plus per-branch pointer bookkeeping."""
+        total = self._fst.size_bytes()
+        total += self._num_branches * BRANCH_POINTER_BYTES
+
+        def walk(current) -> int:
+            if isinstance(current, TrieBranch):
+                return walk(current.art_node) if current.expanded else 0
+            size = current.size_bytes()
+            for _, child in current.children_items():
+                if not isinstance(child, int):
+                    size += walk(child)
+            return size
+
+        if self._root is not None:
+            total += walk(self._root)
+        return total
+
+    def total_size_bytes(self) -> int:
+        """Index plus the sampling framework's own footprint."""
+        return self.size_bytes() + self.manager.size_bytes()
+
+    def __len__(self) -> int:
+        return self._num_keys

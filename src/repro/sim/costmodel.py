@@ -1,0 +1,173 @@
+"""The calibrated cost model.
+
+Converts :class:`~repro.sim.counters.OpCounters` events into modeled
+nanoseconds.  The per-event prices are calibration constants chosen so
+that the *totals* land near the paper's own measurements on its Ryzen
+3950X testbed:
+
+* Table 1 — uniform lookups cost ≈56/57/125 ns on Gapped/Packed/Succinct
+  leaves (two inner levels + one leaf visit under the defaults below).
+* Figure 9 — Gapped<->Packed migrations are memcpy-cheap (hundreds of ns)
+  while anything involving Succinct re-encodes every entry (over 1 µs for
+  a 70%-full leaf).
+* Section 4.2.2 — FST->ART expansions cost ≈5 µs at 50% occupancy,
+  ART->FST compactions ≈100 ns.
+* Figure 5 / Section 3.1.4 — tracking one sample costs ≈60 ns, one
+  classification step ≈60 ns.
+* Figure 3 — random 4 KiB accesses cost ≈70 µs on SATA SSD, ≈12 µs on
+  NVMe, ≈2 µs on persistent memory, and decompression adds ≈0.5 ns/byte.
+
+Only the counter *values* come from executed data structures; these
+prices are the explicit, auditable substitution for hardware timing (see
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+# Per-event prices in nanoseconds.  Events carrying an "amount" (entry
+# counts) are priced per unit.
+DEFAULT_COSTS_NS: Dict[str, float] = {
+    # --- B+-tree traversal -------------------------------------------------
+    "inner_visit": 8.0,
+    "leaf_visit:gapped": 40.0,
+    "leaf_visit:packed": 41.0,
+    "leaf_visit:succinct": 109.0,
+    # --- B+-tree mutations -------------------------------------------------
+    "leaf_write:gapped": 24.0,
+    "leaf_write:packed": 60.0,
+    "leaf_write:succinct": 300.0,       # triggers a re-encode ...
+    "leaf_rebuild_entry": 6.0,          # ... priced per entry moved
+    "leaf_split": 400.0,
+    # --- B+-tree encoding migrations (Figure 9) ----------------------------
+    "migration:gapped->packed": 100.0,
+    "migration:packed->gapped": 100.0,
+    "migration:gapped->succinct": 300.0,
+    "migration:succinct->gapped": 300.0,
+    "migration:packed->succinct": 300.0,
+    "migration:succinct->packed": 300.0,
+    "migration_entry:cheap": 1.0,       # per entry, memcpy-style pairs
+    "migration_entry:recode": 6.0,      # per entry, (de)bit-packing pairs
+    # --- Tries --------------------------------------------------------------
+    "art_visit": 18.0,
+    "fst_dense_visit": 34.0,
+    "fst_sparse_visit": 62.0,
+    "trie_value_fetch": 10.0,
+    "migration:fst->art": 2500.0,       # + per-label cost below
+    "migration:art->fst": 100.0,
+    "migration_label:fst->art": 40.0,
+    # --- Sampling framework (Figure 5, Section 3.1.4) ----------------------
+    "sample_check": 1.0,
+    "sample_track": 60.0,
+    "bloom_check": 15.0,
+    "classify_item": 30.0,
+    "heap_op": 30.0,
+    # --- Concurrency (Figure 18) -------------------------------------------
+    "lock_acquire": 20.0,
+    "lock_blocked": 600.0,
+    # Expected stall per (acquisition x other-contender) pair: the GIL
+    # serializes Python threads, hiding the cache-line bouncing and CAS
+    # retries a real shared map suffers, so contention is charged
+    # explicitly per contender (see DESIGN.md section 2).
+    "lock_contention_pair": 30.0,
+    "map_merge_entry": 40.0,
+    # --- Dual-stage baseline ------------------------------------------------
+    "dynamic_stage_probe": 45.0,
+    "static_stage_probe": 110.0,
+    "bloom_probe": 18.0,
+    "merge_entry": 25.0,
+    "static_scan_item": 3.0,
+}
+
+
+@dataclass
+class CostModel:
+    """Prices counter events in nanoseconds.
+
+    ``costs_ns`` can be overridden per experiment (ablations recalibrate
+    individual events without touching the defaults).
+    """
+
+    costs_ns: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_COSTS_NS))
+
+    def price(self, events: Mapping[str, int]) -> float:
+        """Total modeled nanoseconds for a batch of counted events."""
+        total = 0.0
+        for event, count in events.items():
+            total += self.costs_ns.get(event, 0.0) * count
+        return total
+
+    def price_per_op(self, events: Mapping[str, int], operations: int) -> float:
+        """Average modeled nanoseconds per operation."""
+        if operations <= 0:
+            return 0.0
+        return self.price(events) / operations
+
+    def with_overrides(self, **overrides: float) -> "CostModel":
+        """A copy with some event prices replaced (keyword = event name,
+        with ``__`` standing in for ``:`` and ``->``-free names)."""
+        merged = dict(self.costs_ns)
+        for name, value in overrides.items():
+            merged[name.replace("__", ":")] = value
+        return CostModel(costs_ns=merged)
+
+
+class StorageDevice(enum.Enum):
+    """The storage tiers of Figure 3."""
+
+    SATA_SSD = "samsung-870-ssd"
+    NVME_SSD = "samsung-970-nvme"
+    PMEM = "optane-pmem"
+    DRAM = "dram"
+
+
+# Random-access base latencies for one 4 KiB page, in microseconds,
+# calibrated to Figure 3 (cold caches).
+_DEVICE_READ_US = {
+    StorageDevice.SATA_SSD: 70.0,
+    StorageDevice.NVME_SSD: 12.0,
+    StorageDevice.PMEM: 2.0,
+    StorageDevice.DRAM: 0.056,
+}
+_DEVICE_WRITE_US = {
+    StorageDevice.SATA_SSD: 75.0,
+    StorageDevice.NVME_SSD: 20.0,
+    StorageDevice.PMEM: 4.0,
+    StorageDevice.DRAM: 0.060,
+}
+
+# LZ throughput model calibrated to LZ4 (the paper's codec):
+# decompression ~4 GB/s, compression ~1.25 GB/s.
+_DECOMPRESS_NS_PER_BYTE = 0.25
+_COMPRESS_NS_PER_BYTE = 0.8
+
+
+def storage_access_latency_us(
+    device: StorageDevice,
+    write: bool,
+    compressed: bool,
+    uncompressed_bytes: int,
+    compressed_bytes: int | None = None,
+) -> float:
+    """Modeled latency of one leaf-page access on ``device`` (Figure 3).
+
+    A read of a compressed page pays the device read plus decompression;
+    a write pays compression plus the device write.  ``compressed_bytes``
+    (from the real LZ compressor) scales the device transfer for
+    compressed pages; it defaults to half the uncompressed size.
+    """
+    if compressed and compressed_bytes is None:
+        compressed_bytes = uncompressed_bytes // 2
+    payload = compressed_bytes if compressed else uncompressed_bytes
+    base = _DEVICE_WRITE_US[device] if write else _DEVICE_READ_US[device]
+    # Transfer scales with the payload relative to a 4 KiB page.
+    latency_us = base * max(0.25, payload / 4096)
+    if compressed:
+        codec_ns = (
+            _COMPRESS_NS_PER_BYTE if write else _DECOMPRESS_NS_PER_BYTE
+        ) * uncompressed_bytes
+        latency_us += codec_ns / 1000.0
+    return latency_us

@@ -1,0 +1,76 @@
+"""Structural operation counters.
+
+Every index in this reproduction increments named counters for the
+structural work it performs; the cost model prices them.  Counter names
+are plain strings so substrates can introduce their own events without
+touching this module.  The conventional names are:
+
+===========================  ==================================================
+``inner_visit``              one B+-tree inner-node traversal step
+``leaf_visit:gapped``        one access to a Gapped leaf
+``leaf_visit:packed``        one access to a Packed leaf
+``leaf_visit:succinct``      one access to a Succinct leaf
+``leaf_write:<enc>``         one in-leaf mutation (insert/update/delete)
+``art_visit``                one ART node traversal step
+``fst_dense_visit``          one LOUDS-dense node step
+``fst_sparse_visit``         one LOUDS-sparse node step
+``migration:<src>-><dst>``   one encoding migration (priced per entry too)
+``migration_entries:...``    entries moved by those migrations
+``sample_check``             one is-sample gate evaluation
+``sample_track``             one tracked sample (hash-map update)
+``bloom_check``              one Bloom-filter membership test
+``classify_item``            one item pass during classification
+``heap_op``                  one heap push/replace during classification
+===========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Tuple
+
+
+class OpCounters:
+    """A named-event counter with merge and snapshot support."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def add(self, event: str, amount: int = 1) -> None:
+        """Add one item/event."""
+        self._counts[event] += amount
+
+    def get(self, event: str) -> int:
+        """Return the value for ``key``, or ``default`` when absent."""
+        return self._counts.get(event, 0)
+
+    def merge(self, other: "OpCounters") -> None:
+        """Merge another instance's contents into this one."""
+        self._counts.update(other._counts)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the current counts."""
+        return dict(self._counts)
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Events since ``earlier`` (a previous :meth:`snapshot`)."""
+        result = {}
+        for event, count in self._counts.items():
+            delta = count - earlier.get(event, 0)
+            if delta:
+                result[event] = delta
+        return result
+
+    def reset(self) -> None:
+        """Clear all state."""
+        self._counts.clear()
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        top = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items())[:6])
+        return f"OpCounters({top}{'...' if len(self._counts) > 6 else ''})"

@@ -1,0 +1,31 @@
+"""Compact-encoding primitives shared by the succinct index substrates.
+
+This package provides the low-level building blocks the paper's compact
+encodings rest on:
+
+* :class:`~repro.succinct.bitvector.BitVector` — an appendable bitvector
+  with constant-time ``rank``/``select`` support (block-structured
+  directories, as used by LOUDS tries).
+* :class:`~repro.succinct.bitpack.PackedIntArray` — fixed-width bit-packed
+  integer arrays (the storage layer of frame-of-reference encoded leaves).
+* :mod:`~repro.succinct.for_codec` — frame-of-reference (FOR) encoding of
+  sorted or unsorted integer sequences.
+* :mod:`~repro.succinct.lz` — a from-scratch LZ77-style byte compressor
+  standing in for LZ4 in the Figure 3 storage experiment.
+"""
+
+from repro.succinct.bitpack import PackedIntArray, bits_required
+from repro.succinct.bitvector import BitVector
+from repro.succinct.for_codec import ForBlock, for_decode, for_encode
+from repro.succinct.lz import lz_compress, lz_decompress
+
+__all__ = [
+    "BitVector",
+    "PackedIntArray",
+    "bits_required",
+    "ForBlock",
+    "for_encode",
+    "for_decode",
+    "lz_compress",
+    "lz_decompress",
+]

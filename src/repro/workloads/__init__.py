@@ -1,0 +1,70 @@
+"""Datasets and query workloads of the paper's evaluation (Section 5.1).
+
+:mod:`~repro.workloads.distributions` implements the four key-selection
+distributions (Zipf, Normal, Lognormal, Uniform) over key ranks;
+:mod:`~repro.workloads.datasets` generates synthetic stand-ins for the
+paper's datasets (OSM S2 cells, dbbench user ids, YCSB, e-mail
+addresses); :mod:`~repro.workloads.spec` declares the workload mixes
+W1.1-W6.2 of Table 3; and :mod:`~repro.workloads.stream` turns a spec
+plus a dataset into a concrete operation stream.
+"""
+
+from repro.workloads.datasets import (
+    consecutive_keys,
+    email_keys,
+    osm_like_keys,
+    prefix_random_keys,
+    ycsb_keys,
+)
+from repro.workloads.distributions import (
+    hotspot_indices,
+    lognormal_indices,
+    normal_indices,
+    uniform_indices,
+    zipf_indices,
+)
+from repro.workloads.spec import (
+    OpKind,
+    PhaseSpec,
+    WorkloadSpec,
+    w11,
+    w12,
+    w13,
+    w2,
+    w3,
+    w4,
+    w51,
+    w52,
+    w61,
+    w62,
+)
+from repro.workloads.stream import Operation, generate_operations, generate_phase
+
+__all__ = [
+    "consecutive_keys",
+    "email_keys",
+    "osm_like_keys",
+    "prefix_random_keys",
+    "ycsb_keys",
+    "hotspot_indices",
+    "lognormal_indices",
+    "normal_indices",
+    "uniform_indices",
+    "zipf_indices",
+    "OpKind",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "w11",
+    "w12",
+    "w13",
+    "w2",
+    "w3",
+    "w4",
+    "w51",
+    "w52",
+    "w61",
+    "w62",
+    "Operation",
+    "generate_operations",
+    "generate_phase",
+]

@@ -1,0 +1,151 @@
+"""Synthetic stand-ins for the paper's datasets (Section 5.1).
+
+The paper's data is not shipped here, so each generator reproduces the
+*statistical structure* that matters for the adaptation behaviour:
+
+* :func:`osm_like_keys` — spatially clustered 64-bit integers mimicking
+  S2 cell ids of uniformly sampled OpenStreetMap locations (clusters of
+  near-consecutive ids separated by wide gaps).
+* :func:`prefix_random_keys` — dbbench-style 64-bit user ids whose top
+  44 bits come from a limited set of prefixes (Cao et al. 2020 found
+  lookup frequency correlates with key prefix).
+* :func:`ycsb_keys` — uniformly random 64-bit keys.
+* :func:`consecutive_keys` — dense integer keys (Figures 15 and 17).
+* :func:`email_keys` — host-reversed e-mail addresses (``com.foo@user``
+  style), Zipf-weighted domains, as byte strings.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List
+
+import numpy as np
+
+_KEY_SPACE_BITS = 62  # keep keys comfortably inside signed 64-bit
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _dedupe_sorted(keys: np.ndarray, n: int) -> np.ndarray:
+    unique = np.unique(keys)
+    if len(unique) < n:
+        raise ValueError(f"generator produced only {len(unique)} unique keys, need {n}")
+    return unique[:n]
+
+
+def osm_like_keys(n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Clustered 64-bit keys mimicking S2 cell ids.
+
+    Roughly ``n / 64`` cluster centers are drawn uniformly; each cluster
+    contributes a burst of nearby ids (geographic locality), yielding the
+    dense-runs-with-gaps structure of real S2 data.
+    """
+    rng = _as_rng(rng)
+    num_clusters = max(1, n // 64)
+    centers = rng.integers(0, 1 << _KEY_SPACE_BITS, num_clusters, dtype=np.int64)
+    per_cluster = (2 * n) // num_clusters + 1
+    offsets = rng.integers(0, 1 << 20, (num_clusters, per_cluster), dtype=np.int64)
+    keys = (centers[:, None] + offsets).ravel()
+    return _dedupe_sorted(keys, n)
+
+
+def consecutive_keys(n: int, start: int = 0) -> np.ndarray:
+    """Dense integer keys ``start .. start + n - 1``."""
+    return np.arange(start, start + n, dtype=np.int64)
+
+
+def ycsb_keys(n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Uniformly random 64-bit keys (YCSB-style)."""
+    rng = _as_rng(rng)
+    keys = rng.integers(0, 1 << _KEY_SPACE_BITS, int(n * 1.1) + 16, dtype=np.int64)
+    return _dedupe_sorted(keys, n)
+
+
+def prefix_suffix_bits(n: int, num_prefixes: int = 64, density: float = 0.25) -> int:
+    """Suffix width so each prefix range is ~``density``-saturated.
+
+    The paper's dataset (172M user ids over 44-bit prefixes) has densely
+    populated suffix spaces; at reduced scale the suffix width must shrink
+    with it or the trie degenerates into single-child chains.
+    """
+    per_prefix = max(1, n // num_prefixes)
+    bits = max(8, int(np.ceil(np.log2(per_prefix / density))))
+    return min(bits, 40)
+
+
+def prefix_random_keys(
+    n: int,
+    num_prefixes: int = 64,
+    suffix_bits: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """dbbench-style user ids: a limited set of prefixes, random suffixes.
+
+    The prefix ranges (the key bits above ``suffix_bits``) are what
+    workload W3 assigns hot/cold phases to; the paper uses the 44 most
+    significant bits of 64-bit ids, which :func:`prefix_suffix_bits`
+    rescales to the generated key count.
+    """
+    rng = _as_rng(rng)
+    if suffix_bits is None:
+        suffix_bits = prefix_suffix_bits(n, num_prefixes)
+    prefix_space_bits = _KEY_SPACE_BITS - suffix_bits
+    prefixes = rng.integers(0, 1 << prefix_space_bits, num_prefixes, dtype=np.int64)
+    per_prefix = (2 * n) // num_prefixes + 1
+    suffixes = rng.integers(0, 1 << suffix_bits, (num_prefixes, per_prefix), dtype=np.int64)
+    keys = ((prefixes[:, None] << suffix_bits) | suffixes).ravel()
+    return _dedupe_sorted(keys, n)
+
+
+def key_prefix(key: int, suffix_bits: int) -> int:
+    """The prefix-range id of a :func:`prefix_random_keys` key."""
+    return int(key) >> suffix_bits
+
+
+_DOMAIN_WORDS = [
+    "mail", "web", "net", "data", "cloud", "shop", "blue", "fast", "home",
+    "tech", "info", "green", "alpha", "nova", "prime", "core", "link", "east",
+    "west", "north", "south", "star", "open", "soft", "meta", "apex", "zen",
+]
+_TLDS = ["com", "org", "net", "de", "io", "edu"]
+
+
+def email_keys(
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    max_local_length: int = 12,
+) -> List[bytes]:
+    """Host-reversed e-mail addresses as sorted unique byte strings.
+
+    Mirrors the paper's real dataset shape: host-reversed form
+    (``com.bluemail@alice``), Zipf-weighted domain popularity, average
+    length around 22 bytes.  Callers append a terminator before handing
+    these to the tries (:func:`repro.art.tree.terminated`).
+    """
+    rng = _as_rng(rng)
+    # Build a domain pool with Zipf-ish popularity.
+    domains = []
+    for word_a in _DOMAIN_WORDS:
+        for word_b in _DOMAIN_WORDS:
+            for tld in _TLDS:
+                domains.append(f"{tld}.{word_a}{word_b}")
+    rng.shuffle(domains)
+    domain_weights = np.arange(1, len(domains) + 1, dtype=np.float64) ** -1.0
+    domain_cdf = np.cumsum(domain_weights)
+    domain_cdf /= domain_cdf[-1]
+    letters = np.array(list(string.ascii_lowercase + string.digits))
+
+    emails = set()
+    while len(emails) < n:
+        batch = n - len(emails)
+        domain_choices = np.searchsorted(domain_cdf, rng.random(batch))
+        lengths = rng.integers(4, max_local_length + 1, batch)
+        for domain_index, length in zip(domain_choices, lengths):
+            local = "".join(rng.choice(letters, int(length)))
+            emails.add(f"{domains[domain_index]}@{local}".encode("ascii"))
+    return sorted(emails)

@@ -1,0 +1,153 @@
+"""Key-rank selection distributions (Table 3 / Figure 11).
+
+Every function returns an array of integer indices into a sorted key
+array of size ``n``.  The parameters default to the paper's: Zipf with
+``alpha`` in (0, 1.6], Normal with relative mu = 0.5 and sigma = 0.03,
+Lognormal with mu = 0 and sigma = 0.1, and Uniform.
+
+Zipf indices are rank-contiguous by default (rank r -> index r), as in
+YCSB and the paper's Figure 11 CDFs: the hot keys form contiguous key
+ranges, which is precisely the locality hybrid indexes exploit at node
+granularity.  Pass ``permute=True`` to scatter the hot ranks across the
+key space instead (an adversarial setting for per-node adaptation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_ZIPF_ALPHA = 1.0
+DEFAULT_NORMAL_MU = 0.5
+DEFAULT_NORMAL_SIGMA = 0.03
+DEFAULT_LOGNORMAL_MU = 0.0
+DEFAULT_LOGNORMAL_SIGMA = 0.1
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def zipf_cdf(n: int, alpha: float) -> np.ndarray:
+    """Cumulative Zipf(alpha) probabilities over ranks 1..n."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -alpha
+    cumulative = np.cumsum(weights)
+    return cumulative / cumulative[-1]
+
+
+def zipf_indices(
+    n: int,
+    size: int,
+    alpha: float = DEFAULT_ZIPF_ALPHA,
+    rng: np.random.Generator | int | None = None,
+    permute: bool = False,
+) -> np.ndarray:
+    """Zipf(alpha)-distributed indices into ``n`` keys."""
+    rng = _as_rng(rng)
+    cdf = zipf_cdf(n, alpha)
+    ranks = np.searchsorted(cdf, rng.random(size), side="left")
+    if not permute:
+        return ranks
+    permutation = np.random.default_rng(n * 2654435761 % (2**63)).permutation(n)
+    return permutation[ranks]
+
+
+def normal_indices(
+    n: int,
+    size: int,
+    mu: float = DEFAULT_NORMAL_MU,
+    sigma: float = DEFAULT_NORMAL_SIGMA,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Normally distributed indices (mu, sigma relative to ``n``)."""
+    rng = _as_rng(rng)
+    samples = rng.normal(mu * n, sigma * n, size)
+    return np.clip(np.rint(samples), 0, n - 1).astype(np.int64)
+
+
+def lognormal_indices(
+    n: int,
+    size: int,
+    mu: float = DEFAULT_LOGNORMAL_MU,
+    sigma: float = DEFAULT_LOGNORMAL_SIGMA,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Lognormal(mu, sigma)-distributed indices.
+
+    Samples are mapped onto [0, n) by scaling with the distribution's
+    ~99.9th percentile ``exp(mu + 3.3 sigma)``; with the paper's tight
+    sigma = 0.1 this concentrates the mass on a narrow hot band — the
+    steep-step CDF of Figure 11.
+    """
+    rng = _as_rng(rng)
+    samples = rng.lognormal(mu, sigma, size)
+    scale = np.exp(mu + 3.3 * sigma)
+    indices = np.floor(samples / scale * n)
+    return np.clip(indices, 0, n - 1).astype(np.int64)
+
+
+def hotspot_indices(
+    n: int,
+    size: int,
+    hot_fraction: float = 0.01,
+    hot_probability: float = 0.9,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """YCSB-style hotspot selection (the paper's W4 configuration).
+
+    With probability ``hot_probability`` an access goes uniformly into the
+    hot set — the first ``hot_fraction`` of the key ranks (the paper uses
+    a hot set of 1% of the dataset) — otherwise uniformly into the rest.
+    """
+    rng = _as_rng(rng)
+    if not 0 < hot_fraction < 1:
+        raise ValueError(f"hot_fraction must be in (0, 1), got {hot_fraction}")
+    if not 0 <= hot_probability <= 1:
+        raise ValueError(f"hot_probability must be in [0, 1], got {hot_probability}")
+    hot_count = max(1, int(n * hot_fraction))
+    in_hot = rng.random(size) < hot_probability
+    indices = np.empty(size, dtype=np.int64)
+    hot_draws = int(in_hot.sum())
+    indices[in_hot] = rng.integers(0, hot_count, hot_draws, dtype=np.int64)
+    if size - hot_draws:
+        indices[~in_hot] = rng.integers(
+            hot_count, max(hot_count + 1, n), size - hot_draws, dtype=np.int64
+        )
+    return np.clip(indices, 0, n - 1)
+
+
+def uniform_indices(
+    n: int,
+    size: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Uniformly distributed indices."""
+    rng = _as_rng(rng)
+    return rng.integers(0, n, size, dtype=np.int64)
+
+
+def indices_for(
+    distribution: str,
+    n: int,
+    size: int,
+    rng: np.random.Generator | int | None = None,
+    **params,
+) -> np.ndarray:
+    """Dispatch by distribution name ('zipf'/'normal'/'lognormal'/'uniform')."""
+    dispatch = {
+        "zipf": zipf_indices,
+        "normal": normal_indices,
+        "lognormal": lognormal_indices,
+        "uniform": uniform_indices,
+        "hotspot": hotspot_indices,
+    }
+    if distribution not in dispatch:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; expected one of {sorted(dispatch)}"
+        )
+    return dispatch[distribution](n, size, rng=rng, **params)

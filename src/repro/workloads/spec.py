@@ -1,0 +1,222 @@
+"""Workload specifications W1.1 - W6.2 (Table 3 of the paper).
+
+A :class:`WorkloadSpec` is a named sequence of :class:`PhaseSpec` values;
+each phase declares an operation mix (reads / scans / inserts / updates),
+the key-selection distribution per operation kind, and scan-length
+bounds.  The ``w11()`` .. ``w62()`` factories reproduce Table 3:
+
+=====  =====================  ====================  ==================
+name   reads                  scans                 inserts
+=====  =====================  ====================  ==================
+W1.1   49% Zipfian            49% Zipfian           2% Zipfian
+W1.2   49% Normal             49% Normal            2% Zipfian
+W1.3   49% Lognormal          49% Lognormal         2% Lognormal
+W2     94% Uniform            ---                   (56% Lognormal +
+                                                    20% Lognormal mix)
+W3     100% prefix-random     ---                   ---
+W4     75% Zipfian (YCSB)     25% Zipfian           ---
+W5.1   20% Zipfian            ---                   80% Zipfian
+W5.2   20% Zipfian            80% Zipfian           ---
+W6.1   100% Zipfian           ---                   ---
+W6.2   ---                    100% Zipfian          ---
+=====  =====================  ====================  ==================
+
+Scan lengths are uniform in [10, 50], for W4 in [100, 250].
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class OpKind(enum.Enum):
+    """The operation kinds a workload mix may contain."""
+
+    READ = "read"
+    SCAN = "scan"
+    INSERT = "insert"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """One operation kind's share and key distribution within a phase."""
+
+    kind: OpKind
+    fraction: float
+    distribution: str  # 'zipf' | 'normal' | 'lognormal' | 'uniform' | 'prefix'
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def distribution_params(self) -> Dict[str, float]:
+        """The distribution parameters as a dict."""
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One workload phase: total operations and the operation mix."""
+
+    name: str
+    num_ops: int
+    mix: Tuple[OpMix, ...]
+    scan_length: Tuple[int, int] = (10, 50)
+
+    def __post_init__(self) -> None:
+        total = sum(entry.fraction for entry in self.mix)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"phase {self.name!r} mix sums to {total}, expected 1.0")
+
+    def scaled(self, num_ops: int) -> "PhaseSpec":
+        """A copy with every phase resized to ``num_ops``."""
+        return PhaseSpec(self.name, num_ops, self.mix, self.scan_length)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named sequence of phases."""
+
+    name: str
+    phases: Tuple[PhaseSpec, ...]
+
+    def scaled(self, ops_per_phase: int) -> "WorkloadSpec":
+        """A copy with every phase resized to ``num_ops``."""
+        return WorkloadSpec(
+            self.name, tuple(phase.scaled(ops_per_phase) for phase in self.phases)
+        )
+
+    @property
+    def total_ops(self) -> int:
+        """Total operations across all phases."""
+        return sum(phase.num_ops for phase in self.phases)
+
+
+_DEFAULT_PHASE_OPS = 1_000_000
+
+
+def _phase(name, mix, num_ops=_DEFAULT_PHASE_OPS, scan_length=(10, 50)):
+    return PhaseSpec(name, num_ops, tuple(mix), scan_length)
+
+
+def w11(alpha: float = 1.0, num_ops: int = _DEFAULT_PHASE_OPS) -> WorkloadSpec:
+    """W1.1: 49% Zipf reads, 49% Zipf scans, 2% Zipf inserts."""
+    mix = (
+        OpMix(OpKind.READ, 0.49, "zipf", (("alpha", alpha),)),
+        OpMix(OpKind.SCAN, 0.49, "zipf", (("alpha", alpha),)),
+        OpMix(OpKind.INSERT, 0.02, "zipf", (("alpha", alpha),)),
+    )
+    return WorkloadSpec("W1.1", (_phase("zipfian", mix, num_ops),))
+
+
+def w12(num_ops: int = _DEFAULT_PHASE_OPS) -> WorkloadSpec:
+    """W1.2: 49% Normal reads, 49% Normal scans, 2% Zipf inserts."""
+    mix = (
+        OpMix(OpKind.READ, 0.49, "normal"),
+        OpMix(OpKind.SCAN, 0.49, "normal"),
+        OpMix(OpKind.INSERT, 0.02, "zipf", (("alpha", 1.0),)),
+    )
+    return WorkloadSpec("W1.2", (_phase("normal", mix, num_ops),))
+
+
+def w13(num_ops: int = _DEFAULT_PHASE_OPS) -> WorkloadSpec:
+    """W1.3: 49% Lognormal reads, 49% Lognormal scans, 2% Lognormal inserts."""
+    mix = (
+        OpMix(OpKind.READ, 0.49, "lognormal"),
+        OpMix(OpKind.SCAN, 0.49, "lognormal"),
+        OpMix(OpKind.INSERT, 0.02, "lognormal"),
+    )
+    return WorkloadSpec("W1.3", (_phase("lognormal", mix, num_ops),))
+
+
+def w1_sequence(num_ops: int = _DEFAULT_PHASE_OPS, alpha: float = 1.0) -> WorkloadSpec:
+    """The Figure 12 timeline: W1.1 then W1.2 then W1.3, back to back."""
+    return WorkloadSpec(
+        "W1",
+        (
+            w11(alpha, num_ops).phases[0],
+            w12(num_ops).phases[0],
+            w13(num_ops).phases[0],
+        ),
+    )
+
+
+def w2(num_ops: int = _DEFAULT_PHASE_OPS) -> WorkloadSpec:
+    """W2: 94% Uniform reads, 56%+20% Lognormal write mix scaled into 6%.
+
+    Table 3 lists W2's write side as 56% Lognormal inserts with a 20%
+    Lognormal component; combined with 94% uniform reads the write share
+    is 6%, split 4.5% inserts / 1.5% updates here.
+    """
+    mix = (
+        OpMix(OpKind.READ, 0.94, "uniform"),
+        OpMix(OpKind.INSERT, 0.045, "lognormal"),
+        OpMix(OpKind.UPDATE, 0.015, "lognormal"),
+    )
+    return WorkloadSpec("W2", (_phase("lognorm-uniform", mix, num_ops),))
+
+
+def w3(num_ops: int = _DEFAULT_PHASE_OPS, num_phases: int = 2) -> WorkloadSpec:
+    """W3: 100% prefix-random reads, in hot-range phases (Figure 20)."""
+    phases = tuple(
+        _phase(
+            f"prefix-random-{index}",
+            (OpMix(OpKind.READ, 1.0, "prefix", (("phase", float(index)),)),),
+            num_ops,
+        )
+        for index in range(num_phases)
+    )
+    return WorkloadSpec("W3", phases)
+
+
+def w4(
+    num_ops: int = _DEFAULT_PHASE_OPS,
+    hot_fraction: float = 0.01,
+    hot_probability: float = 0.9,
+) -> WorkloadSpec:
+    """W4 (YCSB): 75% reads, 25% long scans over a 1% hot set.
+
+    The paper uses "a custom read-only YCSB configuration with a hot set
+    size of 1% of the dataset"; keys are drawn hotspot-style.
+    """
+    params = (("hot_fraction", hot_fraction), ("hot_probability", hot_probability))
+    mix = (
+        OpMix(OpKind.READ, 0.75, "hotspot", params),
+        OpMix(OpKind.SCAN, 0.25, "hotspot", params),
+    )
+    return WorkloadSpec("W4", (_phase("ycsb", mix, num_ops, scan_length=(100, 250)),))
+
+
+def w51(num_ops: int = _DEFAULT_PHASE_OPS, alpha: float = 1.0) -> WorkloadSpec:
+    """W5.1: write-dominated — 20% Zipf reads, 80% Zipf inserts."""
+    mix = (
+        OpMix(OpKind.READ, 0.20, "zipf", (("alpha", alpha),)),
+        OpMix(OpKind.INSERT, 0.80, "zipf", (("alpha", alpha),)),
+    )
+    return WorkloadSpec("W5.1", (_phase("writes", mix, num_ops),))
+
+
+def w52(num_ops: int = _DEFAULT_PHASE_OPS, alpha: float = 1.0) -> WorkloadSpec:
+    """W5.2: scan-dominated — 20% Zipf reads, 80% Zipf scans."""
+    mix = (
+        OpMix(OpKind.READ, 0.20, "zipf", (("alpha", alpha),)),
+        OpMix(OpKind.SCAN, 0.80, "zipf", (("alpha", alpha),)),
+    )
+    return WorkloadSpec("W5.2", (_phase("scans", mix, num_ops),))
+
+
+def w5_sequence(num_ops: int = _DEFAULT_PHASE_OPS, alpha: float = 1.0) -> WorkloadSpec:
+    """The Figure 16 timeline: W5.1 then W5.2, back to back."""
+    return WorkloadSpec("W5", (w51(num_ops, alpha).phases[0], w52(num_ops, alpha).phases[0]))
+
+
+def w61(num_ops: int = _DEFAULT_PHASE_OPS, alpha: float = 1.0) -> WorkloadSpec:
+    """W6.1: 100% Zipf point lookups (e-mail dataset)."""
+    mix = (OpMix(OpKind.READ, 1.0, "zipf", (("alpha", alpha),)),)
+    return WorkloadSpec("W6.1", (_phase("points", mix, num_ops),))
+
+
+def w62(num_ops: int = _DEFAULT_PHASE_OPS, alpha: float = 1.0) -> WorkloadSpec:
+    """W6.2: 100% Zipf range scans (e-mail dataset)."""
+    mix = (OpMix(OpKind.SCAN, 1.0, "zipf", (("alpha", alpha),)),)
+    return WorkloadSpec("W6.2", (_phase("scans", mix, num_ops),))

@@ -1,0 +1,151 @@
+"""Operation stream generation: spec + dataset -> concrete operations.
+
+:func:`generate_phase` materializes one phase of a workload spec against
+a sorted key array: every operation picks its key through the phase's
+distribution; inserts derive *new* keys near a distribution-selected
+existing key (so insert skew matches the paper's "2% Zipfian inserts");
+scans carry a uniform length from the phase's range.
+
+The 'prefix' distribution implements W3: keys are grouped into prefix
+ranges (the 44 most significant bits), a subset of ranges is hot per
+phase, and lookups draw ranges Zipf-weighted from that phase's hot set —
+the structure Cao et al. extracted from Facebook's RocksDB workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.workloads.distributions import indices_for, zipf_indices
+from repro.workloads.spec import OpKind, PhaseSpec, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One index operation."""
+
+    kind: OpKind
+    key: int
+    value: int = 0
+    scan_length: int = 0
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _detect_suffix_bits(keys: np.ndarray, max_ranges: int = 256) -> int:
+    """Smallest shift that groups ``keys`` into at most ``max_ranges``
+    prefix ranges — recovers the generator's prefix structure."""
+    for shift in range(8, 56):
+        if len(np.unique(keys >> shift)) <= max_ranges:
+            return shift
+    return 56
+
+
+def _prefix_phase_indices(
+    keys: np.ndarray,
+    size: int,
+    phase: int,
+    rng: np.random.Generator,
+    hot_fraction: float = 0.1,
+    suffix_bits: int | None = None,
+) -> np.ndarray:
+    """W3 key selection: Zipf over the phase's hot prefix ranges."""
+    if suffix_bits is None:
+        suffix_bits = _detect_suffix_bits(np.asarray(keys))
+    prefixes = np.asarray(keys) >> suffix_bits
+    boundaries = np.flatnonzero(np.diff(prefixes)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(keys)]))
+    num_ranges = len(starts)
+    hot_count = max(1, int(num_ranges * hot_fraction))
+    # Deterministic per-phase hot assignment: shuffle ranges once, then
+    # slice a disjoint window per phase so phases have different hot sets.
+    order = np.random.default_rng(num_ranges).permutation(num_ranges)
+    offset = (phase * hot_count) % num_ranges
+    hot_ranges = order[offset : offset + hot_count]
+    if len(hot_ranges) < hot_count:  # wrap around
+        hot_ranges = np.concatenate((hot_ranges, order[: hot_count - len(hot_ranges)]))
+    range_choice = hot_ranges[zipf_indices(len(hot_ranges), size, alpha=1.0, rng=rng)]
+    lo = starts[range_choice]
+    hi = ends[range_choice]
+    return (lo + (rng.random(size) * (hi - lo)).astype(np.int64)).clip(0, len(keys) - 1)
+
+
+def generate_phase(
+    keys: Sequence[int] | np.ndarray,
+    phase: PhaseSpec,
+    rng: np.random.Generator | int | None = None,
+    phase_index: int = 0,
+) -> List[Operation]:
+    """Materialize one phase against a sorted key array."""
+    rng = _as_rng(rng)
+    keys = np.asarray(keys, dtype=np.int64)
+    n = len(keys)
+    if n == 0:
+        raise ValueError("cannot generate a workload over an empty key set")
+
+    # Assign each operation slot a kind according to the mix fractions.
+    fractions = np.array([entry.fraction for entry in phase.mix])
+    kinds = rng.choice(len(phase.mix), size=phase.num_ops, p=fractions / fractions.sum())
+
+    # Draw the key indices for each mix entry in one vectorized batch.
+    indices = np.empty(phase.num_ops, dtype=np.int64)
+    for mix_position, entry in enumerate(phase.mix):
+        mask = kinds == mix_position
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        params = entry.distribution_params()
+        if entry.distribution == "prefix":
+            selected_phase = int(params.get("phase", phase_index))
+            suffix_bits = params.get("suffix_bits")
+            indices[mask] = _prefix_phase_indices(
+                keys,
+                count,
+                selected_phase,
+                rng,
+                suffix_bits=int(suffix_bits) if suffix_bits is not None else None,
+            )
+        else:
+            indices[mask] = indices_for(entry.distribution, n, count, rng=rng, **params)
+
+    scan_lo, scan_hi = phase.scan_length
+    scan_lengths = rng.integers(scan_lo, scan_hi + 1, phase.num_ops)
+    insert_offsets = rng.integers(1, 1 << 12, phase.num_ops)
+
+    operations: List[Operation] = []
+    for position in range(phase.num_ops):
+        entry = phase.mix[kinds[position]]
+        base_key = int(keys[indices[position]])
+        if entry.kind is OpKind.INSERT:
+            # New key adjacent to a distribution-chosen existing key, so
+            # insert skew follows the same hot regions as the reads.
+            key = base_key + int(insert_offsets[position])
+            operations.append(Operation(OpKind.INSERT, key, value=key ^ 0x5BD1E995))
+        elif entry.kind is OpKind.UPDATE:
+            operations.append(Operation(OpKind.UPDATE, base_key, value=position))
+        elif entry.kind is OpKind.SCAN:
+            operations.append(
+                Operation(OpKind.SCAN, base_key, scan_length=int(scan_lengths[position]))
+            )
+        else:
+            operations.append(Operation(OpKind.READ, base_key))
+    return operations
+
+
+def generate_operations(
+    keys: Sequence[int] | np.ndarray,
+    workload: WorkloadSpec,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[List[Operation]]:
+    """Yield one operation list per phase of ``workload``."""
+    rng = _as_rng(rng)
+    for phase_index, phase in enumerate(workload.phases):
+        yield generate_phase(keys, phase, rng=rng, phase_index=phase_index)

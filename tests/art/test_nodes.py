@@ -1,0 +1,122 @@
+"""Tests for the four ART node types."""
+
+import pytest
+
+from repro.art.nodes import Node4, Node16, Node48, Node256, art_node_for_fanout
+
+ALL_NODE_TYPES = [Node4, Node16, Node48, Node256]
+
+
+@pytest.fixture(params=ALL_NODE_TYPES, ids=lambda cls: cls.__name__)
+def node_class(request):
+    return request.param
+
+
+class TestCommonBehaviour:
+    def test_set_and_find(self, node_class):
+        node = node_class()
+        assert node.set_child(65, "child-a")
+        assert node.find_child(65) == "child-a"
+        assert node.find_child(66) is None
+
+    def test_overwrite(self, node_class):
+        node = node_class()
+        node.set_child(1, "old")
+        node.set_child(1, "new")
+        assert node.find_child(1) == "new"
+        assert node.num_children() == 1
+
+    def test_capacity_enforced(self, node_class):
+        node = node_class()
+        for label in range(node_class.capacity):
+            assert node.set_child(label, label)
+        if node_class.capacity < 256:
+            assert not node.set_child(255, "overflow")
+
+    def test_delete(self, node_class):
+        node = node_class()
+        node.set_child(10, "x")
+        node.set_child(20, "y")
+        assert node.delete_child(10)
+        assert node.find_child(10) is None
+        assert node.find_child(20) == "y"
+        assert not node.delete_child(10)
+
+    def test_children_items_sorted(self, node_class):
+        node = node_class()
+        for label in (9, 3, 200, 77):
+            node.set_child(label, label)
+        labels = [label for label, _ in node.children_items()]
+        assert labels == sorted(labels)
+
+    def test_prefix_stored(self, node_class):
+        node = node_class(prefix=b"abc")
+        assert node.prefix == b"abc"
+
+
+class TestGrow:
+    def test_grow_chain(self):
+        node = Node4()
+        for label in range(4):
+            node.set_child(label, label)
+        for expected in (Node16, Node48, Node256):
+            node = node.grow()
+            assert isinstance(node, expected)
+            assert node.num_children() >= 4
+            assert node.find_child(2) == 2
+
+    def test_node256_cannot_grow(self):
+        with pytest.raises(ValueError):
+            Node256().grow()
+
+    def test_grow_preserves_prefix(self):
+        node = Node4(prefix=b"xy")
+        assert node.grow().prefix == b"xy"
+
+
+class TestShrink:
+    def test_shrink_to_smallest_fit(self):
+        node = Node48()
+        for label in range(3):
+            node.set_child(label, label)
+        shrunk = node.shrink_if_sparse()
+        assert isinstance(shrunk, Node4)
+        assert shrunk.find_child(2) == 2
+
+    def test_no_shrink_when_full_enough(self):
+        node = Node16()
+        for label in range(10):
+            node.set_child(label, label)
+        assert node.shrink_if_sparse() is node
+
+
+class TestNode48Internals:
+    def test_delete_keeps_dense_child_array(self):
+        node = Node48()
+        for label in range(10):
+            node.set_child(label, f"child-{label}")
+        node.delete_child(0)
+        # All remaining children still reachable.
+        for label in range(1, 10):
+            assert node.find_child(label) == f"child-{label}"
+        assert node.num_children() == 9
+
+
+class TestFanoutFactory:
+    def test_picks_smallest_type(self):
+        assert isinstance(art_node_for_fanout(3), Node4)
+        assert isinstance(art_node_for_fanout(5), Node16)
+        assert isinstance(art_node_for_fanout(17), Node48)
+        assert isinstance(art_node_for_fanout(49), Node256)
+        assert isinstance(art_node_for_fanout(256), Node256)
+
+    def test_rejects_over_256(self):
+        with pytest.raises(ValueError):
+            art_node_for_fanout(257)
+
+
+class TestSizeModel:
+    def test_sizes_strictly_increase(self):
+        sizes = [cls().size_bytes() for cls in ALL_NODE_TYPES]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]

@@ -1,0 +1,68 @@
+"""Tests for B+-tree inner nodes."""
+
+import pytest
+
+from repro.bptree.inner import InnerNode
+from repro.bptree.leaves import LeafEncoding, LeafNode
+
+
+def leaf(*keys):
+    return LeafNode([(key, key) for key in keys], LeafEncoding.GAPPED, capacity=16)
+
+
+class TestRouting:
+    def test_child_index_boundaries(self):
+        node = InnerNode([10, 20], [leaf(1), leaf(10), leaf(20)])
+        assert node.child_index(5) == 0
+        assert node.child_index(10) == 1   # separator belongs to the right
+        assert node.child_index(15) == 1
+        assert node.child_index(20) == 2
+        assert node.child_index(99) == 2
+
+    def test_route_returns_child(self):
+        children = [leaf(1), leaf(10)]
+        node = InnerNode([10], children)
+        assert node.route(3) is children[0]
+        assert node.route(11) is children[1]
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            InnerNode([10], [leaf(1)])
+
+
+class TestMutation:
+    def test_insert_child(self):
+        node = InnerNode([10], [leaf(1), leaf(10)])
+        new_right = leaf(5)
+        node.insert_child(0, 5, new_right)
+        assert node.keys == [5, 10]
+        assert node.children[1] is new_right
+
+    def test_overfull(self):
+        node = InnerNode([10], [leaf(1), leaf(10)])
+        assert not node.is_overfull(4)
+        node.insert_child(1, 20, leaf(20))
+        node.insert_child(2, 30, leaf(30))
+        assert node.is_overfull(3)
+
+    def test_split(self):
+        children = [leaf(i * 10) for i in range(5)]
+        node = InnerNode([10, 20, 30, 40], children)
+        left, separator, right = node.split()
+        assert left is node
+        assert separator == 30
+        assert left.keys == [10, 20]
+        assert right.keys == [40]
+        assert len(left.children) + len(right.children) == 5
+
+    def test_find_child_position(self):
+        children = [leaf(1), leaf(10)]
+        node = InnerNode([10], children)
+        assert node.find_child_position(children[1]) == 1
+        assert node.find_child_position(leaf(99)) is None
+
+
+class TestSize:
+    def test_size_model(self):
+        node = InnerNode([10, 20], [leaf(1), leaf(10), leaf(20)])
+        assert node.size_bytes() == 16 + 2 * 8 + 3 * 8

@@ -1,0 +1,107 @@
+"""Tests for the stateful tree iterator."""
+
+import pytest
+
+from repro.bptree.hybrid import BTREE_ENCODING_ORDER, AdaptiveBPlusTree
+from repro.bptree.leaves import LeafEncoding
+from repro.bptree.tree import BPlusTree
+from repro.core.manager import ManagerConfig
+
+
+def make_tree(n=200, encoding=LeafEncoding.GAPPED):
+    return BPlusTree.bulk_load(
+        [(key * 2, key) for key in range(n)], encoding, leaf_capacity=8
+    )
+
+
+class TestPositioning:
+    def test_seek_first(self):
+        tree = make_tree()
+        iterator = tree.iterator()
+        assert iterator.valid
+        assert iterator.entry() == (0, 0)
+
+    def test_seek_existing(self):
+        tree = make_tree()
+        iterator = tree.iterator(100)
+        assert iterator.key == 100
+
+    def test_seek_missing_lands_on_successor(self):
+        tree = make_tree()
+        iterator = tree.iterator(101)
+        assert iterator.key == 102
+
+    def test_seek_past_end(self):
+        tree = make_tree()
+        iterator = tree.iterator(10**9)
+        assert not iterator.valid
+        with pytest.raises(StopIteration):
+            iterator.entry()
+
+    def test_empty_tree(self):
+        tree = BPlusTree(LeafEncoding.GAPPED, leaf_capacity=8)
+        iterator = tree.iterator()
+        assert not iterator.valid
+
+
+class TestAdvancing:
+    def test_full_traversal_matches_items(self):
+        tree = make_tree(300)
+        assert list(tree.iterator()) == list(tree.items())
+
+    def test_advance_across_leaf_boundaries(self):
+        tree = make_tree(100)
+        iterator = tree.iterator()
+        count = 1
+        while iterator.advance():
+            count += 1
+        assert count == 100
+        assert not iterator.valid
+        assert not iterator.advance()
+
+    def test_partial_then_python_iteration(self):
+        tree = make_tree(50)
+        iterator = tree.iterator(40)
+        first = next(iterator)
+        assert first == (40, 20)
+        rest = list(iterator)
+        assert rest[0] == (42, 21)
+
+    def test_key_value_accessors(self):
+        tree = make_tree(10)
+        iterator = tree.iterator(4)
+        assert iterator.key == 4
+        assert iterator.value == 2
+
+
+class TestAllEncodings:
+    @pytest.mark.parametrize("encoding", list(LeafEncoding), ids=lambda e: e.value)
+    def test_traversal_per_encoding(self, encoding):
+        tree = make_tree(150, encoding)
+        assert list(tree.iterator(100)) == [(key, key // 2) for key in range(100, 300, 2)]
+
+
+class TestAdaptiveTracking:
+    def test_iterator_samples_leaf_transitions(self):
+        config = ManagerConfig(
+            encoding_order=BTREE_ENCODING_ORDER,
+            initial_skip_length=0,
+            skip_min=0,
+            skip_max=5,
+            initial_sample_size=10_000,
+            use_bloom_filter=False,
+        )
+        tree = AdaptiveBPlusTree.bulk_load_adaptive(
+            [(key, key) for key in range(200)],
+            leaf_capacity=8,
+            manager_config=config,
+        )
+        before = tree.manager.counters.sampled
+        list(tree.iterator())
+        # Skip 0 -> every leaf transition was sampled and tracked.
+        sampled = tree.manager.counters.sampled - before
+        assert sampled >= tree.num_leaves
+
+    def test_plain_tree_iterator_does_not_track(self):
+        tree = make_tree(100)
+        list(tree.iterator())  # no manager: must simply not raise

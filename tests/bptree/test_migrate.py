@@ -1,0 +1,55 @@
+"""Tests for leaf encoding migrations and their cost accounting."""
+
+import itertools
+
+from repro.bptree.leaves import LeafEncoding, LeafNode
+from repro.bptree.migrate import migrate_leaf, migration_kind
+from repro.sim.counters import OpCounters
+
+
+def make_leaf(encoding, n=20):
+    return LeafNode([(key, key) for key in range(n)], encoding, capacity=64)
+
+
+class TestMigrationKind:
+    def test_plain_pairs_are_cheap(self):
+        assert migration_kind(LeafEncoding.GAPPED, LeafEncoding.PACKED) == "cheap"
+        assert migration_kind(LeafEncoding.PACKED, LeafEncoding.GAPPED) == "cheap"
+
+    def test_succinct_pairs_recode(self):
+        for other in (LeafEncoding.GAPPED, LeafEncoding.PACKED):
+            assert migration_kind(LeafEncoding.SUCCINCT, other) == "recode"
+            assert migration_kind(other, LeafEncoding.SUCCINCT) == "recode"
+
+
+class TestMigrateLeaf:
+    def test_all_pairs_preserve_contents(self):
+        for source, target in itertools.permutations(LeafEncoding, 2):
+            leaf = make_leaf(source)
+            assert migrate_leaf(leaf, target)
+            assert leaf.encoding is target
+            assert leaf.to_pairs() == [(key, key) for key in range(20)]
+
+    def test_noop_migration(self):
+        leaf = make_leaf(LeafEncoding.PACKED)
+        assert not migrate_leaf(leaf, LeafEncoding.PACKED)
+
+    def test_counters_record_migration_and_entries(self):
+        counters = OpCounters()
+        leaf = make_leaf(LeafEncoding.SUCCINCT, n=30)
+        migrate_leaf(leaf, LeafEncoding.GAPPED, counters)
+        assert counters.get("migration:succinct->gapped") == 1
+        assert counters.get("migration_entry:recode") == 30
+
+    def test_cheap_migration_counted_separately(self):
+        counters = OpCounters()
+        leaf = make_leaf(LeafEncoding.GAPPED, n=10)
+        migrate_leaf(leaf, LeafEncoding.PACKED, counters)
+        assert counters.get("migration_entry:cheap") == 10
+        assert counters.get("migration_entry:recode") == 0
+
+    def test_noop_not_counted(self):
+        counters = OpCounters()
+        leaf = make_leaf(LeafEncoding.GAPPED)
+        migrate_leaf(leaf, LeafEncoding.GAPPED, counters)
+        assert len(counters) == 0

@@ -1,0 +1,211 @@
+"""Tests for Optimistic Lock Coupling (Section 4.1.5)."""
+
+import random
+import threading
+
+import pytest
+
+from repro.bptree.leaves import LeafEncoding
+from repro.bptree.olc import OlcBPlusTree, OlcRestart, VersionedLock
+
+
+class TestVersionedLock:
+    def test_read_version_even_when_free(self):
+        lock = VersionedLock()
+        assert lock.read_version() == 0
+        assert not lock.locked
+
+    def test_read_version_restarts_while_locked(self):
+        lock = VersionedLock()
+        lock.write_lock()
+        with pytest.raises(OlcRestart):
+            lock.read_version()
+        lock.write_unlock()
+        assert lock.read_version() == 2
+
+    def test_validate_detects_writer(self):
+        lock = VersionedLock()
+        version = lock.read_version()
+        lock.write_lock()
+        lock.write_unlock()
+        with pytest.raises(OlcRestart):
+            lock.validate(version)
+
+    def test_upgrade_success_and_stale(self):
+        lock = VersionedLock()
+        version = lock.read_version()
+        lock.upgrade(version)
+        assert lock.locked
+        lock.write_unlock()
+        with pytest.raises(OlcRestart):
+            lock.upgrade(version)  # version moved on
+
+    def test_upgrade_fails_when_held(self):
+        lock = VersionedLock()
+        version = lock.read_version()
+        lock.write_lock()
+        with pytest.raises(OlcRestart):
+            lock.upgrade(version)
+        lock.write_unlock()
+
+
+class TestSingleThreadedSemantics:
+    """OLC must behave exactly like the plain tree without concurrency."""
+
+    def test_insert_lookup_delete(self):
+        tree = OlcBPlusTree(LeafEncoding.GAPPED, leaf_capacity=8)
+        rng = random.Random(0)
+        data = rng.sample(range(10**6), 1200)
+        for key in data:
+            assert tree.insert(key, key + 1)
+        tree.check_invariants()
+        for key in data:
+            assert tree.lookup(key) == key + 1
+        for key in data[:600]:
+            assert tree.delete(key)
+        tree.check_invariants()
+        assert len(tree) == 600
+
+    def test_update(self):
+        tree = OlcBPlusTree(leaf_capacity=8)
+        tree.insert(1, 1)
+        assert tree.update(1, 99)
+        assert tree.lookup(1) == 99
+        assert not tree.update(2, 0)
+
+    def test_scan(self):
+        tree = OlcBPlusTree(leaf_capacity=8)
+        for key in range(200):
+            tree.insert(key, key)
+        assert tree.scan(50, 10) == [(key, key) for key in range(50, 60)]
+        assert tree.scan(500, 5) == []
+
+    def test_bulk_load_then_olc_ops(self):
+        pairs = [(key, key) for key in range(500)]
+        tree = OlcBPlusTree(leaf_capacity=16)
+        tree._bulk_load_into(pairs, 0.7)
+        assert tree.lookup(123) == 123
+        tree.insert(10_000, 1)
+        assert tree.lookup(10_000) == 1
+        tree.check_invariants()
+
+    def test_all_leaf_encodings(self):
+        for encoding in LeafEncoding:
+            tree = OlcBPlusTree(encoding, leaf_capacity=8)
+            for key in range(150):
+                tree.insert(key, key * 2)
+            assert tree.lookup(77) == 154
+            tree.check_invariants()
+
+
+class TestConcurrent:
+    def test_readers_with_concurrent_writers(self):
+        tree = OlcBPlusTree(LeafEncoding.GAPPED, leaf_capacity=16)
+        for key in range(0, 4000, 2):
+            tree.insert(key, key)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            rng = random.Random(threading.get_ident())
+            try:
+                while not stop.is_set():
+                    key = rng.randrange(0, 4000)
+                    value = tree.lookup(key)
+                    if key % 2 == 0:
+                        assert value == key, f"even key {key} -> {value}"
+                    # Odd keys may or may not have been inserted yet; if a
+                    # value exists it must be correct.
+                    elif value is not None:
+                        assert value == key
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer(base):
+            try:
+                for key in range(base, 4000, 8):
+                    tree.insert(key, key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        writers = [threading.Thread(target=writer, args=(base,)) for base in (1, 3, 5, 7)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors
+        tree.check_invariants()
+        for key in range(4000):
+            assert tree.lookup(key) == key
+
+    def test_concurrent_disjoint_writers(self):
+        tree = OlcBPlusTree(LeafEncoding.GAPPED, leaf_capacity=8)
+        errors = []
+
+        def writer(base):
+            try:
+                for offset in range(800):
+                    tree.insert(base * 10_000 + offset, offset)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(tree) == 3200
+        tree.check_invariants()
+
+    def test_scans_during_writes_return_consistent_prefixes(self):
+        tree = OlcBPlusTree(LeafEncoding.GAPPED, leaf_capacity=16)
+        for key in range(0, 2000, 2):
+            tree.insert(key, key)
+        errors = []
+        stop = threading.Event()
+
+        def scanner():
+            rng = random.Random(99)
+            try:
+                while not stop.is_set():
+                    start = rng.randrange(0, 2000)
+                    for key, value in tree.scan(start, 20):
+                        assert key >= start
+                        assert value == key
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer():
+            for key in range(1, 2000, 4):
+                tree.insert(key, key)
+
+        scan_thread = threading.Thread(target=scanner)
+        write_thread = threading.Thread(target=writer)
+        scan_thread.start()
+        write_thread.start()
+        write_thread.join()
+        stop.set()
+        scan_thread.join()
+        assert not errors
+
+    def test_restart_counter_moves_under_contention(self):
+        tree = OlcBPlusTree(LeafEncoding.GAPPED, leaf_capacity=8)
+
+        def writer(base):
+            for offset in range(400):
+                tree.insert(base + offset, offset)
+
+        threads = [threading.Thread(target=writer, args=(t * 350,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Overlapping ranges force version conflicts; at least the
+        # machinery must not deadlock, and the tree must be intact.
+        tree.check_invariants()
+        assert tree.restarts >= 0

@@ -1,0 +1,58 @@
+"""Tests for the adaptation event log."""
+
+from repro.core.events import AdaptationEvent, EventLog
+
+
+def make_event(epoch=1, expansions=0, compactions=0):
+    return AdaptationEvent(
+        epoch=epoch,
+        accesses_seen=1000,
+        sampled=100,
+        unique_tracked=50,
+        hot=10,
+        expansions=expansions,
+        compactions=compactions,
+        evictions=0,
+        skip_length_before=50,
+        skip_length_after=100,
+        sample_size_after=2000,
+        index_bytes=123456,
+    )
+
+
+class TestEventLog:
+    def test_append_and_len(self):
+        log = EventLog()
+        log.append(make_event())
+        log.append(make_event(epoch=2))
+        assert len(log) == 2
+        assert log[1].epoch == 2
+
+    def test_totals(self):
+        log = EventLog()
+        log.append(make_event(expansions=3, compactions=1))
+        log.append(make_event(epoch=2, expansions=2, compactions=4))
+        assert log.total_expansions == 5
+        assert log.total_compactions == 5
+        assert log.total_migrations == 10
+
+    def test_iteration(self):
+        log = EventLog()
+        log.append(make_event())
+        assert [event.epoch for event in log] == [1]
+
+    def test_clear(self):
+        log = EventLog()
+        log.append(make_event())
+        log.clear()
+        assert len(log) == 0
+        assert log.total_migrations == 0
+
+    def test_events_are_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        event = make_event()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.epoch = 99

@@ -1,0 +1,116 @@
+"""Tests for the default context-sensitive heuristic function."""
+
+from repro.core.access import AccessStats, Classification
+from repro.core.heuristics import (
+    HeuristicAction,
+    HeuristicInput,
+    make_threshold_heuristic,
+)
+
+FAST = "fast"
+COMPACT = "compact"
+
+
+def make_input(
+    classification,
+    current_encoding,
+    history=(),
+    utilization=0.0,
+):
+    stats = AccessStats()
+    for entry in history:
+        stats.push_classification(entry)
+    return HeuristicInput(
+        identifier="unit",
+        stats=stats,
+        classification=classification,
+        current_encoding=current_encoding,
+        budget_utilization=utilization,
+        epoch=1,
+    )
+
+
+def heuristic(**kwargs):
+    return make_threshold_heuristic(FAST, COMPACT)(make_input(**kwargs))
+
+
+class TestHotPath:
+    def test_hot_compact_expands(self):
+        decision = heuristic(classification=Classification.HOT, current_encoding=COMPACT)
+        assert decision.action is HeuristicAction.MIGRATE
+        assert decision.target_encoding == FAST
+
+    def test_hot_already_fast_keeps(self):
+        decision = heuristic(classification=Classification.HOT, current_encoding=FAST)
+        assert decision.action is HeuristicAction.KEEP
+
+    def test_hot_but_budget_full_keeps(self):
+        decision = heuristic(
+            classification=Classification.HOT,
+            current_encoding=COMPACT,
+            utilization=0.97,
+        )
+        assert decision.action is HeuristicAction.KEEP
+
+
+class TestColdPath:
+    def test_one_cold_phase_keeps(self):
+        decision = heuristic(
+            classification=Classification.COLD,
+            current_encoding=FAST,
+            history=[Classification.COLD],
+        )
+        assert decision.action is HeuristicAction.KEEP
+
+    def test_two_cold_phases_compact(self):
+        decision = heuristic(
+            classification=Classification.COLD,
+            current_encoding=FAST,
+            history=[Classification.COLD, Classification.COLD],
+        )
+        assert decision.action is HeuristicAction.MIGRATE
+        assert decision.target_encoding == COMPACT
+
+    def test_cold_already_compact_keeps(self):
+        decision = heuristic(
+            classification=Classification.COLD,
+            current_encoding=COMPACT,
+            history=[Classification.COLD] * 3,
+        )
+        assert decision.action is HeuristicAction.KEEP
+
+    def test_over_budget_compacts_immediately(self):
+        decision = heuristic(
+            classification=Classification.COLD,
+            current_encoding=FAST,
+            history=[Classification.COLD],
+            utilization=1.2,
+        )
+        assert decision.action is HeuristicAction.MIGRATE
+        assert decision.target_encoding == COMPACT
+
+    def test_long_cold_stops_tracking(self):
+        decision = heuristic(
+            classification=Classification.COLD,
+            current_encoding=COMPACT,
+            history=[Classification.COLD] * 8,
+        )
+        assert decision.action is HeuristicAction.STOP_TRACKING
+
+    def test_hot_then_cold_streak_broken(self):
+        decision = heuristic(
+            classification=Classification.COLD,
+            current_encoding=FAST,
+            history=[Classification.COLD, Classification.HOT, Classification.COLD],
+        )
+        # Most recent is cold, but the streak is 1 -> keep.
+        assert decision.action is HeuristicAction.KEEP
+
+
+class TestFactories:
+    def test_decision_constructors(self):
+        from repro.core.heuristics import HeuristicDecision
+
+        assert HeuristicDecision.keep().action is HeuristicAction.KEEP
+        assert HeuristicDecision.migrate("x").target_encoding == "x"
+        assert HeuristicDecision.stop_tracking().action is HeuristicAction.STOP_TRACKING

@@ -1,0 +1,84 @@
+"""Tests for the bounded-heap top-k classifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import TopKClassifier, classify_top_k
+
+
+class TestTopKClassifier:
+    def test_fewer_items_than_k(self):
+        classifier = TopKClassifier(10)
+        classifier.offer("a", 5)
+        classifier.offer("b", 1)
+        assert classifier.hot_items() == {"a", "b"}
+
+    def test_keeps_k_most_frequent(self):
+        classifier = TopKClassifier(2)
+        for item, frequency in [("a", 5), ("b", 1), ("c", 9), ("d", 3)]:
+            classifier.offer(item, frequency)
+        assert classifier.hot_items() == {"c", "a"}
+
+    def test_k_zero(self):
+        classifier = TopKClassifier(0)
+        classifier.offer("a", 1)
+        assert classifier.hot_items() == set()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            TopKClassifier(-1)
+
+    def test_tie_break_prefers_earlier(self):
+        classifier = TopKClassifier(1)
+        classifier.offer("first", 5)
+        classifier.offer("second", 5)
+        assert classifier.hot_items() == {"first"}
+
+    def test_threshold(self):
+        classifier = TopKClassifier(2)
+        assert classifier.threshold() == float("inf")
+        classifier.offer("a", 5)
+        classifier.offer("b", 3)
+        assert classifier.threshold() == 3
+
+    def test_heap_operations_counted(self):
+        classifier = TopKClassifier(2)
+        classifier.offer("a", 1)  # push
+        classifier.offer("b", 2)  # push
+        classifier.offer("c", 3)  # replace
+        classifier.offer("d", 0)  # rejected, no op
+        assert classifier.heap_operations == 1 + 1 + 2
+
+    def test_len(self):
+        classifier = TopKClassifier(5)
+        classifier.offer("a", 1)
+        assert len(classifier) == 1
+
+
+class TestClassifyTopK:
+    def test_from_dict(self):
+        assert classify_top_k({"a": 9, "b": 1, "c": 5}, 2) == {"a", "c"}
+
+    def test_from_pairs(self):
+        assert classify_top_k([("x", 2.0), ("y", 7.0)], 1) == {"y"}
+
+    def test_empty(self):
+        assert classify_top_k({}, 5) == set()
+
+
+@settings(max_examples=80)
+@given(
+    st.dictionaries(st.integers(), st.floats(min_value=0, max_value=1e9), max_size=200),
+    st.integers(min_value=0, max_value=50),
+)
+def test_matches_sorted_reference(frequencies, k):
+    hot = classify_top_k(frequencies, k)
+    assert len(hot) == min(k, len(frequencies))
+    if not hot:
+        return
+    # Every hot item's frequency must be >= every cold item's frequency.
+    hot_min = min(frequencies[item] for item in hot)
+    cold = set(frequencies) - hot
+    if cold:
+        assert hot_min >= max(frequencies[item] for item in cold)

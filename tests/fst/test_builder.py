@@ -1,0 +1,78 @@
+"""Tests for BFS trie construction."""
+
+import pytest
+
+from repro.fst.builder import build_trie_levels
+
+
+class TestBuildTrieLevels:
+    def test_single_key(self):
+        levels = build_trie_levels([(b"ab", 7)])
+        assert levels.height == 2
+        assert levels.num_keys == 1
+        root = levels.levels[0][0]
+        assert root.labels == [ord("a")]
+        assert root.has_child == [True]
+        leaf_level = levels.levels[1][0]
+        assert leaf_level.labels == [ord("b")]
+        assert leaf_level.has_child == [False]
+        assert leaf_level.values == [7]
+
+    def test_shared_prefixes_single_node_per_level(self):
+        levels = build_trie_levels([(b"aa", 0), (b"ab", 1), (b"ba", 2)])
+        assert [len(level) for level in levels.levels] == [1, 2]
+        root = levels.levels[0][0]
+        assert root.labels == [ord("a"), ord("b")]
+
+    def test_bfs_order_within_level(self):
+        levels = build_trie_levels(
+            [(b"ax", 0), (b"ay", 1), (b"bw", 2), (b"bz", 3)]
+        )
+        # Level 1 holds the 'a' node before the 'b' node (BFS order),
+        # each with its labels ascending.
+        level_one = levels.levels[1]
+        assert [node.labels for node in level_one] == [
+            [ord("x"), ord("y")],
+            [ord("w"), ord("z")],
+        ]
+
+    def test_values_in_label_order(self):
+        levels = build_trie_levels([(b"aa", 10), (b"ab", 11)])
+        node = levels.levels[1][0]
+        assert node.values == [10, 11]
+
+    def test_empty(self):
+        levels = build_trie_levels([])
+        assert levels.height == 0
+        assert levels.node_count() == 0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            build_trie_levels([(b"b", 0), (b"a", 1)])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            build_trie_levels([(b"a", 0), (b"a", 1)])
+
+    def test_prefix_violation_rejected(self):
+        with pytest.raises(ValueError):
+            build_trie_levels([(b"a", 0), (b"ab", 1)])
+
+    def test_average_fanout(self):
+        levels = build_trie_levels([(b"aa", 0), (b"ab", 1), (b"ba", 2), (b"bb", 3)])
+        assert levels.average_fanout(0) == 2.0
+        assert levels.average_fanout(1) == 2.0
+
+    def test_level_node_counts(self):
+        keys = [bytes([a, b]) for a in range(3) for b in range(4)]
+        levels = build_trie_levels([(key, i) for i, key in enumerate(keys)])
+        assert levels.level_node_counts() == [1, 3]
+
+    def test_nodes_in_bfs_order_matches_levels(self):
+        keys = [bytes([a, b]) for a in range(3) for b in range(2)]
+        levels = build_trie_levels([(key, i) for i, key in enumerate(keys)])
+        ordered = list(levels.nodes_in_bfs_order())
+        assert len(ordered) == levels.node_count()
+        assert [node.level for node in ordered] == sorted(
+            node.level for node in ordered
+        )

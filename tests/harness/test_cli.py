@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro.harness`` experiment CLI."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, _scaled_kwargs, main
+
+
+class TestScaledKwargs:
+    def test_identity_scale(self):
+        assert _scaled_kwargs(EXPERIMENTS["fig2"], 1.0) == {}
+
+    def test_scales_integer_size_params(self):
+        kwargs = _scaled_kwargs(EXPERIMENTS["fig2"], 0.5)
+        assert kwargs["num_items"] == 500_000
+        assert kwargs["workload_size"] == 200_000
+
+    def test_floor_prevents_degenerate_sizes(self):
+        kwargs = _scaled_kwargs(EXPERIMENTS["fig2"], 0.00001)
+        assert all(value >= 64 for value in kwargs.values())
+
+    def test_non_size_params_untouched(self):
+        kwargs = _scaled_kwargs(EXPERIMENTS["fig14"], 0.5)
+        assert "alphas" not in kwargs
+        assert "seed" not in kwargs
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig12" in output
+        assert "tab4" in output
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["figZZ"])
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "Samsung 870 SSD" in output
+        assert "compression ratio" in output
+
+    def test_runs_table_experiment(self, capsys):
+        assert main(["tab4"]) == 0
+        output = capsys.readouterr().out
+        assert "AHI-BTree" in output
+
+    def test_scale_flag(self, capsys):
+        assert main(["fig6", "--scale", "0.2"]) == 0
+        assert "unique_samples" in capsys.readouterr().out
+
+    def test_every_name_resolves(self):
+        for name in ("fig2", "fig5", "fig12", "fig20", "tab1", "tab2"):
+            assert name in EXPERIMENTS

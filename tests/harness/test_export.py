@@ -1,0 +1,59 @@
+"""Tests for result export (CSV/JSON)."""
+
+import csv
+import json
+
+from repro.harness.experiments import experiment_fig3
+from repro.harness.export import result_to_json, write_result
+
+
+class TestJson:
+    def test_table_result_roundtrips(self):
+        result = experiment_fig3()
+        document = json.loads(result_to_json(result))
+        assert document["headers"] == result["headers"]
+        assert len(document["rows"]) == len(result["rows"])
+
+    def test_handles_enums_and_bytes(self):
+        from repro.bptree.leaves import LeafEncoding
+
+        document = json.loads(
+            result_to_json({"encoding": LeafEncoding.GAPPED, "blob": b"\x01\x02"})
+        )
+        assert document["encoding"] == "gapped"
+        assert document["blob"] == "0102"
+
+    def test_handles_run_results(self):
+        from repro.harness.runner import RunResult
+
+        document = json.loads(result_to_json({"results": {"x": RunResult()}}))
+        assert document["results"]["x"]["total_operations"] == 0
+
+
+class TestWriteResult:
+    def test_table_written_as_csv_and_json(self, tmp_path):
+        result = experiment_fig3()
+        written = write_result(result, tmp_path, "fig3")
+        assert written["json"].exists()
+        with written["csv"].open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == result["headers"]
+        assert len(rows) == len(result["rows"]) + 1
+
+    def test_series_written(self, tmp_path):
+        result = {"series": {"a": [1.0, 2.0], "b": [3.0]}}
+        written = write_result(result, tmp_path, "timeline")
+        with written["series_csv"].open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["interval", "a", "b"]
+        assert rows[1] == ["0", "1.0", "3.0"]
+        assert rows[2] == ["1", "2.0", ""]
+
+
+class TestCliExport:
+    def test_export_flag(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["fig3", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "fig3.json").exists()
+        assert (tmp_path / "fig3.csv").exists()

@@ -1,0 +1,64 @@
+"""Tests for the report formatting helpers."""
+
+from repro.harness.report import format_series, format_table, human_bytes
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1), ("beta-longer", 22.5)],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "alpha" in lines[3]
+        assert "22.50" in lines[4]
+
+    def test_thousands_separator(self):
+        text = format_table(["n"], [(1234567,)])
+        assert "1,234,567" in text
+
+    def test_float_formats(self):
+        text = format_table(["x"], [(0.123456,), (12345.6,)])
+        assert "0.12" in text
+        assert "12,346" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_summary_stats(self):
+        text = format_series("latency", [1.0, 5.0, 3.0], unit="ns")
+        assert "min=1.0ns" in text
+        assert "max=5.0ns" in text
+        assert "first=1.0ns" in text
+        assert "last=3.0ns" in text
+
+    def test_sparkline_present(self):
+        text = format_series("s", list(range(50)))
+        assert "[" in text and "]" in text
+
+    def test_constant_series(self):
+        text = format_series("flat", [2.0] * 10)
+        assert "min=2.0" in text
+
+    def test_empty_series(self):
+        assert "(empty)" in format_series("none", [])
+
+    def test_downsampling(self):
+        text = format_series("long", list(range(1000)), max_points=10)
+        spark = text[text.index("[") + 1 : text.index("]")]
+        assert len(spark) <= 101
+
+
+class TestHumanBytes:
+    def test_units(self):
+        assert human_bytes(512) == "512B"
+        assert human_bytes(1536) == "1.5KiB"
+        assert human_bytes(3 * 1024 * 1024) == "3.0MiB"
+        assert human_bytes(5 * 1024**3) == "5.0GiB"

@@ -1,0 +1,114 @@
+"""Tests for the experiment variant builders and scaled configs."""
+
+import numpy as np
+import pytest
+
+from repro.art.tree import ART
+from repro.bptree.hybrid import AdaptiveBPlusTree
+from repro.bptree.leaves import LeafEncoding
+from repro.bptree.tree import BPlusTree
+from repro.core.budget import MemoryBudget
+from repro.dualstage.index import DualStageIndex
+from repro.fst.trie import FST
+from repro.harness.experiments import (
+    build_btree_variants,
+    build_trie_variants,
+    scaled_manager_config,
+    scaled_trie_manager_config,
+)
+from repro.hybridtrie.tree import HybridTrie
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return [(key * 3, key) for key in range(2000)]
+
+
+class TestScaledConfigs:
+    def test_btree_config_defaults(self):
+        config = scaled_manager_config()
+        assert config.skip_min == 5
+        assert config.skip_max == 100
+        assert config.max_sample_size == 1500
+        assert not config.budget.bounded
+
+    def test_btree_config_budget_passthrough(self):
+        budget = MemoryBudget.absolute(1234)
+        assert scaled_manager_config(budget).budget is budget
+
+    def test_trie_config(self):
+        config = scaled_trie_manager_config()
+        from repro.hybridtrie.tagged import TrieEncoding
+
+        assert config.fast_encoding is TrieEncoding.ART
+        assert config.compact_encoding is TrieEncoding.FST
+
+
+class TestBtreeVariants:
+    def test_full_lineup_types(self, pairs):
+        variants = build_btree_variants(
+            pairs,
+            include=(
+                "gapped", "packed", "succinct", "ahi", "pretrained",
+                "dualstage-succinct", "dualstage-packed",
+            ),
+        )
+        assert isinstance(variants["gapped"], BPlusTree)
+        assert variants["gapped"].leaf_encoding is LeafEncoding.GAPPED
+        assert variants["packed"].leaf_encoding is LeafEncoding.PACKED
+        assert variants["succinct"].leaf_encoding is LeafEncoding.SUCCINCT
+        assert isinstance(variants["ahi"], AdaptiveBPlusTree)
+        assert isinstance(variants["pretrained"], AdaptiveBPlusTree)
+        assert isinstance(variants["dualstage-succinct"], DualStageIndex)
+
+    def test_all_variants_answer_lookups(self, pairs):
+        variants = build_btree_variants(
+            pairs, include=("gapped", "ahi", "dualstage-succinct")
+        )
+        for name, index in variants.items():
+            assert index.lookup(300) == 100, name
+            assert index.lookup(301) is None, name
+
+    def test_pretrained_manager_disabled(self, pairs):
+        keys = np.array([key for key, _ in pairs])
+        variants = build_btree_variants(
+            pairs, training_keys=keys[:200], include=("pretrained",)
+        )
+        tree = variants["pretrained"]
+        assert not any(tree.manager.is_sample() for _ in range(50))
+        # Training expanded the hot leaves.
+        assert tree.encoding_counts().get(LeafEncoding.GAPPED, 0) >= 1
+
+    def test_dualstage_has_populated_dynamic_stage(self, pairs):
+        variants = build_btree_variants(pairs, include=("dualstage-succinct",))
+        index = variants["dualstage-succinct"]
+        assert index.dynamic_size > 0  # the paper's 5%-dynamic setup
+
+    def test_unknown_variant_rejected(self, pairs):
+        with pytest.raises(ValueError):
+            build_btree_variants(pairs, include=("btree-9000",))
+
+
+class TestTrieVariants:
+    def test_full_lineup_types(self):
+        byte_keys = [key.to_bytes(8, "big") for key in range(0, 4000, 2)]
+        variants = build_trie_variants(byte_keys, art_levels=2)
+        assert isinstance(variants["art"], ART)
+        assert isinstance(variants["fst"], FST)
+        assert isinstance(variants["ahi-trie"], HybridTrie)
+        assert isinstance(variants["pretrained"], HybridTrie)
+        assert not variants["pretrained"].adaptive
+        for name, index in variants.items():
+            assert index.lookup(byte_keys[7]) == 7, name
+
+    def test_training_ranks_expand_pretrained(self):
+        byte_keys = [key.to_bytes(8, "big") for key in range(0, 60_000, 7)]
+        ranks = np.zeros(500, dtype=np.int64)  # hammer rank 0
+        variants = build_trie_variants(
+            byte_keys, art_levels=1, training_ranks=ranks, include=("pretrained",)
+        )
+        assert variants["pretrained"].expanded_branch_count() >= 1
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_trie_variants([b"\x00" * 8], include=("nope",))

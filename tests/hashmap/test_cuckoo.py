@@ -1,0 +1,161 @@
+"""Tests for the concurrent cuckoo hash map."""
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashmap.cuckoo import CuckooMap
+
+
+class TestBasics:
+    def test_set_get(self):
+        table = CuckooMap()
+        table["a"] = 1
+        assert table["a"] == 1
+        assert table.get("missing") is None
+        assert table.get("missing", 9) == 9
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            CuckooMap()["nope"]
+
+    def test_overwrite(self):
+        table = CuckooMap()
+        table[1] = "a"
+        table[1] = "b"
+        assert table[1] == "b"
+        assert len(table) == 1
+
+    def test_delete_and_pop(self):
+        table = CuckooMap()
+        table["x"] = 1
+        del table["x"]
+        assert "x" not in table
+        with pytest.raises(KeyError):
+            del table["x"]
+        table["y"] = 2
+        assert table.pop("y") == 2
+        assert table.pop("y", "dflt") == "dflt"
+
+    def test_items(self):
+        table = CuckooMap()
+        for index in range(50):
+            table[index] = -index
+        assert dict(table.items()) == {index: -index for index in range(50)}
+
+    def test_clear(self):
+        table = CuckooMap()
+        table[1] = 1
+        table.clear()
+        assert len(table) == 0
+
+
+class TestCuckooMechanics:
+    def test_displacement_paths_preserve_entries(self):
+        table = CuckooMap(initial_buckets=8)
+        for index in range(2000):
+            table[index] = index * 3
+        for index in range(2000):
+            assert table[index] == index * 3
+        table.check_invariants()
+
+    def test_resize_counted(self):
+        table = CuckooMap(initial_buckets=8)
+        for index in range(5000):
+            table[index] = index
+        assert table.resizes >= 1
+        assert len(table) == 5000
+
+    def test_load_factor(self):
+        table = CuckooMap(initial_buckets=8)
+        for index in range(100):
+            table[index] = index
+        assert 0.0 < table.load_factor() <= 1.0
+
+
+class TestConcurrency:
+    def test_parallel_writers_disjoint_keys(self):
+        table = CuckooMap()
+        errors = []
+
+        def worker(base):
+            try:
+                for index in range(500):
+                    table[(base, index)] = base * 1000 + index
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(table) == 2000
+        for base in range(4):
+            for index in range(0, 500, 49):
+                assert table[(base, index)] == base * 1000 + index
+
+    def test_readers_during_writes(self):
+        table = CuckooMap()
+        for index in range(200):
+            table[index] = index
+        stop = threading.Event()
+        mismatches = []
+
+        def reader():
+            while not stop.is_set():
+                for index in range(0, 200, 7):
+                    value = table.get(index)
+                    if value is not None and value not in (index, index + 1):
+                        mismatches.append((index, value))
+
+        def writer():
+            for round_number in range(50):
+                for index in range(200):
+                    table[index] = index + (round_number % 2)
+
+        reader_thread = threading.Thread(target=reader)
+        writer_thread = threading.Thread(target=writer)
+        reader_thread.start()
+        writer_thread.start()
+        writer_thread.join()
+        stop.set()
+        reader_thread.join()
+        assert not mismatches
+
+    def test_contention_counters_exposed(self):
+        table = CuckooMap()
+        table["k"] = 1
+        table.get("k")
+        assert table.lock_acquisitions > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["set", "del", "get"]),
+            st.integers(min_value=0, max_value=200),
+        ),
+        max_size=300,
+    )
+)
+def test_matches_dict(operations):
+    table = CuckooMap(initial_buckets=8)
+    reference = {}
+    for action, key in operations:
+        if action == "set":
+            table[key] = key * 7
+            reference[key] = key * 7
+        elif action == "del":
+            if key in reference:
+                del table[key]
+                del reference[key]
+        else:
+            assert table.get(key) == reference.get(key)
+    assert dict(table.items()) == reference
+    table.check_invariants()

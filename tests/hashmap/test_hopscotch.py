@@ -1,0 +1,143 @@
+"""Tests for the hopscotch hash map."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashmap.hopscotch import NEIGHBOURHOOD, HopscotchMap
+
+
+class TestBasics:
+    def test_set_get(self):
+        table = HopscotchMap()
+        table["a"] = 1
+        assert table["a"] == 1
+        assert table.get("a") == 1
+        assert table.get("b") is None
+        assert table.get("b", 7) == 7
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            HopscotchMap()["missing"]
+
+    def test_overwrite(self):
+        table = HopscotchMap()
+        table["k"] = 1
+        table["k"] = 2
+        assert table["k"] == 2
+        assert len(table) == 1
+
+    def test_contains_and_len(self):
+        table = HopscotchMap()
+        assert "x" not in table
+        table["x"] = 0
+        assert "x" in table
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = HopscotchMap()
+        table["x"] = 1
+        del table["x"]
+        assert "x" not in table
+        assert len(table) == 0
+        with pytest.raises(KeyError):
+            del table["x"]
+
+    def test_pop(self):
+        table = HopscotchMap()
+        table["x"] = 5
+        assert table.pop("x") == 5
+        assert table.pop("x", "default") == "default"
+        with pytest.raises(KeyError):
+            table.pop("x")
+
+    def test_items_keys_values(self):
+        table = HopscotchMap()
+        for index in range(20):
+            table[index] = index * 2
+        assert dict(table.items()) == {index: index * 2 for index in range(20)}
+        assert set(table.keys()) == set(range(20))
+        assert sorted(table.values()) == [index * 2 for index in range(20)]
+
+    def test_clear(self):
+        table = HopscotchMap()
+        table["a"] = 1
+        table.clear()
+        assert len(table) == 0
+        assert "a" not in table
+
+
+class TestNeighbourhoodInvariant:
+    def test_many_inserts_keep_invariant(self):
+        table = HopscotchMap(initial_capacity=64)
+        for index in range(5000):
+            table[f"key-{index}"] = index
+        table.check_invariants()
+        assert len(table) == 5000
+        assert table.max_probe_window() == NEIGHBOURHOOD
+
+    def test_resize_preserves_entries(self):
+        table = HopscotchMap(initial_capacity=64)
+        for index in range(1000):
+            table[index] = index
+        assert table.resizes >= 1
+        for index in range(1000):
+            assert table[index] == index
+        table.check_invariants()
+
+    def test_colliding_hashes(self):
+        class SameHash:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __hash__(self):
+                return 42
+
+            def __eq__(self, other):
+                return isinstance(other, SameHash) and self.tag == other.tag
+
+        table = HopscotchMap()
+        keys = [SameHash(index) for index in range(NEIGHBOURHOOD - 1)]
+        for index, key in enumerate(keys):
+            table[key] = index
+        for index, key in enumerate(keys):
+            assert table[key] == index
+        table.check_invariants()
+
+    def test_load_factor_bounded(self):
+        table = HopscotchMap(initial_capacity=64)
+        for index in range(500):
+            table[index] = index
+        assert table.load_factor() <= 0.9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["set", "del", "get"]),
+            st.integers(min_value=0, max_value=200),
+        ),
+        max_size=300,
+    )
+)
+def test_matches_dict(operations):
+    table = HopscotchMap(initial_capacity=64)
+    reference = {}
+    for action, key in operations:
+        if action == "set":
+            table[key] = key + 1
+            reference[key] = key + 1
+        elif action == "del":
+            if key in reference:
+                del table[key]
+                del reference[key]
+            else:
+                with pytest.raises(KeyError):
+                    del table[key]
+        else:
+            assert table.get(key) == reference.get(key)
+    assert dict(table.items()) == reference
+    table.check_invariants()

@@ -1,0 +1,70 @@
+"""Tests for the multi-FST design analysis (the paper's negative result)."""
+
+import random
+
+from repro.hybridtrie.analysis import MultiFstEstimate, multi_fst_overhead
+from repro.hybridtrie.tree import HybridTrie
+
+
+def make_trie(n=3000, art_levels=3, seed=0):
+    rng = random.Random(seed)
+    ints = sorted(rng.sample(range(2**40), n))
+    pairs = [(key.to_bytes(8, "big"), index) for index, key in enumerate(ints)]
+    return HybridTrie(pairs, art_levels=art_levels, adaptive=False)
+
+
+class TestMultiFstOverhead:
+    def test_branch_count_matches_trie(self):
+        trie = make_trie()
+        estimate = multi_fst_overhead(trie)
+        assert estimate.branch_count == trie.num_branches
+
+    def test_fine_granularity_does_not_pay_off(self):
+        # Deep ART region -> many small branches -> per-FST headers swamp
+        # the payload: exactly the paper's observation.
+        trie = make_trie(art_levels=4)
+        estimate = multi_fst_overhead(trie)
+        assert estimate.branch_count > 100
+        assert not estimate.pays_off
+        assert estimate.multi_fst_header_bytes > 0.2 * estimate.single_fst_bytes
+
+    def test_header_overhead_scales_with_branches(self):
+        shallow = multi_fst_overhead(make_trie(art_levels=1))
+        deep = multi_fst_overhead(make_trie(art_levels=4))
+        assert deep.branch_count > shallow.branch_count
+        assert deep.multi_fst_header_bytes > shallow.multi_fst_header_bytes
+
+    def test_payload_bounded_by_global_fst_scale(self):
+        trie = make_trie(art_levels=2)
+        estimate = multi_fst_overhead(trie)
+        # Splitting never shrinks the payload below ~the shared structure;
+        # allow slack because the approximation drops shared directories.
+        assert estimate.multi_fst_payload_bytes > 0.3 * estimate.single_fst_bytes
+
+    def test_expanded_branches_replaced_by_children(self):
+        trie = make_trie(art_levels=2)
+        full = multi_fst_overhead(trie)
+        # Expand a handful of branches: each expanded branch leaves the
+        # cold pool but its children (one level deeper) join it.
+        count = 0
+        items = trie.items()
+        for key, _ in items[:: max(1, len(items) // 50)]:
+            branch = trie._branch_on_path(key)
+            if branch is not None and not branch.expanded:
+                trie.expand_branch(branch)
+                count += 1
+            if count >= 5:
+                break
+        assert count == 5
+        after = multi_fst_overhead(trie)
+        assert after.branch_count >= full.branch_count
+
+    def test_dataclass_totals(self):
+        estimate = MultiFstEstimate(
+            branch_count=10,
+            single_fst_bytes=1000,
+            multi_fst_payload_bytes=700,
+            multi_fst_header_bytes=960,
+        )
+        assert estimate.multi_fst_total_bytes == 1660
+        assert not estimate.pays_off

@@ -1,0 +1,84 @@
+"""Tests for Hybrid Trie serialization (ship-a-trained-trie)."""
+
+import random
+
+import pytest
+
+from repro.core.budget import MemoryBudget
+from repro.hybridtrie import HybridTrie
+
+
+def int_pairs(n, seed=0):
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(2**44), n))
+    return [(key.to_bytes(8, "big"), index) for index, key in enumerate(keys)]
+
+
+class TestRoundtrip:
+    def test_untrained_trie(self):
+        pairs = int_pairs(800)
+        trie = HybridTrie(pairs, art_levels=2, adaptive=False)
+        loaded = HybridTrie.from_bytes(trie.to_bytes(), adaptive=False)
+        for key, value in pairs[::13]:
+            assert loaded.lookup(key) == value
+        assert loaded.art_levels == 2
+        assert loaded.expanded_branch_count() == 0
+        assert loaded.num_branches == trie.num_branches
+
+    def test_trained_layout_survives(self):
+        pairs = int_pairs(2000)
+        trie = HybridTrie(pairs, art_levels=2, adaptive=False)
+        hot = [pairs[index % 50][0] for index in range(2000)]
+        trie.train(hot, budget=MemoryBudget.absolute(trie.size_bytes() + 20_000))
+        assert trie.expanded_branch_count() >= 1
+        loaded = HybridTrie.from_bytes(trie.to_bytes(), adaptive=False)
+        assert loaded.expanded_fst_nodes() == trie.expanded_fst_nodes()
+        assert loaded.size_bytes() == trie.size_bytes()
+        for key, value in pairs[::31]:
+            assert loaded.lookup(key) == value
+        assert loaded.items() == pairs
+
+    def test_nested_expansions_survive(self):
+        pairs = int_pairs(2000)
+        trie = HybridTrie(pairs, art_levels=1, adaptive=False)
+        # Expand a chain: branch, then its child, then the grandchild.
+        for _ in range(3):
+            branch = trie._branch_on_path(pairs[0][0])
+            if branch is not None:
+                trie.expand_branch(branch)
+        depth_before = trie.expanded_branch_count()
+        loaded = HybridTrie.from_bytes(trie.to_bytes(), adaptive=False)
+        assert loaded.expanded_branch_count() == depth_before
+        assert loaded.lookup(pairs[0][0]) == pairs[0][1]
+
+    def test_loaded_adaptive_trie_keeps_adapting(self):
+        import numpy as np
+
+        pairs = int_pairs(1500)
+        trie = HybridTrie(pairs, art_levels=2, adaptive=False)
+        loaded = HybridTrie.from_bytes(trie.to_bytes(), adaptive=True)
+        loaded.manager.config.initial_sample_size = None
+        # Drive a hot workload; the loaded trie must be able to expand.
+        rng = np.random.default_rng(0)
+        hot = [pairs[index][0] for index in range(40)]
+        branch = loaded._branch_on_path(hot[0])
+        assert loaded.expand_branch(branch)
+        assert loaded.expanded_branch_count() == 1
+
+    def test_scan_after_reload(self):
+        pairs = int_pairs(600)
+        loaded = HybridTrie.from_bytes(
+            HybridTrie(pairs, art_levels=2, adaptive=False).to_bytes(), adaptive=False
+        )
+        assert loaded.scan(pairs[100][0], 15) == pairs[100:115]
+
+    def test_bad_magic(self):
+        pairs = int_pairs(50)
+        blob = HybridTrie(pairs, adaptive=False).to_bytes()
+        with pytest.raises(ValueError):
+            HybridTrie.from_bytes(b"XXXX" + blob[4:])
+
+    def test_empty_trie(self):
+        loaded = HybridTrie.from_bytes(HybridTrie([], adaptive=False).to_bytes())
+        assert loaded.lookup(b"x") is None
+        assert len(loaded) == 0

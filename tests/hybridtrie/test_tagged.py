@@ -1,0 +1,39 @@
+"""Tests for the tagged branch identifiers."""
+
+from repro.hybridtrie.tagged import BRANCH_POINTER_BYTES, TrieBranch, TrieEncoding
+
+
+class TestTrieBranch:
+    def test_starts_compact(self):
+        branch = TrieBranch(fst_node=17, level=3)
+        assert branch.encoding is TrieEncoding.FST
+        assert not branch.expanded
+        assert branch.fst_node == 17
+        assert branch.level == 3
+        assert not branch.detached
+
+    def test_expansion_flips_encoding(self):
+        branch = TrieBranch(1, 1)
+        branch.art_node = object()
+        assert branch.encoding is TrieEncoding.ART
+        assert branch.expanded
+
+    def test_identity_semantics(self):
+        a = TrieBranch(5, 2)
+        b = TrieBranch(5, 2)
+        assert a == a
+        assert a != b
+        assert hash(a) != hash(b)
+
+    def test_usable_as_dict_key_across_migration(self):
+        branch = TrieBranch(9, 1)
+        table = {branch: "stats"}
+        branch.art_node = object()  # expansion must not change the hash
+        assert table[branch] == "stats"
+
+    def test_encoding_order_string(self):
+        assert str(TrieEncoding.FST) == "fst"
+        assert str(TrieEncoding.ART) == "art"
+
+    def test_pointer_bookkeeping_constant(self):
+        assert BRANCH_POINTER_BYTES == 8

@@ -1,0 +1,54 @@
+"""Tests for the operation counters."""
+
+from repro.sim.counters import OpCounters
+
+
+class TestOpCounters:
+    def test_add_and_get(self):
+        counters = OpCounters()
+        counters.add("inner_visit")
+        counters.add("inner_visit", 4)
+        assert counters.get("inner_visit") == 5
+        assert counters.get("unknown") == 0
+
+    def test_snapshot_is_copy(self):
+        counters = OpCounters()
+        counters.add("x")
+        snap = counters.snapshot()
+        counters.add("x")
+        assert snap["x"] == 1
+        assert counters.get("x") == 2
+
+    def test_diff(self):
+        counters = OpCounters()
+        counters.add("a", 3)
+        earlier = counters.snapshot()
+        counters.add("a", 2)
+        counters.add("b")
+        assert counters.diff(earlier) == {"a": 2, "b": 1}
+
+    def test_diff_skips_zero_deltas(self):
+        counters = OpCounters()
+        counters.add("a")
+        assert counters.diff(counters.snapshot()) == {}
+
+    def test_merge(self):
+        a = OpCounters()
+        b = OpCounters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_reset(self):
+        counters = OpCounters()
+        counters.add("x")
+        counters.reset()
+        assert len(counters) == 0
+
+    def test_iter(self):
+        counters = OpCounters()
+        counters.add("a", 2)
+        assert dict(counters) == {"a": 2}

@@ -1,0 +1,59 @@
+"""Tests for frame-of-reference encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.for_codec import for_decode, for_encode
+
+
+class TestForEncode:
+    def test_roundtrip_sorted(self):
+        values = [100, 105, 110, 250]
+        block = for_encode(values)
+        assert for_decode(block) == values
+
+    def test_roundtrip_unsorted(self):
+        values = [50, 10, 99, 10]
+        block = for_encode(values)
+        assert for_decode(block) == values
+
+    def test_base_is_minimum(self):
+        block = for_encode([7, 3, 9])
+        assert block.base == 3
+
+    def test_random_access(self):
+        block = for_encode([1000, 1001, 1050])
+        assert block[0] == 1000
+        assert block[2] == 1050
+        assert len(block) == 3
+
+    def test_empty(self):
+        block = for_encode([])
+        assert len(block) == 0
+        assert block.to_list() == []
+
+    def test_single_value(self):
+        block = for_encode([42])
+        assert block[0] == 42
+
+    def test_negative_values(self):
+        values = [-100, -50, -75]
+        assert for_decode(for_encode(values)) == values
+
+    def test_size_benefits_from_clustering(self):
+        clustered = for_encode(list(range(10**12, 10**12 + 256)))
+        spread = for_encode(list(range(0, 256 * 2**40, 2**40)))
+        assert clustered.size_bytes() < spread.size_bytes()
+
+    def test_size_includes_base(self):
+        block = for_encode([5])
+        assert block.size_bytes() >= 8
+
+
+@settings(max_examples=80)
+@given(st.lists(st.integers(min_value=-(2**60), max_value=2**60), max_size=150))
+def test_roundtrip_property(values):
+    block = for_encode(values)
+    assert for_decode(block) == values
+    for index, value in enumerate(values):
+        assert block[index] == value

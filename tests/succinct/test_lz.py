@@ -1,0 +1,88 @@
+"""Tests for the LZ77-style compressor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.lz import lz_compress, lz_decompress
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        assert lz_decompress(lz_compress(b"")) == b""
+
+    def test_short_literal(self):
+        data = b"abc"
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_repetitive_compresses(self):
+        data = b"abcdefgh" * 200
+        compressed = lz_compress(data)
+        assert lz_decompress(compressed) == data
+        assert len(compressed) < len(data) / 4
+
+    def test_incompressible_random(self):
+        import random
+
+        random.seed(0)
+        data = bytes(random.randrange(256) for _ in range(2000))
+        compressed = lz_compress(data)
+        assert lz_decompress(compressed) == data
+
+    def test_zero_page(self):
+        data = b"\x00" * 4096
+        compressed = lz_compress(data)
+        assert lz_decompress(compressed) == data
+        assert len(compressed) < 200
+
+    def test_overlapping_match(self):
+        # RLE-style data forces matches that overlap their own output.
+        data = b"a" * 1000
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_leaf_page_image_ratio(self):
+        # A 70%-occupancy slotted page: sorted 8-byte keys + values + gap.
+        page = bytearray()
+        for key in range(0, 178):
+            page += (10_000_000 + key * 37).to_bytes(8, "little")
+            page += (key * 11).to_bytes(8, "little")
+        page += b"\x00" * (77 * 16)
+        compressed = lz_compress(bytes(page))
+        assert lz_decompress(compressed) == bytes(page)
+        # The paper reports up to 47% savings on such pages.
+        assert len(compressed) < 0.75 * len(page)
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            lz_compress("not bytes")
+
+
+class TestMalformedStreams:
+    def test_truncated_literal(self):
+        with pytest.raises(ValueError):
+            lz_decompress(bytes([10]) + b"ab")
+
+    def test_truncated_match(self):
+        with pytest.raises(ValueError):
+            lz_decompress(bytes([0x80, 0x01]))
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            lz_decompress(bytes([0x00, ord("a"), 0x80, 0xFF, 0x00]))
+
+    def test_zero_distance(self):
+        with pytest.raises(ValueError):
+            lz_decompress(bytes([0x00, ord("a"), 0x80, 0x00, 0x00]))
+
+
+@settings(max_examples=60)
+@given(st.binary(max_size=4000))
+def test_roundtrip_property(data):
+    assert lz_decompress(lz_compress(data)) == data
+
+
+@settings(max_examples=30)
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=100))
+def test_repeated_blocks_roundtrip(block, repeats):
+    data = block * repeats
+    assert lz_decompress(lz_compress(data)) == data

@@ -1,0 +1,49 @@
+"""Tests for the bulk word accessor on BitVector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.bitvector import BitVector
+
+
+class TestWordSlice:
+    def test_within_one_word(self):
+        bv = BitVector([1, 0, 1, 1, 0, 0, 1]).seal()
+        assert bv.word_slice(0, 4) == 0b1101
+        assert bv.word_slice(2, 3) == 0b011
+
+    def test_across_word_boundary(self):
+        bits = [0] * 60 + [1, 1, 1, 1] + [1, 0, 1, 0]
+        bv = BitVector(bits).seal()
+        assert bv.word_slice(60, 8) == 0b01011111
+
+    def test_zero_length(self):
+        bv = BitVector([1]).seal()
+        assert bv.word_slice(0, 0) == 0
+
+    def test_full_256_bit_node(self):
+        bits = [(index % 3 == 0) for index in range(512)]
+        bv = BitVector(bits).seal()
+        value = bv.word_slice(256, 256)
+        for offset in range(256):
+            assert (value >> offset) & 1 == bits[256 + offset]
+
+    def test_out_of_range(self):
+        bv = BitVector([1, 0]).seal()
+        with pytest.raises(IndexError):
+            bv.word_slice(1, 5)
+        with pytest.raises(IndexError):
+            bv.word_slice(-1, 1)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.booleans(), min_size=1, max_size=300), st.data())
+def test_word_slice_matches_bits(bits, data):
+    bv = BitVector(bits).seal()
+    start = data.draw(st.integers(min_value=0, max_value=len(bits) - 1))
+    length = data.draw(st.integers(min_value=0, max_value=len(bits) - start))
+    value = bv.word_slice(start, length)
+    for offset in range(length):
+        assert (value >> offset) & 1 == bits[start + offset]
+    assert value >> length == 0

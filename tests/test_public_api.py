@@ -1,0 +1,51 @@
+"""Guardrails for the top-level public API."""
+
+import importlib
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_headline_classes_present(self):
+        assert repro.AdaptiveBPlusTree is not None
+        assert repro.HybridTrie is not None
+        assert repro.AdaptationManager is not None
+        assert repro.MemoryBudget is not None
+
+
+class TestSubpackageExports:
+    def test_every_subpackage_all_resolves(self):
+        for module_name in (
+            "repro.core",
+            "repro.succinct",
+            "repro.bptree",
+            "repro.art",
+            "repro.fst",
+            "repro.hybridtrie",
+            "repro.dualstage",
+            "repro.workloads",
+            "repro.sim",
+            "repro.harness",
+            "repro.hashmap",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert getattr(module, name, None) is not None, (module_name, name)
+
+    def test_quickstart_docstring_example_works(self):
+        from repro import AdaptiveBPlusTree, MemoryBudget
+
+        tree = AdaptiveBPlusTree.bulk_load_adaptive(
+            [(key, key * 2) for key in range(2_000)],
+            budget=MemoryBudget.absolute(2_000_000),
+        )
+        assert tree.lookup(42) == 84
+        assert tree.manager.events is not None

@@ -1,0 +1,104 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    consecutive_keys,
+    email_keys,
+    key_prefix,
+    osm_like_keys,
+    prefix_random_keys,
+    prefix_suffix_bits,
+    ycsb_keys,
+)
+
+
+class TestOsmLikeKeys:
+    def test_sorted_unique_exact_count(self):
+        keys = osm_like_keys(5000, rng=0)
+        assert len(keys) == 5000
+        assert np.all(np.diff(keys) > 0)
+
+    def test_clustered_structure(self):
+        keys = osm_like_keys(10_000, rng=0)
+        gaps = np.diff(keys)
+        # Clustered data: most gaps tiny, a few huge (cluster boundaries).
+        assert np.median(gaps) < np.mean(gaps) / 10
+
+    def test_reproducible(self):
+        assert np.array_equal(osm_like_keys(1000, rng=7), osm_like_keys(1000, rng=7))
+
+
+class TestConsecutiveKeys:
+    def test_dense_range(self):
+        keys = consecutive_keys(100, start=5)
+        assert keys[0] == 5
+        assert keys[-1] == 104
+        assert len(keys) == 100
+
+
+class TestYcsbKeys:
+    def test_sorted_unique(self):
+        keys = ycsb_keys(3000, rng=0)
+        assert len(keys) == 3000
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestPrefixRandomKeys:
+    def test_limited_prefix_count(self):
+        keys = prefix_random_keys(5000, num_prefixes=32, rng=0)
+        bits = prefix_suffix_bits(5000, 32)
+        prefixes = {key_prefix(int(key), bits) for key in keys}
+        assert len(prefixes) <= 32
+
+    def test_suffix_bits_scale_with_density(self):
+        small = prefix_suffix_bits(1000, 64)
+        large = prefix_suffix_bits(1_000_000, 64)
+        assert large > small
+
+    def test_explicit_suffix_bits(self):
+        keys = prefix_random_keys(2000, num_prefixes=16, suffix_bits=12, rng=0)
+        prefixes = {int(key) >> 12 for key in keys}
+        assert len(prefixes) <= 16
+
+    def test_sorted_unique(self):
+        keys = prefix_random_keys(2000, rng=0)
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestEmailKeys:
+    def test_count_and_sorted(self):
+        emails = email_keys(500, rng=0)
+        assert len(emails) == 500
+        assert emails == sorted(emails)
+        assert len(set(emails)) == 500
+
+    def test_host_reversed_shape(self):
+        emails = email_keys(200, rng=0)
+        for email in emails[:20]:
+            text = email.decode("ascii")
+            host, _, local = text.partition("@")
+            assert host.count(".") >= 1
+            assert local
+
+    def test_average_length_near_paper(self):
+        emails = email_keys(500, rng=0)
+        average = sum(len(email) for email in emails) / len(emails)
+        assert 15 < average < 30  # paper: average 22 bytes
+
+    def test_zipf_domain_popularity(self):
+        emails = email_keys(2000, rng=0)
+        domains = {}
+        for email in emails:
+            host = email.split(b"@")[0]
+            domains[host] = domains.get(host, 0) + 1
+        counts = sorted(domains.values(), reverse=True)
+        assert counts[0] > 5 * counts[len(counts) // 2]
+
+
+class TestGuards:
+    def test_generator_shortfall_raises(self):
+        with pytest.raises(ValueError):
+            # 12-bit suffix space with 1 prefix cannot produce 100k keys.
+            prefix_random_keys(100_000, num_prefixes=1, suffix_bits=12, rng=0)

@@ -1,0 +1,138 @@
+"""Tests for the key-selection distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    indices_for,
+    lognormal_indices,
+    normal_indices,
+    uniform_indices,
+    zipf_cdf,
+    zipf_indices,
+)
+
+
+class TestZipf:
+    def test_indices_in_range(self):
+        indices = zipf_indices(1000, 5000, alpha=1.0, rng=0)
+        assert indices.min() >= 0
+        assert indices.max() < 1000
+
+    def test_rank_contiguous_hot_head(self):
+        indices = zipf_indices(10_000, 50_000, alpha=1.0, rng=0)
+        head_share = np.mean(indices < 100)
+        assert head_share > 0.4  # the hot head is the low ranks
+
+    def test_higher_alpha_more_skew(self):
+        mild = zipf_indices(10_000, 30_000, alpha=0.5, rng=0)
+        sharp = zipf_indices(10_000, 30_000, alpha=1.5, rng=0)
+        assert np.mean(sharp < 10) > np.mean(mild < 10)
+
+    def test_alpha_zero_is_uniform(self):
+        indices = zipf_indices(1000, 50_000, alpha=0.0, rng=0)
+        head_share = np.mean(indices < 100)
+        assert 0.07 < head_share < 0.13
+
+    def test_permute_scatters_hot_set(self):
+        plain = zipf_indices(10_000, 20_000, alpha=1.2, rng=0, permute=False)
+        permuted = zipf_indices(10_000, 20_000, alpha=1.2, rng=0, permute=True)
+        assert np.mean(plain < 100) > 0.4
+        assert np.mean(permuted < 100) < 0.1
+
+    def test_cdf_normalized(self):
+        cdf = zipf_cdf(100, 1.0)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) > 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            zipf_cdf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_cdf(10, -1.0)
+
+
+class TestNormal:
+    def test_centered_band(self):
+        indices = normal_indices(10_000, 30_000, rng=0)
+        assert 4500 < np.median(indices) < 5500
+        # sigma = 3% -> nearly everything within +-4 sigma of the center.
+        assert np.mean(np.abs(indices - 5000) < 1200) > 0.99
+
+    def test_clipped_to_range(self):
+        indices = normal_indices(100, 10_000, mu=0.0, sigma=0.5, rng=0)
+        assert indices.min() >= 0
+        assert indices.max() <= 99
+
+
+class TestLognormal:
+    def test_concentrated_band(self):
+        indices = lognormal_indices(10_000, 30_000, rng=0)
+        low, high = np.percentile(indices, [1, 99])
+        # A narrow band compared to uniform's ~9800 (Figure 11's steep CDF).
+        assert (high - low) < 4000
+
+    def test_sigma_controls_width(self):
+        narrow = lognormal_indices(10_000, 30_000, sigma=0.002, rng=0)
+        wide = lognormal_indices(10_000, 30_000, sigma=0.2, rng=0)
+        assert narrow.std() < wide.std()
+
+    def test_in_range(self):
+        indices = lognormal_indices(50, 10_000, sigma=1.0, rng=0)
+        assert indices.min() >= 0
+        assert indices.max() <= 49
+
+
+class TestUniform:
+    def test_covers_range(self):
+        indices = uniform_indices(100, 20_000, rng=0)
+        assert set(np.unique(indices)) == set(range(100))
+
+
+class TestDispatch:
+    def test_indices_for_names(self):
+        for name in ("zipf", "normal", "lognormal", "uniform"):
+            indices = indices_for(name, 500, 100, rng=0)
+            assert len(indices) == 100
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            indices_for("pareto", 10, 10)
+
+    def test_params_forwarded(self):
+        indices = indices_for("zipf", 1000, 5000, rng=0, alpha=1.5)
+        assert np.mean(indices < 10) > 0.3
+
+    def test_seeded_reproducibility(self):
+        a = indices_for("zipf", 1000, 100, rng=42)
+        b = indices_for("zipf", 1000, 100, rng=42)
+        assert np.array_equal(a, b)
+
+
+class TestHotspot:
+    def test_hot_set_receives_hot_probability_mass(self):
+        from repro.workloads.distributions import hotspot_indices
+
+        indices = hotspot_indices(10_000, 50_000, rng=0)
+        hot_share = np.mean(indices < 100)
+        assert 0.85 < hot_share < 0.95
+
+    def test_cold_accesses_outside_hot_set(self):
+        from repro.workloads.distributions import hotspot_indices
+
+        indices = hotspot_indices(10_000, 50_000, rng=0)
+        cold = indices[indices >= 100]
+        assert len(cold) > 0
+        assert cold.max() < 10_000
+
+    def test_parameters_validated(self):
+        from repro.workloads.distributions import hotspot_indices
+
+        with pytest.raises(ValueError):
+            hotspot_indices(100, 10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            hotspot_indices(100, 10, hot_probability=1.5)
+
+    def test_dispatch(self):
+        indices = indices_for("hotspot", 1000, 5000, rng=0, hot_fraction=0.05)
+        assert np.mean(indices < 50) > 0.8

@@ -1,0 +1,161 @@
+"""Tests for workload specs (Table 3) and operation-stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import prefix_random_keys
+from repro.workloads.spec import (
+    OpKind,
+    OpMix,
+    PhaseSpec,
+    w1_sequence,
+    w2,
+    w3,
+    w4,
+    w5_sequence,
+    w11,
+    w12,
+    w13,
+    w51,
+    w52,
+    w61,
+    w62,
+)
+from repro.workloads.stream import Operation, generate_operations, generate_phase
+
+
+class TestSpecs:
+    def test_table3_mixes(self):
+        spec = w11()
+        mix = {entry.kind: entry.fraction for entry in spec.phases[0].mix}
+        assert mix == {OpKind.READ: 0.49, OpKind.SCAN: 0.49, OpKind.INSERT: 0.02}
+
+        spec = w4()
+        mix = {entry.kind: entry.fraction for entry in spec.phases[0].mix}
+        assert mix == {OpKind.READ: 0.75, OpKind.SCAN: 0.25}
+        assert spec.phases[0].scan_length == (100, 250)
+
+        spec = w51()
+        mix = {entry.kind: entry.fraction for entry in spec.phases[0].mix}
+        assert mix[OpKind.INSERT] == 0.80
+
+        assert all(
+            entry.kind is OpKind.SCAN for entry in w62().phases[0].mix
+        )
+
+    def test_distributions_per_table3(self):
+        assert w12().phases[0].mix[0].distribution == "normal"
+        assert w13().phases[0].mix[0].distribution == "lognormal"
+        assert w2().phases[0].mix[0].distribution == "uniform"
+        assert w3().phases[0].mix[0].distribution == "prefix"
+
+    def test_sequences(self):
+        spec = w1_sequence(num_ops=100)
+        assert len(spec.phases) == 3
+        assert spec.total_ops == 300
+        assert len(w5_sequence(num_ops=10).phases) == 2
+
+    def test_scaled(self):
+        spec = w11().scaled(123)
+        assert all(phase.num_ops == 123 for phase in spec.phases)
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("bad", 10, (OpMix(OpKind.READ, 0.5, "uniform"),))
+
+    def test_w61_alpha_param(self):
+        spec = w61(alpha=1.4)
+        assert dict(spec.phases[0].mix[0].params)["alpha"] == 1.4
+
+
+class TestGeneratePhase:
+    def test_operation_counts_and_kinds(self):
+        keys = np.arange(1000) * 10
+        operations = generate_phase(keys, w11(num_ops=5000).phases[0], rng=0)
+        assert len(operations) == 5000
+        kinds = {}
+        for op in operations:
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+        assert abs(kinds[OpKind.READ] / 5000 - 0.49) < 0.03
+        assert abs(kinds[OpKind.SCAN] / 5000 - 0.49) < 0.03
+        assert 0.005 < kinds[OpKind.INSERT] / 5000 < 0.04
+
+    def test_reads_use_existing_keys(self):
+        keys = np.arange(100) * 7
+        operations = generate_phase(keys, w61(num_ops=500).phases[0], rng=0)
+        key_set = set(keys.tolist())
+        assert all(op.key in key_set for op in operations)
+
+    def test_inserts_are_new_nearby_keys(self):
+        keys = np.arange(0, 10_000_000, 100_000)
+        operations = generate_phase(keys, w51(num_ops=2000).phases[0], rng=0)
+        inserts = [op for op in operations if op.kind is OpKind.INSERT]
+        assert inserts
+        key_set = set(keys.tolist())
+        for op in inserts:
+            # New keys sit in the offset window just above an existing key.
+            assert op.key not in key_set
+            base = (op.key // 100_000) * 100_000
+            assert 0 < op.key - base <= 4096
+
+    def test_scan_lengths_in_bounds(self):
+        keys = np.arange(500)
+        operations = generate_phase(keys, w62(num_ops=1000).phases[0], rng=0)
+        lengths = [op.scan_length for op in operations if op.kind is OpKind.SCAN]
+        assert min(lengths) >= 10
+        assert max(lengths) <= 50
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            generate_phase(np.array([], dtype=np.int64), w61(num_ops=10).phases[0])
+
+    def test_reproducible_with_seed(self):
+        keys = np.arange(100)
+        a = generate_phase(keys, w61(num_ops=200).phases[0], rng=5)
+        b = generate_phase(keys, w61(num_ops=200).phases[0], rng=5)
+        assert a == b
+
+
+class TestPrefixWorkload:
+    def test_phases_have_different_hot_ranges(self):
+        keys = prefix_random_keys(20_000, num_prefixes=64, rng=0)
+        spec = w3(num_ops=5000, num_phases=2)
+        phase0 = generate_phase(keys, spec.phases[0], rng=1, phase_index=0)
+        phase1 = generate_phase(keys, spec.phases[1], rng=1, phase_index=1)
+
+        def hot_buckets(operations):
+            ranks = np.searchsorted(keys, [op.key for op in operations])
+            buckets = ranks // (len(keys) // 32 + 1)
+            unique, counts = np.unique(buckets, return_counts=True)
+            return set(unique[counts > len(operations) / 16].tolist())
+
+        hot0 = hot_buckets(phase0)
+        hot1 = hot_buckets(phase1)
+        assert hot0 and hot1
+        assert hot0 != hot1
+
+    def test_prefix_ops_use_existing_keys(self):
+        keys = prefix_random_keys(5000, rng=0)
+        operations = generate_phase(keys, w3(num_ops=1000).phases[0], rng=2)
+        key_set = set(keys.tolist())
+        assert all(op.key in key_set for op in operations)
+
+    def test_prefix_hot_set_is_concentrated(self):
+        keys = prefix_random_keys(20_000, num_prefixes=64, rng=0)
+        operations = generate_phase(keys, w3(num_ops=5000).phases[0], rng=3)
+        distinct = len({op.key for op in operations})
+        # 10% of 64 ranges are hot -> far fewer distinct keys than ops.
+        assert distinct < 20_000 * 0.25
+
+
+class TestGenerateOperations:
+    def test_yields_per_phase(self):
+        keys = np.arange(200)
+        phases = list(generate_operations(keys, w1_sequence(num_ops=100), rng=0))
+        assert len(phases) == 3
+        assert all(len(operations) == 100 for operations in phases)
+
+    def test_operation_is_frozen(self):
+        op = Operation(OpKind.READ, 5)
+        with pytest.raises(Exception):
+            op.key = 6
