@@ -39,7 +39,9 @@ from repro.bptree.tree import BPlusTree
 from repro.core.access import AccessType
 from repro.core.budget import MemoryBudget
 from repro.core.manager import AdaptationManager, ManagerConfig
+from repro.core.invariants import InvariantViolation, validate
 from repro.dualstage.index import DualStageIndex
+from repro.faults.injector import FaultInjector, InjectedFault
 from repro.fst.trie import FST
 from repro.hybridtrie.tree import HybridTrie
 from repro.sim.costmodel import CostModel
@@ -57,6 +59,10 @@ __all__ = [
     "AdaptationManager",
     "ManagerConfig",
     "DualStageIndex",
+    "FaultInjector",
+    "InjectedFault",
+    "InvariantViolation",
+    "validate",
     "FST",
     "HybridTrie",
     "CostModel",

@@ -116,7 +116,15 @@ class AdaptiveBPlusTree(BPlusTree):
             if not budget.exceeded(self.size_bytes(), self.num_keys):
                 source = leaf.encoding
                 before = leaf.size_bytes()
-                if migrate_leaf(leaf, LeafEncoding.GAPPED, self.counters):
+                try:
+                    migrated = migrate_leaf(leaf, LeafEncoding.GAPPED, self.counters)
+                except Exception:
+                    # A failed eager expansion is an optimization miss, not
+                    # an error: the transactional migration left the leaf
+                    # intact, so the insert proceeds on the old encoding.
+                    self.counters.add(f"eager_expansion_failed:{source}")
+                    migrated = False
+                if migrated:
                     self.note_leaf_resized(leaf.size_bytes() - before)
                     self.counters.add(f"eager_expansion:{source}")
                     # Register so a later cold classification compacts it.

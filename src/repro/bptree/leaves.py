@@ -25,6 +25,7 @@ import enum
 import itertools
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.faults.injector import fault_point
 from repro.succinct.for_codec import ForBlock, for_encode
 
 DEFAULT_LEAF_CAPACITY = 255
@@ -357,11 +358,29 @@ class LeafNode:
         return self.storage.size_bytes()
 
     def migrate_to(self, encoding: LeafEncoding) -> bool:
-        """Re-encode this leaf in place; False when already encoded so."""
+        """Re-encode this leaf transactionally; False when already so.
+
+        The replacement storage is built *off to the side* and verified
+        against the live one before a single-assignment swap, so an
+        exception anywhere in the re-encode (including an injected fault)
+        leaves the leaf exactly as it was.
+        """
         if encoding is self.encoding:
             return False
+        fault_point("bptree.migrate.read")
         pairs = self.storage.to_pairs()
-        self.storage = _STORAGE_CLASSES[encoding](pairs, self.storage.capacity)
+        fault_point("bptree.migrate.encode")
+        replacement = _STORAGE_CLASSES[encoding](pairs, self.storage.capacity)
+        if (
+            replacement.num_entries() != len(pairs)
+            or replacement.min_key() != self.storage.min_key()
+            or replacement.max_key() != self.storage.max_key()
+        ):  # pragma: no cover - storage classes are checked; last line of defense
+            raise AssertionError(
+                f"re-encode of leaf {self.leaf_id} to {encoding} lost entries"
+            )
+        fault_point("bptree.migrate.swap")
+        self.storage = replacement
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -384,6 +384,15 @@ class BPlusTree:
             for encoding, (count, total_bytes) in totals.items()
         }
 
+    def verify(self) -> None:
+        """Prove structural integrity; raises
+        :class:`~repro.core.invariants.InvariantViolation` with every
+        violated invariant (key order, leaf links, occupancy, byte
+        accounting, census-vs-reality) when the tree is corrupt."""
+        from repro.core.invariants import validate
+
+        validate(self)
+
     def check_invariants(self) -> None:
         """Validate structural invariants (tests and debugging)."""
         leaves_via_chain = list(self.leaves())

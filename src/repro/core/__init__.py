@@ -13,6 +13,7 @@ from repro.core.access import AccessStats, AccessType, Classification
 from repro.core.bloom import BloomFilter
 from repro.core.budget import MemoryBudget, estimate_expandable_k
 from repro.core.events import AdaptationEvent, EventLog
+from repro.core.invariants import InvariantViolation, validate, violations_of
 from repro.core.heuristics import (
     HeuristicDecision,
     HeuristicInput,
@@ -32,6 +33,9 @@ __all__ = [
     "estimate_expandable_k",
     "AdaptationEvent",
     "EventLog",
+    "InvariantViolation",
+    "validate",
+    "violations_of",
     "HeuristicDecision",
     "HeuristicInput",
     "make_threshold_heuristic",

@@ -28,6 +28,10 @@ class AdaptationEvent:
     skip_length_after: int
     sample_size_after: int
     index_bytes: int         # modeled index size after the phase
+    migration_failures: int = 0   # migrations that raised this phase
+    retries: int = 0              # failed units re-attempted this phase
+    quarantined: int = 0          # units newly quarantined this phase
+    adaptation_disabled: bool = False  # True once degradation kicked in
 
 
 @dataclass
@@ -63,6 +67,16 @@ class EventLog:
     def total_migrations(self) -> int:
         """Expansions plus compactions across all phases."""
         return self.total_expansions + self.total_compactions
+
+    @property
+    def total_migration_failures(self) -> int:
+        """Failed (raising) migrations across all logged phases."""
+        return sum(event.migration_failures for event in self.events)
+
+    @property
+    def total_quarantined(self) -> int:
+        """Units quarantined across all logged phases."""
+        return sum(event.quarantined for event in self.events)
 
     def clear(self) -> None:
         """Remove every entry."""

@@ -72,6 +72,15 @@ class ManagerConfig:
     ``encoding_order`` lists encodings from most compact to fastest; it
     determines both the default CSHF (compact end vs fast end) and whether
     a migration counts as an expansion or a compaction.
+
+    The ``max_migration_retries`` / ``retry_backoff_*`` /
+    ``disable_after_failures`` knobs govern degradation when migrations
+    *raise* (allocation failure, injected fault): a failed unit is
+    retried with capped exponential backoff measured in adaptation
+    phases, quarantined after repeated consecutive failures, and once
+    the total failure count crosses ``disable_after_failures`` the
+    manager disables adaptation entirely — the index keeps serving
+    traffic on its current (static) layout.
     """
 
     encoding_order: Sequence[object] = ()
@@ -93,12 +102,52 @@ class ManagerConfig:
     initial_sample_size: Optional[int] = None
     max_sample_size: int = 200_000
     sample_map: str = "dict"  # or "hopscotch": the paper's structure
+    max_migration_retries: int = 3     # consecutive failures before quarantine
+    retry_backoff_base: int = 1        # phases to wait after the first failure
+    retry_backoff_cap: int = 8         # ceiling on the per-unit backoff
+    disable_after_failures: int = 25   # total failures before adaptation stops
 
     def __post_init__(self) -> None:
         if len(self.encoding_order) < 2:
             raise ValueError("encoding_order needs at least a compact and a fast encoding")
         if self.skip_min > self.skip_max:
             raise ValueError(f"skip_min {self.skip_min} > skip_max {self.skip_max}")
+        if self.skip_min < 0:
+            raise ValueError(f"skip_min must be >= 0, got {self.skip_min}")
+        if not self.skip_min <= self.initial_skip_length <= self.skip_max:
+            raise ValueError(
+                f"initial_skip_length {self.initial_skip_length} outside "
+                f"[{self.skip_min}, {self.skip_max}]"
+            )
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if not 0.0 <= self.skip_jitter <= 1.0:
+            raise ValueError(f"skip_jitter must be in [0, 1], got {self.skip_jitter}")
+        if self.bloom_bits_per_item < 1:
+            raise ValueError(
+                f"bloom_bits_per_item must be >= 1, got {self.bloom_bits_per_item}"
+            )
+        if self.max_sample_size < 1:
+            raise ValueError(f"max_sample_size must be >= 1, got {self.max_sample_size}")
+        if self.max_migration_retries < 1:
+            raise ValueError(
+                f"max_migration_retries must be >= 1, got {self.max_migration_retries}"
+            )
+        if self.retry_backoff_base < 1:
+            raise ValueError(
+                f"retry_backoff_base must be >= 1, got {self.retry_backoff_base}"
+            )
+        if self.retry_backoff_cap < self.retry_backoff_base:
+            raise ValueError(
+                f"retry_backoff_cap {self.retry_backoff_cap} below "
+                f"retry_backoff_base {self.retry_backoff_base}"
+            )
+        if self.disable_after_failures < 1:
+            raise ValueError(
+                f"disable_after_failures must be >= 1, got {self.disable_after_failures}"
+            )
 
     @property
     def compact_encoding(self) -> object:
@@ -109,6 +158,18 @@ class ManagerConfig:
     def fast_encoding(self) -> object:
         """The fastest encoding in the order."""
         return self.encoding_order[-1]
+
+
+@dataclass
+class _PhaseOutcome:
+    """What one adaptation phase's migration pass actually did."""
+
+    expansions: int = 0
+    compactions: int = 0
+    evictions: int = 0
+    failures: int = 0
+    retries: int = 0
+    quarantined: int = 0
 
 
 @dataclass
@@ -125,6 +186,9 @@ class ManagerCounters:
     expansions: int = 0
     compactions: int = 0
     evictions: int = 0
+    migration_failures: int = 0
+    migration_retries: int = 0
+    quarantined_units: int = 0
 
 
 class AdaptationManager:
@@ -142,6 +206,11 @@ class AdaptationManager:
         self._epoch = 1
         self._sampled_this_phase = 0
         self._enabled = True
+        self._failure_streaks: Dict[Hashable, int] = {}  # consecutive failures
+        self._retry_at: Dict[Hashable, int] = {}         # epoch gating the retry
+        self._quarantined: set = set()
+        self._total_migration_failures = 0
+        self._degraded = False
         self.counters = ManagerCounters()
         self.events = EventLog()
         self._sample_size = self._initial_sample_size()
@@ -213,6 +282,9 @@ class AdaptationManager:
     def forget(self, identifier: Hashable) -> None:
         """Drop a unit that no longer exists (deleted / split away)."""
         self._samples.pop(identifier, None)
+        self._failure_streaks.pop(identifier, None)
+        self._retry_at.pop(identifier, None)
+        self._quarantined.discard(identifier)
 
     # ------------------------------------------------------------------
     # Adaptation phase
@@ -225,13 +297,22 @@ class AdaptationManager:
         """
         k = self._choose_k()
         hot_items = self._classify(k)
-        expansions, compactions, evictions = self._apply_heuristic(hot_items)
+        outcome = self._apply_heuristic(hot_items)
+
+        if (
+            not self._degraded
+            and self._total_migration_failures >= self.config.disable_after_failures
+        ):
+            # Too many failed migrations overall: stop adapting and keep
+            # serving the workload on the current (now static) layout.
+            self._degraded = True
+            self.disable()
 
         skip_before = self._sampler.skip_length
         if self.config.adaptive_skip:
             new_skip = adjust_skip_length(
                 current=skip_before,
-                migrated=expansions + compactions,
+                migrated=outcome.expansions + outcome.compactions,
                 sampled=max(1, self._sampled_this_phase),
                 skip_min=self.config.skip_min,
                 skip_max=self.config.skip_max,
@@ -245,20 +326,24 @@ class AdaptationManager:
             sampled=self._sampled_this_phase,
             unique_tracked=len(self._samples),
             hot=len(hot_items),
-            expansions=expansions,
-            compactions=compactions,
-            evictions=evictions,
+            expansions=outcome.expansions,
+            compactions=outcome.compactions,
+            evictions=outcome.evictions,
             skip_length_before=skip_before,
             skip_length_after=self._sampler.skip_length,
             sample_size_after=self._sample_size,
             index_bytes=self._index.used_memory(),
+            migration_failures=outcome.failures,
+            retries=outcome.retries,
+            quarantined=outcome.quarantined,
+            adaptation_disabled=self._degraded,
         )
         self.events.append(event)
 
         self.counters.adaptation_phases += 1
-        self.counters.expansions += expansions
-        self.counters.compactions += compactions
-        self.counters.evictions += evictions
+        self.counters.expansions += outcome.expansions
+        self.counters.compactions += outcome.compactions
+        self.counters.evictions += outcome.evictions
         self._epoch += 1
         self._sampled_this_phase = 0
         self._filter.reset()
@@ -290,6 +375,25 @@ class AdaptationManager:
     def stats_of(self, identifier: Hashable) -> Optional[AccessStats]:
         """The AccessStats of one tracked unit, or None."""
         return self._samples.get(identifier)
+
+    @property
+    def quarantined_units(self) -> int:
+        """Units permanently excluded from migration after repeated failures."""
+        return len(self._quarantined)
+
+    def is_quarantined(self, identifier: Hashable) -> bool:
+        """True when ``identifier`` will never be migrated again."""
+        return identifier in self._quarantined
+
+    @property
+    def adaptation_degraded(self) -> bool:
+        """True once repeated failures disabled adaptation entirely."""
+        return self._degraded
+
+    @property
+    def total_migration_failures(self) -> int:
+        """Raising migrations seen over the manager's lifetime."""
+        return self._total_migration_failures
 
     def enable(self) -> None:
         """Resume sampling."""
@@ -328,11 +432,10 @@ class AdaptationManager:
         self.counters.heap_operations += classifier.heap_operations
         return classifier.hot_items()
 
-    def _apply_heuristic(self, hot_items: set) -> tuple:
+    def _apply_heuristic(self, hot_items: set) -> _PhaseOutcome:
         budget = self.config.budget
         utilization = budget.utilization(self._index.used_memory(), self._index.num_keys)
-        expansions = 0
-        compactions = 0
+        outcome = _PhaseOutcome()
         to_evict = []
         # Iterate over a snapshot: migrations may mutate index internals.
         for identifier, stats in list(self._samples.items()):
@@ -357,18 +460,56 @@ class AdaptationManager:
             if decision.action is HeuristicAction.STOP_TRACKING:
                 to_evict.append(identifier)
             elif decision.action is HeuristicAction.MIGRATE:
-                if not self._index.migrate(identifier, decision.target_encoding, stats.context):
+                if identifier in self._quarantined:
+                    continue  # failed too often; never migrated again
+                if self._retry_at.get(identifier, 0) >= self._epoch:
+                    continue  # still backing off from an earlier failure
+                if identifier in self._failure_streaks:
+                    outcome.retries += 1
+                    self.counters.migration_retries += 1
+                try:
+                    migrated = self._index.migrate(
+                        identifier, decision.target_encoding, stats.context
+                    )
+                except Exception:
+                    self._record_migration_failure(identifier, outcome)
+                    continue
+                self._failure_streaks.pop(identifier, None)
+                self._retry_at.pop(identifier, None)
+                if not migrated:
                     continue
                 if self._is_expansion(current_encoding, decision.target_encoding):
-                    expansions += 1
+                    outcome.expansions += 1
                 else:
-                    compactions += 1
+                    outcome.compactions += 1
                 utilization = budget.utilization(
                     self._index.used_memory(), self._index.num_keys
                 )
         for identifier in to_evict:
             self._samples.pop(identifier, None)
-        return expansions, compactions, len(to_evict)
+        outcome.evictions = len(to_evict)
+        return outcome
+
+    def _record_migration_failure(
+        self, identifier: Hashable, outcome: _PhaseOutcome
+    ) -> None:
+        """Book one raising migration: backoff, quarantine, disable."""
+        outcome.failures += 1
+        self.counters.migration_failures += 1
+        self._total_migration_failures += 1
+        streak = self._failure_streaks.get(identifier, 0) + 1
+        self._failure_streaks[identifier] = streak
+        if streak >= self.config.max_migration_retries:
+            self._quarantined.add(identifier)
+            self._retry_at.pop(identifier, None)
+            outcome.quarantined += 1
+            self.counters.quarantined_units += 1
+            return
+        backoff = min(
+            self.config.retry_backoff_cap,
+            self.config.retry_backoff_base * (2 ** (streak - 1)),
+        )
+        self._retry_at[identifier] = self._epoch + backoff
 
     def _is_expansion(self, source: object, target: object) -> bool:
         source_rank = self._encoding_rank.get(source, 0)

@@ -18,6 +18,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from repro.bptree.leaves import LeafEncoding
 from repro.bptree.tree import BPlusTree
 from repro.core.bloom import BloomFilter
+from repro.faults.injector import fault_point
 from repro.sim.counters import OpCounters
 from repro.succinct.for_codec import ForBlock, for_encode
 
@@ -238,7 +239,15 @@ class DualStageIndex:
         return len(self._dynamic) / total > self.merge_ratio
 
     def merge(self) -> None:
-        """Fold the dynamic stage into the static one (full rebuild)."""
+        """Fold the dynamic stage into the static one (full rebuild).
+
+        Transactional: the replacement static run, dynamic tree, and
+        Bloom filter are all built off to the side and installed in an
+        exception-free swap, so a failure anywhere in the (expensive)
+        rebuild — including an injected fault — leaves both stages
+        serving the pre-merge state; the next insert simply retries.
+        """
+        fault_point("dualstage.merge.collect")
         merged: List[Tuple[int, int]] = []
         dynamic_items = list(self._dynamic.items())
         static_items = self._static.items()
@@ -255,15 +264,32 @@ class DualStageIndex:
             if key not in self._tombstones:
                 merged.append((key, value))
         merged.extend(dynamic_items[dynamic_index:])
-        self._static = CompactSortedArray(merged, self.static_encoding, self.counters)
-        self._dynamic = BPlusTree(LeafEncoding.GAPPED)
-        self._dynamic.counters = self.counters
-        self._bloom = BloomFilter(
+        fault_point("dualstage.merge.build")
+        new_static = CompactSortedArray(merged, self.static_encoding, self.counters)
+        new_dynamic = BPlusTree(LeafEncoding.GAPPED)
+        new_dynamic.counters = self.counters
+        new_bloom = BloomFilter(
             capacity=max(1024, len(merged) // 16),
             bits_per_item=self.bloom_bits_per_key,
         )
-        self._tombstones.clear()
+        fault_point("dualstage.merge.swap")
+        self._static = new_static
+        self._dynamic = new_dynamic
+        self._bloom = new_bloom
+        self._tombstones = set()
         self.merges += 1
+
+    # ------------------------------------------------------------------
+    # Self-verification
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Prove structural integrity; raises
+        :class:`~repro.core.invariants.InvariantViolation` when the
+        static run, the block directory, the tombstone discipline, or
+        the dynamic stage is inconsistent."""
+        from repro.core.invariants import validate
+
+        validate(self)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -11,7 +11,7 @@ not bit-compatible with the SuRF serialization (see DESIGN.md §6).
 """
 
 from repro.fst.builder import TrieLevels, build_trie_levels
-from repro.fst.serialize import fst_from_bytes, fst_to_bytes
+from repro.fst.serialize import CorruptSerializationError, fst_from_bytes, fst_to_bytes
 from repro.fst.trie import FST, choose_dense_cutoff
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "TrieLevels",
     "build_trie_levels",
     "choose_dense_cutoff",
+    "CorruptSerializationError",
     "fst_from_bytes",
     "fst_to_bytes",
 ]

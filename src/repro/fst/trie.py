@@ -389,6 +389,17 @@ class FST:
         return fst_from_bytes(blob)
 
     # ------------------------------------------------------------------
+    # Self-verification
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Prove structural integrity; raises
+        :class:`~repro.core.invariants.InvariantViolation` on any LOUDS,
+        value-array, or reachability inconsistency."""
+        from repro.core.invariants import validate
+
+        validate(self)
+
+    # ------------------------------------------------------------------
     # Size accounting
     # ------------------------------------------------------------------
     def dense_size_bytes(self) -> int:

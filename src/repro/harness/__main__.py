@@ -39,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig18": exp.experiment_fig18,
     "fig19": exp.experiment_fig19,
     "fig20": exp.experiment_fig20,
+    "faults": exp.experiment_fault_campaign,
     "tab1": exp.experiment_table1,
     "tab2": exp.experiment_table2,
     "tab4": exp.experiment_table4,
@@ -77,6 +78,12 @@ def _render(name: str, result: Dict) -> None:
     for extra in ("expansions", "compactions", "skip_lengths"):
         if extra in result:
             print(f"{extra} (cumulative per interval): {result[extra]}")
+    for extra in (
+        "total_faults", "total_violations", "total_lost_keys",
+        "quarantine_events", "disable_events",
+    ):
+        if extra in result:
+            print(f"{extra}: {result[extra]}")
     if "compression_ratio" in result:
         print(f"compression ratio: {result['compression_ratio']:.1%}")
 
@@ -90,7 +97,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names (fig2..fig20, tab1/tab2/tab4), 'all', or 'list'",
+        help="experiment names (fig2..fig20, tab1/tab2/tab4, faults), 'all', or 'list'",
     )
     parser.add_argument(
         "--scale",

@@ -1,0 +1,390 @@
+"""Fault-injection campaign: robustness evidence for every index family.
+
+Not a paper figure — this experiment exercises the robustness layer the
+repository adds on top of the paper: transactional migrations
+(:mod:`repro.faults`), manager-side degradation (retry / backoff /
+quarantine / disable), and checksummed serialization.  It runs mixed
+workloads while a :class:`~repro.faults.FaultInjector` makes migration
+and serialization steps raise, then proves that
+
+* every structural invariant still holds (:func:`repro.core.invariants
+  .violations_of` returns nothing),
+* no key was lost or invented relative to a dict oracle, and
+* the manager surfaced the failures through its :class:`EventLog`
+  (retries, quarantined units, and — in the degradation campaign —
+  adaptation shutting itself off).
+
+``experiment_fault_campaign(faults=N)`` keeps injecting until at least
+``N`` faults fired across all campaigns, so callers can demand "at least
+a thousand faults, zero damage" and have the claim hold by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bptree.hybrid import BTREE_ENCODING_ORDER, AdaptiveBPlusTree
+from repro.core.invariants import violations_of
+from repro.core.manager import ManagerConfig
+from repro.dualstage.index import DualStageIndex
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.fst.serialize import (
+    CorruptSerializationError,
+    fst_from_bytes,
+    fst_to_bytes,
+)
+from repro.fst.trie import FST
+from repro.hybridtrie.tree import TRIE_ENCODING_ORDER, HybridTrie
+
+
+def _campaign_config(encoding_order, disable_after: int) -> ManagerConfig:
+    """Aggressive sampling so adaptation phases (and thus migration
+    attempts) happen every few dozen operations."""
+    return ManagerConfig(
+        encoding_order=encoding_order,
+        initial_skip_length=0,
+        skip_min=0,
+        skip_max=4,
+        initial_sample_size=96,
+        max_sample_size=96,
+        disable_after_failures=disable_after,
+    )
+
+
+def _oracle_damage(items, oracle: Dict) -> Tuple[int, int]:
+    """(lost_or_wrong, invented) between index contents and the oracle."""
+    got = dict(items)
+    lost = sum(1 for key, value in oracle.items() if got.get(key) != value)
+    invented = sum(1 for key in got if key not in oracle)
+    return lost, invented
+
+
+def _btree_campaign(
+    num_keys: int,
+    fault_rate: float,
+    fault_quota: int,
+    seed: int,
+    degradation: bool,
+    max_batches: int,
+) -> Dict:
+    """Mixed B+-tree workload under migration faults.
+
+    ``degradation=True`` makes *every* migration fail (rate 1.0 on the
+    swap point) with a low disable threshold, so the run must end with
+    quarantined leaves and adaptation switched off; otherwise the faults
+    are flaky (``fault_rate``) and the manager recovers via retries.
+    """
+    rng = np.random.default_rng(seed)
+    pairs = [(key, key * 7 + 1) for key in range(0, num_keys * 2, 2)]
+    tree = AdaptiveBPlusTree.bulk_load_adaptive(
+        pairs,
+        leaf_capacity=64,
+        # In the degradation run the threshold sits above 3x the
+        # quarantine streak, so leaves demonstrably quarantine *before*
+        # the total-failure count shuts adaptation off.
+        manager_config=_campaign_config(
+            BTREE_ENCODING_ORDER, disable_after=40 if degradation else 100_000
+        ),
+    )
+    oracle = dict(pairs)
+    # Degradation wants the *same few* leaves failing repeatedly (streaks
+    # -> quarantine) before the total-failure disable threshold trips;
+    # the flaky run spreads heat wide so many leaves migrate.
+    hot_size = 8 if degradation else max(8, num_keys // 20)
+    hot = rng.choice([key for key, _ in pairs], size=hot_size)
+    injector = FaultInjector(
+        site="bptree.migrate.swap" if degradation else "bptree.*",
+        rate=1.0 if degradation else fault_rate,
+        seed=seed,
+    )
+    operations = 0
+    next_key = num_keys * 2 + 1
+    with injector:
+        for _ in range(max_batches):
+            for _ in range(200):
+                tree.lookup(int(rng.choice(hot)))
+            for _ in range(100):
+                tree.insert(next_key, next_key)
+                oracle[next_key] = next_key
+                next_key += 2
+            for _ in range(20):
+                victim = next_key - 2 * int(rng.integers(1, 40))
+                if tree.delete(victim):
+                    oracle.pop(victim, None)
+            operations += 320
+            if degradation:
+                if tree.manager.adaptation_degraded and tree.manager.quarantined_units:
+                    break
+            elif injector.failures_injected >= fault_quota:
+                break
+    violations = violations_of(tree)
+    lost, invented = _oracle_damage(tree.items(), oracle)
+    manager = tree.manager
+    return {
+        "name": "btree-degradation" if degradation else "btree-flaky",
+        "operations": operations,
+        "faults": injector.failures_injected,
+        "failures": manager.total_migration_failures,
+        "retries": manager.counters.migration_retries,
+        "quarantined": manager.quarantined_units,
+        "degraded": manager.adaptation_degraded,
+        "violations": len(violations),
+        "lost": lost + invented,
+        "events": manager.events,
+    }
+
+
+def _trie_campaign(
+    num_keys: int,
+    fault_rate: float,
+    fault_quota: int,
+    seed: int,
+    max_batches: int,
+) -> Dict:
+    """Hot-range lookups on the AHI-Trie under expand/compact faults."""
+    rng = np.random.default_rng(seed)
+    keys = sorted(
+        int(value).to_bytes(4, "big")
+        for value in rng.choice(1 << 28, size=num_keys, replace=False)
+    )
+    pairs = [(key, position) for position, key in enumerate(keys)]
+    trie = HybridTrie(
+        pairs,
+        art_levels=1,
+        manager_config=_campaign_config(TRIE_ENCODING_ORDER, disable_after=100_000),
+    )
+    oracle = dict(pairs)
+    injector = FaultInjector(site="trie.*", rate=fault_rate, seed=seed + 1)
+    operations = 0
+    with injector:
+        for batch in range(max_batches):
+            # Rotate the hot range so branches heat up, expand, cool
+            # down, and compact again — both migration directions fire.
+            hot = keys[(batch * 97) % max(1, num_keys - 256) :][:256]
+            for _ in range(300):
+                trie.lookup(hot[int(rng.integers(0, len(hot)))])
+            operations += 300
+            if injector.failures_injected >= fault_quota:
+                break
+    violations = violations_of(trie)
+    lost, invented = _oracle_damage(trie.items(), oracle)
+    manager = trie.manager
+    return {
+        "name": "trie-flaky",
+        "operations": operations,
+        "faults": injector.failures_injected,
+        "failures": manager.total_migration_failures,
+        "retries": manager.counters.migration_retries,
+        "quarantined": manager.quarantined_units,
+        "degraded": manager.adaptation_degraded,
+        "violations": len(violations),
+        "lost": lost + invented,
+        "events": manager.events,
+    }
+
+
+def _dualstage_campaign(
+    num_keys: int,
+    fault_rate: float,
+    fault_quota: int,
+    seed: int,
+    max_batches: int,
+) -> Dict:
+    """Insert-heavy Dual-Stage workload under merge faults.
+
+    The merge runs inline with inserts, so an injected fault surfaces to
+    the caller — but the transactional rebuild means the insert itself
+    already landed in the dynamic stage and both stages stay intact; the
+    next insert simply retries the merge.
+    """
+    rng = np.random.default_rng(seed)
+    index = DualStageIndex(merge_ratio=0.10)
+    oracle: Dict[int, int] = {}
+    injector = FaultInjector(site="dualstage.merge.*", rate=fault_rate, seed=seed + 2)
+    operations = 0
+    faulted_inserts = 0
+    with injector:
+        for _ in range(max_batches):
+            for _ in range(150):
+                key = int(rng.integers(0, num_keys * 4))
+                try:
+                    index.insert(key, key + 3)
+                except InjectedFault:
+                    faulted_inserts += 1  # insert landed; only the merge failed
+                oracle[key] = key + 3
+            for _ in range(20):
+                key = int(rng.integers(0, num_keys * 4))
+                try:
+                    removed = index.delete(key)
+                except InjectedFault:  # pragma: no cover - delete has no merge
+                    removed = True
+                if removed:
+                    oracle.pop(key, None)
+            operations += 170
+            if injector.failures_injected >= fault_quota:
+                break
+    violations = violations_of(index)
+    span = max(oracle) + 1 if oracle else 1
+    lost, invented = _oracle_damage(index.scan(0, len(oracle) + span), oracle)
+    return {
+        "name": "dualstage-merge",
+        "operations": operations,
+        "faults": injector.failures_injected,
+        "failures": faulted_inserts,
+        "retries": 0,
+        "quarantined": 0,
+        "degraded": False,
+        "violations": len(violations),
+        "lost": lost + invented,
+        "events": None,
+    }
+
+
+def _serialization_campaign(num_keys: int, fault_quota: int, seed: int) -> Dict:
+    """Checksummed FST serialization under injected faults and corruption.
+
+    Every single-bit flip and every truncation of the blob must raise
+    :class:`CorruptSerializationError` — decoding silently succeeding on
+    damaged bytes counts as a violation.  Runs until ``fault_quota``
+    faults fired, so this campaign absorbs whatever quota the structural
+    campaigns left over.
+    """
+    rng = np.random.default_rng(seed)
+    keys = sorted(
+        int(value).to_bytes(4, "big")
+        for value in rng.choice(1 << 24, size=num_keys, replace=False)
+    )
+    pairs = [(key, position) for position, key in enumerate(keys)]
+    fst = FST(pairs)
+    blob = fst_to_bytes(fst)
+    faults = 0
+    violations = 0
+    # Injector-driven faults on the (de)serialization paths themselves.
+    for site, action in (
+        ("fst.serialize.encode", lambda: fst_to_bytes(fst)),
+        ("fst.serialize.decode", lambda: fst_from_bytes(blob)),
+    ):
+        injector = FaultInjector(site=site, fail_at=1)
+        with injector:
+            try:
+                action()
+            except InjectedFault:
+                pass
+        faults += injector.failures_injected
+    # Truncations: every prefix cut must be rejected.
+    for cut in (0, 4, 11, len(blob) // 3, len(blob) // 2, len(blob) - 1):
+        try:
+            fst_from_bytes(blob[:cut])
+            violations += 1
+        except CorruptSerializationError:
+            faults += 1
+    # Bit flips spread deterministically across the whole blob.
+    total_bits = len(blob) * 8
+    trial = 0
+    while faults < fault_quota:
+        bit = (trial * 7919) % total_bits  # prime stride covers the blob
+        corrupted = bytearray(blob)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        try:
+            fst_from_bytes(bytes(corrupted))
+            violations += 1
+        except CorruptSerializationError:
+            faults += 1
+        trial += 1
+    # The pristine blob must still round-trip after all that.
+    restored = fst_from_bytes(blob)
+    lost = sum(1 for key, value in pairs if restored.lookup(key) != value)
+    violations += len(violations_of(restored))
+    return {
+        "name": "fst-serialization",
+        "operations": trial,
+        "faults": faults,
+        "failures": 0,
+        "retries": 0,
+        "quarantined": 0,
+        "degraded": False,
+        "violations": violations,
+        "lost": lost,
+        "events": None,
+    }
+
+
+def experiment_fault_campaign(
+    faults: int = 1200,
+    num_keys: int = 4_000,
+    fault_rate: float = 0.15,
+    seed: int = 0,
+    max_batches: int = 400,
+) -> Dict:
+    """Inject at least ``faults`` faults across every index family and
+    prove zero invariant violations and zero lost keys.
+
+    Campaigns: a B+-tree run where every migration fails (must end
+    quarantined + degraded), a flaky B+-tree run (must recover), an
+    AHI-Trie expand/compact run, a Dual-Stage merge run, and a
+    serialization run that also absorbs any remaining fault quota.
+    """
+    structural_quota = faults // 5
+    campaigns: List[Dict] = [
+        _btree_campaign(
+            num_keys, fault_rate, structural_quota, seed,
+            degradation=True, max_batches=max_batches,
+        ),
+        _btree_campaign(
+            num_keys, fault_rate, structural_quota, seed + 10,
+            degradation=False, max_batches=max_batches,
+        ),
+        _trie_campaign(num_keys, fault_rate, structural_quota, seed + 20, max_batches),
+        _dualstage_campaign(
+            num_keys, fault_rate, structural_quota, seed + 30, max_batches
+        ),
+    ]
+    structural_faults = sum(campaign["faults"] for campaign in campaigns)
+    campaigns.append(
+        _serialization_campaign(
+            min(num_keys, 2_000), max(64, faults - structural_faults), seed + 40
+        )
+    )
+
+    rows = [
+        (
+            campaign["name"],
+            campaign["operations"],
+            campaign["faults"],
+            campaign["failures"],
+            campaign["retries"],
+            campaign["quarantined"],
+            "yes" if campaign["degraded"] else "no",
+            campaign["violations"],
+            campaign["lost"],
+        )
+        for campaign in campaigns
+    ]
+    quarantine_events = sum(
+        campaign["events"].total_quarantined
+        for campaign in campaigns
+        if campaign["events"] is not None
+    )
+    disable_events = sum(
+        1
+        for campaign in campaigns
+        if campaign["events"] is not None
+        for event in campaign["events"]
+        if event.adaptation_disabled
+    )
+    return {
+        "headers": [
+            "campaign", "ops", "faults", "failures", "retries",
+            "quarantined", "degraded", "violations", "lost_keys",
+        ],
+        "rows": rows,
+        "total_faults": sum(campaign["faults"] for campaign in campaigns),
+        "total_violations": sum(campaign["violations"] for campaign in campaigns),
+        "total_lost_keys": sum(campaign["lost"] for campaign in campaigns),
+        "quarantine_events": quarantine_events,
+        "disable_events": disable_events,
+        "degradation_campaign_degraded": campaigns[0]["degraded"],
+        "degradation_campaign_quarantined": campaigns[0]["quarantined"],
+    }

@@ -28,6 +28,7 @@ from repro.core.budget import MemoryBudget
 from repro.core.heuristics import Heuristic
 from repro.core.manager import AdaptationManager, ManagerConfig
 from repro.core.trained import rank_units
+from repro.faults.injector import fault_point
 from repro.fst.trie import FST
 from repro.hybridtrie.tagged import BRANCH_POINTER_BYTES, TrieBranch, TrieEncoding
 from repro.sim.counters import OpCounters
@@ -201,19 +202,29 @@ class HybridTrie:
     # ------------------------------------------------------------------
     def expand_branch(self, branch: TrieBranch) -> bool:
         """FST -> ART: materialize one ART node for the branch (cf. (1) in
-        Figure 10).  Children become compact branches one level deeper."""
+        Figure 10).  Children become compact branches one level deeper.
+
+        Transactional: the ART node and its child wrappers are built off
+        to the side and attached with a single swap; an exception anywhere
+        before the swap (allocation, label collection, an injected fault)
+        leaves the branch compact and all counters untouched.
+        """
         if branch.expanded or branch.detached:
             return False
+        fault_point("trie.expand.read")
         entries = self._fst.children(branch.fst_node)
+        fault_point("trie.expand.build")
         node = art_node_for_fanout(len(entries))
+        new_branches = 0
         for label, child, value in entries:
             if value is not None:
                 node.set_child(label, value)
             else:
-                child_branch = TrieBranch(child, branch.level + 1)
-                self._num_branches += 1
-                node.set_child(label, child_branch)
+                node.set_child(label, TrieBranch(child, branch.level + 1))
+                new_branches += 1
+        fault_point("trie.expand.swap")
         branch.art_node = node
+        self._num_branches += new_branches
         self.counters.add("migration:fst->art")
         self.counters.add("migration_label:fst->art", len(entries))
         return True
@@ -221,22 +232,33 @@ class HybridTrie:
     def compact_branch(self, branch: TrieBranch) -> bool:
         """ART -> FST: drop the materialized node, keep the node number
         (cf. (2) in Figure 10).  Nested expanded descendants are dropped
-        with it; their wrappers are detached so tracking can evict them."""
+        with it; their wrappers are detached so tracking can evict them.
+
+        Transactional: descendants are *collected* first (read-only), and
+        only then detached — the exception-free mutation phase happens
+        entirely after the last injection point, so a failed compaction
+        changes nothing.
+        """
         if not branch.expanded or branch.detached:
             return False
-        self._detach_children(branch.art_node)
+        fault_point("trie.compact.collect")
+        descendants: List[TrieBranch] = []
+        self._collect_branches(branch.art_node, descendants)
+        fault_point("trie.compact.swap")
         branch.art_node = None
+        for child in descendants:
+            child.detached = True
+            self._num_branches -= 1
+            self.manager.forget(child)
         self.counters.add("migration:art->fst")
         return True
 
-    def _detach_children(self, node: ARTNode) -> None:
+    def _collect_branches(self, node: ARTNode, found: List[TrieBranch]) -> None:
         for _, child in node.children_items():
             if isinstance(child, TrieBranch):
-                child.detached = True
-                self._num_branches -= 1
-                self.manager.forget(child)
+                found.append(child)
                 if child.expanded:
-                    self._detach_children(child.art_node)
+                    self._collect_branches(child.art_node, found)
 
     # ------------------------------------------------------------------
     # Offline training (Section 3.2)
@@ -338,19 +360,42 @@ class HybridTrie:
 
     @classmethod
     def from_bytes(cls, blob: bytes, adaptive: bool = True) -> "HybridTrie":
-        """Load a trie serialized with :meth:`to_bytes`."""
+        """Load a trie serialized with :meth:`to_bytes`.
+
+        Raises :class:`~repro.fst.serialize.CorruptSerializationError` on
+        a truncated or inconsistent blob (the embedded FST additionally
+        carries its own checksum).
+        """
         import struct
 
-        magic, art_levels, fst_length, expanded_count = struct.unpack_from("<4sQQQ", blob, 0)
+        from repro.fst.serialize import CorruptSerializationError
+
+        header = struct.Struct("<4sQQQ")
+        if len(blob) < header.size:
+            raise CorruptSerializationError("truncated HybridTrie blob (incomplete header)")
+        magic, art_levels, fst_length, expanded_count = header.unpack_from(blob, 0)
         if magic != b"AHT1":
-            raise ValueError(f"bad magic {magic!r}; not a HybridTrie blob")
-        offset = struct.calcsize("<4sQQQ")
+            raise CorruptSerializationError(f"bad magic {magic!r}; not a HybridTrie blob")
+        offset = header.size
+        if offset + fst_length > len(blob):
+            raise CorruptSerializationError(
+                f"embedded FST of {fst_length} bytes overruns the blob"
+            )
         fst = FST.from_bytes(blob[offset : offset + fst_length])
         offset += fst_length
+        if offset + 8 * expanded_count != len(blob):
+            raise CorruptSerializationError(
+                f"expansion list of {expanded_count} entries does not match "
+                f"the {len(blob) - offset} remaining bytes"
+            )
         expanded = {
             struct.unpack_from("<Q", blob, offset + 8 * index)[0]
             for index in range(expanded_count)
         }
+        if any(node >= fst.num_nodes for node in expanded):
+            raise CorruptSerializationError(
+                "expansion list names FST nodes beyond the node count"
+            )
         trie = cls.__new__(cls)
         trie.counters = OpCounters()
         trie._fst = fst
@@ -450,6 +495,18 @@ class HybridTrie:
                 sum(expanded_sizes) / len(expanded_sizes),
             )
         return census
+
+    # ------------------------------------------------------------------
+    # Self-verification
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Prove structural integrity; raises
+        :class:`~repro.core.invariants.InvariantViolation` when branch
+        accounting, the encoding census, the key set, or the underlying
+        FST's LOUDS structure is inconsistent."""
+        from repro.core.invariants import validate
+
+        validate(self)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,99 @@
+"""A fault at every injection point of a leaf migration must be harmless.
+
+The pattern: an observer injector first enumerates the injection points
+one migration crosses; the tests then re-run the migration with a fault
+armed at each point in turn and prove — via the invariant validator and
+a full key-set diff against a dict oracle — that the tree is exactly as
+it was before the attempt.
+"""
+
+import pytest
+
+from repro.bptree.hybrid import AdaptiveBPlusTree
+from repro.bptree.leaves import LeafEncoding
+from repro.bptree.migrate import migrate_leaf
+from repro.bptree.tree import BPlusTree
+from repro.core.invariants import violations_of
+from repro.faults import FaultInjector, InjectedFault
+
+PAIRS = [(key, key * 11 + 5) for key in range(400)]
+
+
+def make_tree(encoding=LeafEncoding.SUCCINCT):
+    return BPlusTree.bulk_load(PAIRS, encoding, leaf_capacity=32)
+
+
+def enumerate_sites(target=LeafEncoding.GAPPED):
+    """Observer mode: which injection points does one migration cross?"""
+    tree = make_tree()
+    leaf = next(iter(tree.leaves()))
+    with FaultInjector() as observer:
+        assert migrate_leaf(leaf, target)
+    return observer.sites_seen()
+
+
+MIGRATION_SITES = enumerate_sites()
+
+
+def test_migration_crosses_the_expected_sites():
+    assert MIGRATION_SITES == {
+        "bptree.migrate.read": 1,
+        "bptree.migrate.encode": 1,
+        "bptree.migrate.swap": 1,
+    }
+
+
+class TestFaultAtEveryPoint:
+    @pytest.mark.parametrize("fail_at", range(1, sum(MIGRATION_SITES.values()) + 1))
+    @pytest.mark.parametrize(
+        "target", [LeafEncoding.GAPPED, LeafEncoding.PACKED], ids=str
+    )
+    def test_faulted_migration_leaves_tree_intact(self, fail_at, target):
+        tree = make_tree()
+        leaf = next(iter(tree.leaves()))
+        pairs_before = leaf.to_pairs()
+        with FaultInjector(fail_at=fail_at) as injector:
+            with pytest.raises(InjectedFault):
+                migrate_leaf(leaf, target)
+        assert injector.failures_injected == 1
+        assert leaf.encoding is LeafEncoding.SUCCINCT  # swap never happened
+        assert leaf.to_pairs() == pairs_before
+        assert violations_of(tree) == []
+        assert list(tree.items()) == PAIRS
+
+    @pytest.mark.parametrize("fail_at", range(1, sum(MIGRATION_SITES.values()) + 1))
+    def test_migration_succeeds_after_the_fault_clears(self, fail_at):
+        tree = make_tree()
+        leaf = next(iter(tree.leaves()))
+        with FaultInjector(fail_at=fail_at):
+            with pytest.raises(InjectedFault):
+                migrate_leaf(leaf, LeafEncoding.GAPPED)
+        before = leaf.size_bytes()
+        assert migrate_leaf(leaf, LeafEncoding.GAPPED)  # no injector now
+        tree.note_leaf_resized(leaf.size_bytes() - before)
+        assert leaf.encoding is LeafEncoding.GAPPED
+        assert violations_of(tree) == []
+        assert list(tree.items()) == PAIRS
+
+
+class TestAdaptiveTreeUnderFaults:
+    def test_eager_expansion_fault_does_not_break_insert(self):
+        tree = AdaptiveBPlusTree.bulk_load_adaptive(PAIRS, leaf_capacity=32)
+        oracle = dict(PAIRS)
+        with FaultInjector(site="bptree.migrate.*", rate=1.0):
+            for key in range(1000, 1100):
+                assert tree.insert(key, key)
+                oracle[key] = key
+        assert violations_of(tree) == []
+        assert dict(tree.items()) == oracle
+        assert tree.counters.get("eager_expansion_failed:succinct") > 0
+
+    def test_byte_accounting_survives_faulted_migrations(self):
+        tree = make_tree()
+        for fail_at in (1, 2, 3):
+            leaf = list(tree.leaves())[fail_at]
+            with FaultInjector(fail_at=fail_at):
+                with pytest.raises(InjectedFault):
+                    migrate_leaf(leaf, LeafEncoding.GAPPED)
+        # _leaf_bytes is checked against a recount inside violations_of.
+        assert violations_of(tree) == []

@@ -1,0 +1,132 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.faults import FaultInjector, InjectedFault, active_injector, fault_point
+
+
+class TestInstallation:
+    def test_no_injector_is_a_noop(self):
+        assert active_injector() is None
+        fault_point("anything")  # must not raise
+
+    def test_context_manager_installs_and_restores(self):
+        with FaultInjector() as injector:
+            assert active_injector() is injector
+        assert active_injector() is None
+
+    def test_nested_injectors_restore_previous(self):
+        with FaultInjector() as outer:
+            with FaultInjector() as inner:
+                assert active_injector() is inner
+            assert active_injector() is outer
+        assert active_injector() is None
+
+
+class TestObserverMode:
+    def test_counts_sites_without_failing(self):
+        with FaultInjector() as observer:
+            fault_point("a.b.read")
+            fault_point("a.b.read")
+            fault_point("a.b.swap")
+        assert observer.sites_seen() == {"a.b.read": 2, "a.b.swap": 1}
+        assert observer.failures_injected == 0
+
+
+class TestFailAtNth:
+    def test_fails_exactly_at_nth_matching_call(self):
+        with FaultInjector(fail_at=3) as injector:
+            fault_point("x")
+            fault_point("x")
+            with pytest.raises(InjectedFault) as exc_info:
+                fault_point("x")
+            fault_point("x")  # call 4: past the armed index, no raise
+        assert exc_info.value.site == "x"
+        assert exc_info.value.call_number == 3
+        assert injector.failures_injected == 1
+
+    def test_fail_at_is_one_indexed(self):
+        with pytest.raises(ValueError):
+            FaultInjector(fail_at=0)
+        with FaultInjector(fail_at=1):
+            with pytest.raises(InjectedFault):
+                fault_point("first")
+
+
+class TestSiteFilter:
+    def test_exact_site_filter(self):
+        with FaultInjector(site="a.swap", fail_at=1) as injector:
+            fault_point("a.read")  # counted, not matching
+            with pytest.raises(InjectedFault):
+                fault_point("a.swap")
+        assert injector.matching_calls == 1
+        assert injector.calls_by_site == {"a.read": 1, "a.swap": 1}
+
+    def test_prefix_filter_with_star(self):
+        injector = FaultInjector(site="trie.expand.*")
+        assert injector.matches("trie.expand.swap")
+        assert injector.matches("trie.expand.read")
+        assert not injector.matches("trie.compact.swap")
+
+    def test_no_filter_matches_everything(self):
+        assert FaultInjector().matches("anything.at.all")
+
+
+class TestRateMode:
+    def test_rate_is_seed_deterministic(self):
+        def run(seed):
+            failures = []
+            with FaultInjector(rate=0.5, seed=seed) as injector:
+                for call in range(100):
+                    try:
+                        fault_point("r")
+                    except InjectedFault:
+                        failures.append(call)
+            return injector.failures_injected, failures
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_rate_zero_never_fails(self):
+        with FaultInjector(rate=0.0) as injector:
+            for _ in range(50):
+                fault_point("r")
+        assert injector.failures_injected == 0
+
+    def test_rate_one_always_fails(self):
+        with FaultInjector(rate=1.0) as injector:
+            for _ in range(10):
+                with pytest.raises(InjectedFault):
+                    fault_point("r")
+        assert injector.failures_injected == 10
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=1.5)
+
+
+class TestMaxFailures:
+    def test_caps_total_failures(self):
+        with FaultInjector(rate=1.0, max_failures=2) as injector:
+            with pytest.raises(InjectedFault):
+                fault_point("m")
+            with pytest.raises(InjectedFault):
+                fault_point("m")
+            fault_point("m")  # cap reached: passes through
+        assert injector.failures_injected == 2
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(max_failures=-1)
+
+
+class TestBookkeeping:
+    def test_failures_by_site(self):
+        with FaultInjector(rate=1.0, max_failures=3) as injector:
+            for site in ("a", "a", "b"):
+                with pytest.raises(InjectedFault):
+                    fault_point(site)
+        assert injector.failures_by_site == {"a": 2, "b": 1}
+
+    def test_injected_fault_is_runtime_error(self):
+        assert issubclass(InjectedFault, RuntimeError)

@@ -7,7 +7,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.art.tree import terminated
-from repro.fst import FST, fst_from_bytes, fst_to_bytes
+from repro.faults import FaultInjector, InjectedFault
+from repro.fst import CorruptSerializationError, FST, fst_from_bytes, fst_to_bytes
 
 
 def int_pairs(n, seed=0):
@@ -85,6 +86,62 @@ class TestMalformedBlobs:
     def test_module_functions_match_methods(self):
         fst = FST(int_pairs(20))
         assert fst_to_bytes(fst) == fst.to_bytes()
+
+
+class TestCorruptionDetection:
+    """Damaged blobs must raise, never return a wrong answer."""
+
+    def test_corrupt_error_is_value_error(self):
+        assert issubclass(CorruptSerializationError, ValueError)
+
+    def test_every_truncation_rejected(self):
+        blob = FST(int_pairs(60)).to_bytes()
+        for cut in range(0, len(blob), 97):
+            with pytest.raises(CorruptSerializationError):
+                fst_from_bytes(blob[:cut])
+        with pytest.raises(CorruptSerializationError):
+            fst_from_bytes(blob[:-1])
+
+    def test_every_sampled_bit_flip_rejected(self):
+        blob = FST(int_pairs(60), dense_levels=2).to_bytes()
+        for bit in range(0, len(blob) * 8, 131):
+            corrupted = bytearray(blob)
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+            with pytest.raises(CorruptSerializationError):
+                fst_from_bytes(bytes(corrupted))
+
+    def test_trailing_garbage_rejected(self):
+        blob = FST(int_pairs(30)).to_bytes()
+        with pytest.raises(CorruptSerializationError):
+            fst_from_bytes(blob + b"\x00")
+
+    def test_old_format_magic_rejected(self):
+        blob = FST(int_pairs(10)).to_bytes()
+        with pytest.raises(CorruptSerializationError):
+            fst_from_bytes(b"FST1" + blob[4:])
+
+    def test_loaded_fst_passes_invariant_validation(self):
+        from repro.core.invariants import violations_of
+
+        loaded = fst_from_bytes(FST(int_pairs(200), dense_levels=1).to_bytes())
+        assert violations_of(loaded) == []
+
+
+class TestSerializationFaultPoints:
+    def test_encode_fault_leaves_fst_usable(self):
+        fst = FST(int_pairs(40))
+        with FaultInjector(site="fst.serialize.encode", fail_at=1):
+            with pytest.raises(InjectedFault):
+                fst_to_bytes(fst)
+        blob = fst_to_bytes(fst)  # unharmed: serializes fine afterwards
+        assert fst_from_bytes(blob).num_keys == fst.num_keys
+
+    def test_decode_fault_propagates(self):
+        blob = fst_to_bytes(FST(int_pairs(40)))
+        with FaultInjector(site="fst.serialize.decode", fail_at=1):
+            with pytest.raises(InjectedFault):
+                fst_from_bytes(blob)
+        assert fst_from_bytes(blob).num_keys == 40
 
 
 @settings(max_examples=20, deadline=None)
