@@ -90,6 +90,77 @@ class ART:
     def __contains__(self, key: bytes) -> bool:
         return self.lookup(key) is not None
 
+    def lookup_many(self, keys: List[bytes]) -> List[Optional[int]]:
+        """Batched point lookups; one value (or None) per key.
+
+        Sorted batches keep a stack of the inner nodes on the current
+        root-to-leaf path; each key pops back to the node where its
+        common prefix with the previous key ends and resumes the descent
+        from there, so shared key prefixes are walked once per run
+        instead of once per key.  ``art_visit`` counts the nodes actually
+        stepped, flushed once per batch.  Unsorted batches fall back to
+        per-key lookups; results always equal ``[self.lookup(k) for k in
+        keys]``.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        if any(a > b for a, b in zip(keys, keys[1:])):
+            return [self.lookup(key) for key in keys]
+        if self._root is None:
+            return [None] * len(keys)
+        results: List[Optional[int]] = []
+        visits = 0
+        # (node, bytes of key consumed before reaching node)
+        stack: List[Tuple[object, int]] = [(self._root, 0)]
+        previous: Optional[bytes] = None
+        for key in keys:
+            if previous is not None:
+                common = _common_prefix_length(previous, key)
+                while len(stack) > 1 and stack[-1][1] > common:
+                    stack.pop()
+            previous = key
+            node, depth = stack[-1]
+            value: Optional[int] = None
+            while True:
+                if isinstance(node, ARTLeaf):
+                    visits += 1
+                    value = node.value if node.key == key else None
+                    break
+                visits += 1
+                prefix = node.prefix
+                if prefix:
+                    if key[depth : depth + len(prefix)] != prefix:
+                        break
+                    depth += len(prefix)
+                if depth >= len(key):
+                    break
+                child = node.find_child(key[depth])
+                if child is None:
+                    break
+                depth += 1
+                if not isinstance(child, ARTLeaf):
+                    stack.append((child, depth))
+                node = child
+            results.append(value)
+        if visits:
+            self.counters.add("art_visit", visits)
+        return results
+
+    def insert_many(self, pairs) -> List[bool]:
+        """Batched inserts; one bool per pair (True = key was new).
+
+        Inserts restructure nodes (grow/split/path-compression changes),
+        which invalidates any cached descent path, so this is a plain
+        loop — the batch API exists for interface symmetry and so callers
+        can hand whole workload chunks to every index family.
+        """
+        return [self.insert(key, value) for key, value in pairs]
+
+    def scan_many(self, requests) -> List[List[Tuple[bytes, int]]]:
+        """Batched range scans; one result list per (start_key, count)."""
+        return [self.scan(start, count) for start, count in requests]
+
     # ------------------------------------------------------------------
     # Insert
     # ------------------------------------------------------------------

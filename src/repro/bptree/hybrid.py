@@ -103,32 +103,37 @@ class AdaptiveBPlusTree(BPlusTree):
             self.manager.track(leaf, AccessType.READ, context=parent)
         return leaf.lookup(key)
 
+    def _maybe_expand_for_insert(self, leaf: LeafNode, parent) -> None:
+        """Eager expansion: writes into compact leaves are expensive, so
+        the tree switches the leaf to the write-optimized encoding
+        immediately and lets the next cold classification compact it —
+        unless the memory budget is already exhausted."""
+        if leaf.encoding is LeafEncoding.GAPPED or not self.eager_insert_expansion:
+            return
+        budget = self.manager.config.budget
+        if budget.exceeded(self.size_bytes(), self.num_keys):
+            return
+        source = leaf.encoding
+        before = leaf.size_bytes()
+        try:
+            migrated = migrate_leaf(leaf, LeafEncoding.GAPPED, self.counters)
+        except Exception:
+            # A failed eager expansion is an optimization miss, not an
+            # error: the transactional migration left the leaf intact, so
+            # the insert proceeds on the old encoding.
+            self.counters.add(f"eager_expansion_failed:{source}")
+            migrated = False
+        if migrated:
+            self.note_leaf_resized(leaf.size_bytes() - before)
+            self.counters.add(f"eager_expansion:{source}")
+            # Register so a later cold classification compacts it.
+            self.manager.register(leaf, context=parent)
+
     def insert(self, key: int, value: int) -> bool:
         """Insert ``key``; returns False when the key already existed."""
         leaf, path = self._descend(key)
         parent = path[-1][0] if path else None
-        if leaf.encoding is not LeafEncoding.GAPPED and self.eager_insert_expansion:
-            # Eager expansion: writes into compact leaves are expensive, so
-            # the tree switches the leaf to the write-optimized encoding
-            # immediately and lets the next cold classification compact it
-            # — unless the memory budget is already exhausted.
-            budget = self.manager.config.budget
-            if not budget.exceeded(self.size_bytes(), self.num_keys):
-                source = leaf.encoding
-                before = leaf.size_bytes()
-                try:
-                    migrated = migrate_leaf(leaf, LeafEncoding.GAPPED, self.counters)
-                except Exception:
-                    # A failed eager expansion is an optimization miss, not
-                    # an error: the transactional migration left the leaf
-                    # intact, so the insert proceeds on the old encoding.
-                    self.counters.add(f"eager_expansion_failed:{source}")
-                    migrated = False
-                if migrated:
-                    self.note_leaf_resized(leaf.size_bytes() - before)
-                    self.counters.add(f"eager_expansion:{source}")
-                    # Register so a later cold classification compacts it.
-                    self.manager.register(leaf, context=parent)
+        self._maybe_expand_for_insert(leaf, parent)
         self.counters.add(f"leaf_visit:{leaf.encoding}")
         self.counters.add("sample_check")
         if self.manager.is_sample():
@@ -190,6 +195,130 @@ class AdaptiveBPlusTree(BPlusTree):
                     self.manager.track(leaf, AccessType.SCAN)
             result.extend(taken)
         return result
+
+    # ------------------------------------------------------------------
+    # Batched access paths
+    # ------------------------------------------------------------------
+    def _flush_sampled_group(self, leaf, parent, count: int, access) -> None:
+        """Model ``count`` accesses to one leaf through the sample gate.
+
+        One batched sampler drain replaces ``count`` individual
+        ``is_sample()`` calls; the sampler state and the set of tracked
+        (leaf, access) events are identical to the per-access loop
+        because every access in the group touches the same leaf.
+        """
+        if not count:
+            return
+        self.counters.add("sample_check", count)
+        for _ in self.manager.consume(count):
+            self.manager.track(leaf, access, context=parent)
+
+    def lookup_many(self, keys: Sequence[int]) -> List[Optional[int]]:
+        """Batched tracked lookups (see :meth:`BPlusTree.lookup_many`)."""
+        keys = list(keys)
+        if not keys:
+            return []
+        if not self._is_sorted(keys):
+            return [self.lookup(key) for key in keys]
+        results: List[Optional[int]] = []
+        counters_add = self.counters.add
+        leaf: Optional[LeafNode] = None
+        parent = None
+        lookup_run = None
+        visit_event = ""
+        limit = float("-inf")  # forces the first descent
+        run: List[int] = []
+        run_append = run.append
+        for key in keys:
+            if key >= limit:
+                if run:
+                    counters_add(visit_event, len(run))
+                    results.extend(lookup_run(run))
+                    self._flush_sampled_group(leaf, parent, len(run), AccessType.READ)
+                    run.clear()
+                leaf, path, upper = self._descend_bounded(key)
+                limit = float("inf") if upper is None else upper
+                parent = path[-1][0] if path else None
+                lookup_run = leaf.storage.lookup_run
+                visit_event = f"leaf_visit:{leaf.encoding}"
+            run_append(key)
+        if run:
+            counters_add(visit_event, len(run))
+            results.extend(lookup_run(run))
+            self._flush_sampled_group(leaf, parent, len(run), AccessType.READ)
+        return results
+
+    def insert_many(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+        """Batched tracked inserts (see :meth:`BPlusTree.insert_many`).
+
+        Eager expansion runs once per descended leaf instead of once per
+        key — after the first expansion the leaf is already Gapped, so
+        the per-key re-check of :meth:`insert` would be a no-op anyway.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if not self._is_sorted([key for key, _ in pairs]):
+            return [self.insert(key, value) for key, value in pairs]
+        results: List[bool] = []
+        leaf: Optional[LeafNode] = None
+        parent = None
+        path = []
+        upper: Optional[int] = None
+        group = 0
+        for key, value in pairs:
+            if leaf is None or (upper is not None and key >= upper):
+                self._flush_sampled_group(leaf, parent, group, AccessType.INSERT)
+                group = 0
+                leaf, path, upper = self._descend_bounded(key)
+                parent = path[-1][0] if path else None
+                self._maybe_expand_for_insert(leaf, parent)
+            self.counters.add(f"leaf_visit:{leaf.encoding}")
+            group += 1
+            existed = leaf.lookup(key) is not None
+            self._count_leaf_write(leaf)
+            before = leaf.size_bytes()
+            if not leaf.insert(key, value):
+                self._leaf_bytes += leaf.size_bytes() - before
+                self._split_leaf(leaf, path)
+                self._flush_sampled_group(leaf, parent, group, AccessType.INSERT)
+                group = 0
+                leaf, path, upper = self._descend_bounded(key)
+                parent = path[-1][0] if path else None
+                before = leaf.size_bytes()
+                if not leaf.insert(key, value):  # pragma: no cover
+                    raise AssertionError("leaf still full after split")
+            self._leaf_bytes += leaf.size_bytes() - before
+            if not existed:
+                self._num_keys += 1
+            results.append(not existed)
+        self._flush_sampled_group(leaf, parent, group, AccessType.INSERT)
+        return results
+
+    def scan_many(
+        self, requests: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, int]]]:
+        """Batched tracked range scans.
+
+        Each request drains the sampler once for all leaves it visited
+        instead of gating every leaf individually; sampled offsets map
+        back to the corresponding leaf in visit order.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        results: List[List[Tuple[int, int]]] = []
+        for start, count in requests:
+            result: List[Tuple[int, int]] = []
+            visited: List[LeafNode] = []
+            for leaf, taken in self.scan_leaves(start, count):
+                visited.append(leaf)
+                result.extend(taken)
+            self.counters.add("sample_check", len(visited))
+            for offset in self.manager.consume(len(visited)):
+                self.manager.track(visited[offset], AccessType.SCAN)
+            results.append(result)
+        return results
 
     # ------------------------------------------------------------------
     # Split context propagation (Section 4.1.4)

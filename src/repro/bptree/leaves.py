@@ -77,6 +77,27 @@ class _SortedPairStorage:
             return self.values[index]
         return None
 
+    def lookup_run(self, run: Sequence[int]) -> List[Optional[int]]:
+        """Batched lookup of an ascending key run.
+
+        Because the run is sorted, every search can start where the
+        previous one ended (a monotone ``lo`` hint), so the searched
+        range shrinks as the run advances instead of restarting at 0.
+        """
+        keys = self.keys
+        values = self.values
+        limit = len(keys)
+        results: List[Optional[int]] = []
+        append = results.append
+        lo = 0
+        for key in run:
+            lo = bisect.bisect_left(keys, key, lo)
+            if lo < limit and keys[lo] == key:
+                append(values[lo])
+            else:
+                append(None)
+        return results
+
     def insert(self, key: int, value: int) -> bool:
         """Insert or overwrite; False when the leaf is full (caller splits)."""
         index = bisect.bisect_left(self.keys, key)
@@ -151,7 +172,14 @@ class SuccinctStorage:
 
     encoding = LeafEncoding.SUCCINCT
 
-    __slots__ = ("_key_blocks", "_value_blocks", "_num_entries", "capacity", "rebuilds")
+    __slots__ = (
+        "_key_blocks",
+        "_value_blocks",
+        "_block_min_keys",
+        "_num_entries",
+        "capacity",
+        "rebuilds",
+    )
 
     def __init__(self, pairs: Sequence[Tuple[int, int]], capacity: int) -> None:
         if len(pairs) > capacity:
@@ -170,6 +198,10 @@ class SuccinctStorage:
             chunk = pairs[start : start + _FOR_BLOCK_ENTRIES]
             self._key_blocks.append(for_encode([key for key, _ in chunk]))
             self._value_blocks.append(for_encode([value for _, value in chunk]))
+        # Split keys array: each block's minimum, kept uncompressed so
+        # _find can bisect it instead of paying a packed-array decode per
+        # binary-search probe.
+        self._block_min_keys = [block[0] for block in self._key_blocks]
         self._num_entries = len(pairs)
 
     def num_entries(self) -> int:
@@ -193,15 +225,24 @@ class SuccinctStorage:
         return self._key_at(self._num_entries - 1) if self._num_entries else None
 
     def _find(self, key: int) -> int:
-        """Binary search over the blocked FOR layout (no decompression)."""
-        lo, hi = 0, self._num_entries
+        """Binary search over the blocked FOR layout (no decompression).
+
+        First bisects the uncompressed per-block minimum keys to pick the
+        one candidate block, then binary-searches inside it; only O(log
+        block size) packed-array probes are paid instead of O(log n).
+        """
+        block_index = bisect.bisect_right(self._block_min_keys, key) - 1
+        if block_index < 0:
+            return 0
+        block = self._key_blocks[block_index]
+        lo, hi = 0, len(block)
         while lo < hi:
             mid = (lo + hi) // 2
-            if self._key_at(mid) < key:
+            if block[mid] < key:
                 lo = mid + 1
             else:
                 hi = mid
-        return lo
+        return block_index * _FOR_BLOCK_ENTRIES + lo
 
     def lookup(self, key: int) -> Optional[int]:
         """Return the value stored under ``key``, or None."""
@@ -209,6 +250,41 @@ class SuccinctStorage:
         if index < self._num_entries and self._key_at(index) == key:
             return self._value_at(index)
         return None
+
+    def lookup_run(self, run: Sequence[int]) -> List[Optional[int]]:
+        """Batched lookup of an ascending key run.
+
+        Consecutive run keys usually land in the same FOR mini-block, so
+        each touched block's keys are materialized once with a bulk
+        decode and every key in the run bisects the plain list — instead
+        of paying O(log block) packed-array probes per key.  Value
+        blocks are only decoded when a key actually hits.
+        """
+        results: List[Optional[int]] = []
+        append = results.append
+        mins = self._block_min_keys
+        cached_index = -1
+        cached_keys: List[int] = []
+        cached_values: Optional[List[int]] = None
+        lo = 0
+        for key in run:
+            block_index = bisect.bisect_right(mins, key) - 1
+            if block_index < 0:
+                append(None)
+                continue
+            if block_index != cached_index:
+                cached_index = block_index
+                cached_keys = self._key_blocks[block_index].to_list()
+                cached_values = None
+                lo = 0
+            lo = bisect.bisect_left(cached_keys, key, lo)
+            if lo < len(cached_keys) and cached_keys[lo] == key:
+                if cached_values is None:
+                    cached_values = self._value_blocks[block_index].to_list()
+                append(cached_values[lo])
+            else:
+                append(None)
+        return results
 
     def _rebuild(self, pairs: List[Tuple[int, int]]) -> None:
         self._encode(pairs)
@@ -332,6 +408,10 @@ class LeafNode:
     def lookup(self, key: int) -> Optional[int]:
         """Return the value stored under ``key``, or None."""
         return self.storage.lookup(key)
+
+    def lookup_run(self, run: Sequence[int]) -> List[Optional[int]]:
+        """Batched lookup of an ascending key run (see the storages)."""
+        return self.storage.lookup_run(run)
 
     def insert(self, key: int, value: int) -> bool:
         """Insert ``key``; returns False when the key already existed."""

@@ -147,6 +147,38 @@ class BPlusTree:
             node = node.children[index]
         return node, path
 
+    def _descend_bounded(
+        self, key: int
+    ) -> Tuple[LeafNode, List[Tuple[InnerNode, int]], Optional[int]]:
+        """Like :meth:`_descend`, plus the exclusive upper bound of the
+        reached leaf's key range (None = +infinity).
+
+        The bound is the smallest separator to the right of the taken
+        child anywhere along the path; any key below it descends to the
+        same leaf, which is what lets sorted batches reuse one descent
+        for a whole run of keys.
+        """
+        path: List[Tuple[InnerNode, int]] = []
+        node: Child = self._root
+        upper: Optional[int] = None
+        steps = 0
+        while isinstance(node, InnerNode):
+            steps += 1
+            index = node.child_index(key)
+            if index < len(node.keys):
+                bound = node.keys[index]
+                if upper is None or bound < upper:
+                    upper = bound
+            path.append((node, index))
+            node = node.children[index]
+        if steps:
+            self.counters.add("inner_visit", steps)
+        return node, path, upper
+
+    @staticmethod
+    def _is_sorted(keys: Sequence[int]) -> bool:
+        return all(a <= b for a, b in zip(keys, keys[1:]))
+
     def find_leaf(self, key: int) -> Tuple[LeafNode, Optional[InnerNode]]:
         """The leaf responsible for ``key`` and its direct parent."""
         leaf, path = self._descend(key)
@@ -179,6 +211,80 @@ class BPlusTree:
             self._num_keys += 1
         return not existed
 
+    def lookup_many(self, keys: Sequence[int]) -> List[Optional[int]]:
+        """Batched point lookups; returns one value (or None) per key.
+
+        For sorted batches the tree descends once per *distinct leaf*
+        instead of once per key: the cached leaf stays valid while the
+        next key is below the smallest right-hand separator crossed on
+        the way down.  Unsorted batches fall back to per-key lookups.
+        Results are identical to ``[self.lookup(k) for k in keys]``.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        if not self._is_sorted(keys):
+            return [self.lookup(key) for key in keys]
+        results: List[Optional[int]] = []
+        counters_add = self.counters.add
+        lookup_run = None
+        visit_event = ""
+        limit = float("-inf")  # forces the first descent
+        run: List[int] = []
+        run_append = run.append
+        for key in keys:
+            if key >= limit:
+                if run:
+                    counters_add(visit_event, len(run))
+                    results.extend(lookup_run(run))
+                    run.clear()
+                leaf, _, upper = self._descend_bounded(key)
+                limit = float("inf") if upper is None else upper
+                lookup_run = leaf.storage.lookup_run
+                visit_event = f"leaf_visit:{leaf.encoding}"
+            run_append(key)
+        if run:
+            counters_add(visit_event, len(run))
+            results.extend(lookup_run(run))
+        return results
+
+    def insert_many(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+        """Batched inserts; one bool per pair (True = key was new).
+
+        Sorted batches reuse one descent per leaf run; a leaf split
+        invalidates the cached leaf and the offending key re-descends,
+        exactly like the retry in :meth:`insert`.  Unsorted batches fall
+        back to per-key inserts.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if not self._is_sorted([key for key, _ in pairs]):
+            return [self.insert(key, value) for key, value in pairs]
+        results: List[bool] = []
+        leaf: Optional[LeafNode] = None
+        path: List[Tuple[InnerNode, int]] = []
+        upper: Optional[int] = None
+        for key, value in pairs:
+            if leaf is None or (upper is not None and key >= upper):
+                leaf, path, upper = self._descend_bounded(key)
+            self.counters.add(f"leaf_visit:{leaf.encoding}")
+            existed = leaf.lookup(key) is not None
+            self._count_leaf_write(leaf)
+            before = leaf.size_bytes()
+            if not leaf.insert(key, value):
+                self._leaf_bytes += leaf.size_bytes() - before
+                self._split_leaf(leaf, path)
+                leaf, path, upper = self._descend_bounded(key)
+                before = leaf.size_bytes()
+                if not leaf.insert(key, value):  # pragma: no cover
+                    raise AssertionError("leaf still full after split")
+            self._leaf_bytes += leaf.size_bytes() - before
+            if not existed:
+                self._num_keys += 1
+            results.append(not existed)
+        return results
+
     def update(self, key: int, value: int) -> bool:
         """Overwrite the value of an existing ``key``; False if absent."""
         leaf, _ = self._descend(key)
@@ -209,33 +315,9 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # Scans
     # ------------------------------------------------------------------
-    def scan(self, start_key: int, count: int) -> List[Tuple[int, int]]:
-        """Up to ``count`` pairs with key >= ``start_key``, in key order."""
-        if count <= 0:
-            return []
-        leaf, _ = self._descend(start_key)
-        result: List[Tuple[int, int]] = []
-        current: Optional[LeafNode] = leaf
-        first = True
-        while current is not None and len(result) < count:
-            self.counters.add(f"leaf_visit:{current.encoding}")
-            entries = (
-                current.entries_from(start_key) if first else current.entries_from(0)
-            )
-            for pair in entries:
-                result.append(pair)
-                if len(result) >= count:
-                    break
-            first = False
-            current = current.next_leaf
-        return result
-
-    def scan_leaves(self, start_key: int, count: int):
-        """Like :meth:`scan` but yields ``(leaf, pairs_taken)`` per leaf —
-        the hook the adaptive tree uses to sample iterator accesses."""
-        if count <= 0:
-            return
-        leaf, _ = self._descend(start_key)
+    def _leaf_runs(self, leaf: LeafNode, start_key: int, count: int):
+        """Walk the leaf chain from ``leaf``; yield ``(leaf, pairs)`` per
+        visited leaf until ``count`` pairs were produced."""
         remaining = count
         current: Optional[LeafNode] = leaf
         first = True
@@ -253,6 +335,53 @@ class BPlusTree:
             yield current, taken
             first = False
             current = current.next_leaf
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, int]]:
+        """Up to ``count`` pairs with key >= ``start_key``, in key order."""
+        if count <= 0:
+            return []
+        leaf, _ = self._descend(start_key)
+        result: List[Tuple[int, int]] = []
+        for _, taken in self._leaf_runs(leaf, start_key, count):
+            result.extend(taken)
+        return result
+
+    def scan_leaves(self, start_key: int, count: int):
+        """Like :meth:`scan` but yields ``(leaf, pairs_taken)`` per leaf —
+        the hook the adaptive tree uses to sample iterator accesses."""
+        if count <= 0:
+            return
+        leaf, _ = self._descend(start_key)
+        yield from self._leaf_runs(leaf, start_key, count)
+
+    def scan_many(
+        self, requests: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, int]]]:
+        """Batched range scans; one result list per ``(start_key, count)``.
+
+        Sorted start keys reuse the previous descent while the next start
+        still falls inside the cached leaf's key range; unsorted request
+        batches fall back to per-request :meth:`scan` calls.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if not self._is_sorted([start for start, _ in requests]):
+            return [self.scan(start, count) for start, count in requests]
+        results: List[List[Tuple[int, int]]] = []
+        leaf: Optional[LeafNode] = None
+        upper: Optional[int] = None
+        for start, count in requests:
+            if count <= 0:
+                results.append([])
+                continue
+            if leaf is None or (upper is not None and start >= upper):
+                leaf, _, upper = self._descend_bounded(start)
+            result: List[Tuple[int, int]] = []
+            for _, taken in self._leaf_runs(leaf, start, count):
+                result.extend(taken)
+            results.append(result)
+        return results
 
     def iterator(self, start_key: Optional[int] = None):
         """A stateful :class:`~repro.bptree.iterator.TreeIterator`

@@ -59,24 +59,76 @@ class BloomFilter:
         """Number of insertions since the last reset (not distinct-exact)."""
         return self._count
 
-    def _positions(self, item: Hashable):
+    def _hash_pair(self, item: Hashable) -> "tuple[int, int]":
+        """The two base hashes all probe positions derive from.
+
+        Computed once per key; probe ``i`` is ``(h1 + i*h2) mod bits``
+        (classic double hashing), so membership tests never rehash per
+        probe.  ``h2`` is forced odd so the probe sequence cannot
+        degenerate.
+        """
         base = hash(item) & 0xFFFFFFFFFFFFFFFF
         h1 = _mix(base, 0x9E3779B97F4A7C15)
         h2 = _mix(base, 0xD1B54A32D192ED03) | 1
+        return h1, h2
+
+    def _positions(self, item: Hashable):
+        h1, h2 = self._hash_pair(item)
         for i in range(self._num_hashes):
             yield (h1 + i * h2) % self._num_bits
 
     def add(self, item: Hashable) -> None:
         """Insert ``item`` into the filter."""
-        for position in self._positions(item):
-            self._bits |= 1 << position
+        h1, h2 = self._hash_pair(item)
+        num_bits = self._num_bits
+        bits = self._bits
+        for _ in range(self._num_hashes):
+            bits |= 1 << (h1 % num_bits)
+            h1 += h2
+        self._bits = bits
         self._count += 1
 
+    def add_many(self, items) -> None:
+        """Insert every item of ``items`` (one bit-buffer write-back)."""
+        num_bits = self._num_bits
+        num_hashes = self._num_hashes
+        bits = self._bits
+        count = 0
+        for item in items:
+            h1, h2 = self._hash_pair(item)
+            for _ in range(num_hashes):
+                bits |= 1 << (h1 % num_bits)
+                h1 += h2
+            count += 1
+        self._bits = bits
+        self._count += count
+
     def __contains__(self, item: Hashable) -> bool:
-        for position in self._positions(item):
-            if not (self._bits >> position) & 1:
+        h1, h2 = self._hash_pair(item)
+        num_bits = self._num_bits
+        bits = self._bits
+        for _ in range(self._num_hashes):
+            if not (bits >> (h1 % num_bits)) & 1:
                 return False
+            h1 += h2
         return True
+
+    def contains_many(self, items) -> "list[bool]":
+        """Batched membership: one bool per item, in order."""
+        num_bits = self._num_bits
+        num_hashes = self._num_hashes
+        bits = self._bits
+        results = []
+        for item in items:
+            h1, h2 = self._hash_pair(item)
+            hit = True
+            for _ in range(num_hashes):
+                if not (bits >> (h1 % num_bits)) & 1:
+                    hit = False
+                    break
+                h1 += h2
+            results.append(hit)
+        return results
 
     def add_and_check(self, item: Hashable) -> bool:
         """Insert ``item``; return True iff it was (probably) seen before.
@@ -87,10 +139,16 @@ class BloomFilter:
         sample map).
         """
         seen = True
-        for position in self._positions(item):
-            if not (self._bits >> position) & 1:
+        h1, h2 = self._hash_pair(item)
+        num_bits = self._num_bits
+        bits = self._bits
+        for _ in range(self._num_hashes):
+            position = h1 % num_bits
+            if not (bits >> position) & 1:
                 seen = False
-                self._bits |= 1 << position
+                bits |= 1 << position
+            h1 += h2
+        self._bits = bits
         self._count += 1
         return seen
 

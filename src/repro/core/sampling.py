@@ -15,11 +15,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import List
 
 DEFAULT_EPSILON = 0.05
 DEFAULT_DELTA = 0.05
 SKIP_MIN = 50
 SKIP_MAX = 500
+
+
+@lru_cache(maxsize=4096)
+def _required_sample_size_cached(
+    population: int, k: int, epsilon: float, delta: float
+) -> int:
+    numerator = 2 * population + k * (population - k)
+    size = (2.0 / (epsilon * epsilon)) * math.log(numerator / delta)
+    return max(1, math.ceil(size))
 
 
 def required_sample_size(
@@ -33,6 +44,10 @@ def required_sample_size(
     ``population`` is ``n`` (for indexes: the number of trackable units,
     e.g. leaf nodes), ``k`` the number of items to identify, ``epsilon``
     the tolerated frequency error, and ``delta`` the failure probability.
+
+    Epoch rollovers recompute this for an unchanged ``(population, k,
+    epsilon, delta)`` tuple almost every time, so the log/ceil math is
+    memoized behind an LRU cache.
     """
     if population <= 0:
         return 0
@@ -41,9 +56,7 @@ def required_sample_size(
     if not 0 < delta < 1:
         raise ValueError(f"delta must be in (0, 1), got {delta}")
     k = max(1, min(k, population))
-    numerator = 2 * population + k * (population - k)
-    size = (2.0 / (epsilon * epsilon)) * math.log(numerator / delta)
-    return max(1, math.ceil(size))
+    return _required_sample_size_cached(population, k, epsilon, delta)
 
 
 @dataclass
@@ -97,6 +110,34 @@ class SkipSampler:
             return True
         self._countdown -= 1
         return False
+
+    def consume(self, count: int) -> List[int]:
+        """Model ``count`` consecutive accesses in one call.
+
+        Returns the 0-based offsets within the batch that would have been
+        sampled by ``count`` individual :meth:`is_sample` calls — the
+        sampler state afterwards is bit-identical to the per-access loop,
+        but the cost is O(samples) instead of O(accesses): whole skip
+        intervals are subtracted from the countdown at once.
+        """
+        if count < 0:
+            raise ValueError(f"access count must be >= 0, got {count}")
+        offsets: List[int] = []
+        position = 0
+        while position < count:
+            if self._countdown == 0:
+                offsets.append(position)
+                self._countdown = self._next_skip()
+                position += 1
+                continue
+            step = self._countdown
+            remaining = count - position
+            if step >= remaining:
+                self._countdown -= remaining
+                break
+            self._countdown = 0
+            position += step
+        return offsets
 
     def set_skip_length(self, skip_length: int) -> None:
         """Install a new skip length (takes effect at the next reload)."""

@@ -93,6 +93,56 @@ class CompactSortedArray:
             return self._value_blocks[block_index][lo]
         return None
 
+    def lookup_many(self, keys: Sequence[int]) -> List[Optional[int]]:
+        """Batched lookups; one value (or None) per key.
+
+        Equivalent to per-key :meth:`lookup` calls but hoists the
+        directory/array references out of the loop; succinct runs reuse
+        the previously located block while consecutive keys stay inside
+        it (the common case for sorted probe batches).
+        """
+        if self._num_entries == 0:
+            return [None for _ in keys]
+        results: List[Optional[int]] = []
+        if self.encoding is StaticEncoding.PACKED:
+            packed_keys = self._keys
+            packed_values = self._values
+            limit = len(packed_keys)
+            for key in keys:
+                index = bisect.bisect_left(packed_keys, key)
+                if index < limit and packed_keys[index] == key:
+                    results.append(packed_values[index])
+                else:
+                    results.append(None)
+            return results
+        append = results.append
+        mins = self._block_mins
+        blocks = self._blocks
+        value_blocks = self._value_blocks
+        cached_index = -1
+        cached_keys: List[int] = []
+        cached_values: Optional[List[int]] = None
+        for key in keys:
+            block_index = bisect.bisect_right(mins, key) - 1
+            if block_index < 0:
+                append(None)
+                continue
+            if block_index != cached_index:
+                # One bulk decode per touched block; probe batches that
+                # stay inside a block then bisect a plain list instead of
+                # paying packed-array probes per binary-search step.
+                cached_index = block_index
+                cached_keys = blocks[block_index].to_list()
+                cached_values = None
+            position = bisect.bisect_left(cached_keys, key)
+            if position < len(cached_keys) and cached_keys[position] == key:
+                if cached_values is None:
+                    cached_values = value_blocks[block_index].to_list()
+                append(cached_values[position])
+            else:
+                append(None)
+        return results
+
     def items(self) -> Iterator[Tuple[int, int]]:
         """Yield all ``(key, value)`` pairs in key order."""
         if self.encoding is StaticEncoding.PACKED:
@@ -180,11 +230,65 @@ class DualStageIndex:
         self.counters.add("static_stage_probe")
         return self._static.lookup(key)
 
+    def lookup_many(self, keys: Sequence[int]) -> List[Optional[int]]:
+        """Batched lookups; one value (or None) per key.
+
+        One ``contains_many`` drains the Bloom filter for the whole
+        batch, Bloom-positive keys probe the dynamic stage in one
+        ``lookup_many``, and only the keys neither stage resolved reach
+        the static run (again as one batch).  Per-key results and the
+        per-stage probe counters are identical to looping
+        :meth:`lookup`.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        self.counters.add("bloom_probe", len(keys))
+        hits = self._bloom.contains_many(keys)
+        results: List[Optional[int]] = [None] * len(keys)
+        dynamic_positions = [i for i, hit in enumerate(hits) if hit]
+        static_positions = [i for i, hit in enumerate(hits) if not hit]
+        if dynamic_positions:
+            self.counters.add("dynamic_stage_probe", len(dynamic_positions))
+            found = self._dynamic.lookup_many([keys[i] for i in dynamic_positions])
+            for position, value in zip(dynamic_positions, found):
+                if value is not None:
+                    results[position] = value
+                elif keys[position] not in self._tombstones:
+                    static_positions.append(position)
+        if static_positions:
+            static_positions.sort()
+            self.counters.add("static_stage_probe", len(static_positions))
+            found = self._static.lookup_many([keys[i] for i in static_positions])
+            for position, value in zip(static_positions, found):
+                results[position] = value
+        return results
+
     def insert(self, key: int, value: int) -> None:
         """Insert ``key``; returns False when the key already existed."""
         self._dynamic.insert(key, value)
         self._bloom.add(key)
         self._tombstones.discard(key)
+        if self._should_merge():
+            self.merge()
+
+    def insert_many(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        """Batched inserts.
+
+        The dynamic stage takes the whole batch through its own
+        ``insert_many`` (one descent per leaf run for sorted batches)
+        and the Bloom filter is populated in one ``add_many``.  The
+        merge-ratio check runs once after the batch instead of after
+        every key, so a merge can trigger slightly later than under
+        per-key inserts — the final contents are identical either way.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return
+        self._dynamic.insert_many(pairs)
+        keys = [key for key, _ in pairs]
+        self._bloom.add_many(keys)
+        self._tombstones.difference_update(keys)
         if self._should_merge():
             self.merge()
 
@@ -228,6 +332,12 @@ class DualStageIndex:
                     result.append(static_pair)
                 static_pair = next(static_iter, None)
         return result
+
+    def scan_many(
+        self, requests: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, int]]]:
+        """Batched range scans; one result list per (start_key, count)."""
+        return [self.scan(start, count) for start, count in requests]
 
     # ------------------------------------------------------------------
     # Merge

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from array import array
 from typing import List, Tuple
 
 from repro.faults.injector import fault_point
@@ -79,9 +80,10 @@ def _bitvector_from_bytes(blob: bytes, offset: int) -> Tuple[BitVector, int]:
         offset + _WORD_BYTES * word_count <= len(blob),
         f"bitvector payload of {word_count} words overruns the blob",
     )
-    words = [
-        _U64.unpack_from(blob, offset + 8 * index)[0] for index in range(word_count)
-    ]
+    words = array(
+        "Q",
+        (_U64.unpack_from(blob, offset + 8 * index)[0] for index in range(word_count)),
+    )
     if words and bit_length % 64:
         _require(
             words[-1] >> (bit_length % 64) == 0,

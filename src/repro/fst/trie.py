@@ -79,18 +79,20 @@ class FST:
             self._level_first_node.append(node_number)
             for node in level_nodes:
                 if level_index < self.dense_levels:
-                    bitmap_labels = [0] * 256
-                    bitmap_haschild = [0] * 256
+                    # Build the 256-bit bitmaps directly as ints and append
+                    # them through the bulk word path — no per-bit work.
+                    bitmap_labels = 0
+                    bitmap_haschild = 0
                     for label, has_child, value in zip(
                         node.labels, node.has_child, node.values
                     ):
-                        bitmap_labels[label] = 1
+                        bitmap_labels |= 1 << label
                         if has_child:
-                            bitmap_haschild[label] = 1
+                            bitmap_haschild |= 1 << label
                         else:
                             dense_values.append(value)
-                    dense_labels.extend(bitmap_labels)
-                    dense_haschild.extend(bitmap_haschild)
+                    dense_labels.extend_from_word(bitmap_labels, 256)
+                    dense_haschild.extend_from_word(bitmap_haschild, 256)
                     dense_node_count += 1
                 else:
                     for position, (label, has_child, value) in enumerate(
@@ -274,6 +276,74 @@ class FST:
             node = child
             depth += 1
         return None
+
+    def lookup_many(self, keys: Sequence[bytes]) -> List[Optional[int]]:
+        """Batched point lookups; element ``i`` equals ``lookup(keys[i])``.
+
+        For sorted key batches the trie descent is amortized: a stack of
+        ``(node, depth)`` pairs from the previous key's path is rewound to
+        the common prefix, so shared prefixes (sorted URL/e-mail batches
+        share most of their bytes) are traversed once per run instead of
+        once per key.  Unsorted batches fall back to per-key lookups.
+        """
+        total = len(keys)
+        if total == 0:
+            return []
+        if self._num_keys == 0:
+            return [None] * total
+        if any(a > b for a, b in zip(keys, keys[1:])):
+            return [self.lookup(key) for key in keys]
+        results: List[Optional[int]] = []
+        append = results.append
+        stack: List[Tuple[int, int]] = [(0, 0)]  # (node, bytes consumed)
+        push = stack.append
+        pop = stack.pop
+        previous: Optional[bytes] = None
+        dense_visits = 0
+        sparse_visits = 0
+        num_dense = self._num_dense_nodes
+        dense_step = self._dense_step
+        sparse_step = self._sparse_step
+        for key in keys:
+            if previous is not None:
+                limit = min(len(previous), len(key))
+                common = 0
+                while common < limit and previous[common] == key[common]:
+                    common += 1
+                while len(stack) > 1 and stack[-1][1] > common:
+                    pop()
+            previous = key
+            node, depth = stack[-1]
+            found_value: Optional[int] = None
+            key_length = len(key)
+            while depth < key_length:
+                if node < num_dense:
+                    dense_visits += 1
+                    child, value, found = dense_step(node, key[depth])
+                else:
+                    sparse_visits += 1
+                    child, value, found = sparse_step(node, key[depth])
+                if not found:
+                    break
+                if value is not None:
+                    if depth == key_length - 1:
+                        found_value = value
+                    break
+                node = child
+                depth += 1
+                push((node, depth))
+            append(found_value)
+        if dense_visits:
+            self.counters.add("fst_dense_visit", dense_visits)
+        if sparse_visits:
+            self.counters.add("fst_sparse_visit", sparse_visits)
+        return results
+
+    def scan_many(
+        self, requests: Sequence[Tuple[bytes, int]]
+    ) -> List[List[Tuple[bytes, int]]]:
+        """Batched range scans: one ``scan(start, count)`` per request."""
+        return [self.scan(start_key, count) for start_key, count in requests]
 
     def iterate_subtree(self, node: int) -> Iterator[Tuple[bytes, int]]:
         """(key_suffix, value) pairs below ``node`` in key order."""

@@ -40,6 +40,15 @@ class OpCounters:
         """Add one item/event."""
         self._counts[event] += amount
 
+    def add_many(self, events: Dict[str, int]) -> None:
+        """Merge a mapping of event -> amount in one call.
+
+        The batched index operations accumulate counter deltas in local
+        dicts and flush them here once per batch, so the per-operation
+        hot path pays one Counter.update instead of one add() per event.
+        """
+        self._counts.update(events)
+
     def get(self, event: str) -> int:
         """Return the value for ``key``, or ``default`` when absent."""
         return self._counts.get(event, 0)

@@ -2,26 +2,67 @@
 
 LOUDS-encoded tries (:mod:`repro.fst`) navigate exclusively through
 ``rank``/``select`` queries over two bitmaps.  This module implements the
-classic two-level directory: the bit payload lives in 64-bit words, and a
-per-block popcount prefix array answers ``rank`` in O(1) word operations.
-``select`` binary-searches the rank directory and then scans one word,
-which is O(log n) worst case but effectively constant for index workloads.
+classic two-level directory: the bit payload lives in 64-bit words (an
+``array('Q')``, so the payload is a real machine buffer rather than a
+list of boxed ints), and a per-block popcount prefix array answers
+``rank`` in O(1) word operations.
+
+``select`` uses a *sampled select directory*: at seal time the word
+index containing every :data:`SELECT_SAMPLE_RATE`-th set (and clear) bit
+is recorded, so a query binary-searches only the handful of rank blocks
+between two samples instead of the whole directory, then finishes with a
+byte-stepping scan of one word.
 
 The structure is append-only while *unsealed*; :meth:`BitVector.seal`
-freezes it and builds the rank directory.  Sealed vectors are what the
-succinct tries store.
+freezes it and builds the directories.  Sealed vectors are what the
+succinct tries store.  Bulk construction should prefer
+:meth:`BitVector.extend` / :meth:`BitVector.extend_from_word` over
+per-bit :meth:`BitVector.append` — they move whole words at a time.
 """
 
 from __future__ import annotations
 
+import sys
+from array import array
 from typing import Iterable, Iterator, List
 
 _WORD_BITS = 64
 _WORD_MASK = (1 << _WORD_BITS) - 1
 
+#: One select sample per this many set (or clear) bits.  256 keeps the
+#: directory tiny (one u32 per 256 bits of either kind) while bounding
+#: the binary-search window to ~4 rank blocks.
+SELECT_SAMPLE_RATE = 256
+
+_NATIVE_LITTLE_ENDIAN = sys.byteorder == "little"
+
 
 def _popcount(word: int) -> int:
     return word.bit_count()
+
+
+def _select_in_word(word: int, remaining: int) -> int:
+    """Bit offset of the ``remaining``-th set bit of ``word`` (1-based).
+
+    Steps a byte at a time using popcounts, so the scan is at most 8 byte
+    probes plus at most 8 bit probes instead of up to 64 bit probes.
+    """
+    offset = 0
+    while True:
+        byte = word & 0xFF
+        ones = byte.bit_count()
+        if remaining <= ones:
+            break
+        remaining -= ones
+        word >>= 8
+        offset += 8
+    while True:
+        if word & 1:
+            remaining -= 1
+            if remaining == 0:
+                return offset
+        word >>= 1
+        offset += 1
 
 
 class BitVector:
@@ -34,13 +75,15 @@ class BitVector:
     """
 
     def __init__(self, bits: Iterable[int] = ()) -> None:
-        self._words: List[int] = []
+        self._words: array = array("Q")
         self._size = 0
         self._sealed = False
         self._rank_blocks: List[int] = []
+        self._select1_samples: List[int] = []
+        self._select0_samples: List[int] = []
         self._ones = 0
-        for bit in bits:
-            self.append(bit)
+        if bits:
+            self.extend(bits)
 
     # ------------------------------------------------------------------
     # Construction
@@ -57,12 +100,57 @@ class BitVector:
         self._size += 1
 
     def extend(self, bits: Iterable[int]) -> None:
-        """Append each bit of ``bits`` in order."""
+        """Append each bit of ``bits`` in order.
+
+        Bits are accumulated into 64-bit words locally and flushed through
+        :meth:`extend_from_word`, avoiding the per-bit divmod/indexing of
+        :meth:`append`.
+        """
+        if self._sealed:
+            raise ValueError("cannot append to a sealed BitVector")
+        word = 0
+        pending = 0
         for bit in bits:
-            self.append(bit)
+            if bit:
+                word |= 1 << pending
+            pending += 1
+            if pending == _WORD_BITS:
+                self.extend_from_word(word, _WORD_BITS)
+                word = 0
+                pending = 0
+        if pending:
+            self.extend_from_word(word, pending)
+
+    def extend_from_word(self, word: int, length: int) -> None:
+        """Append the low ``length`` bits of ``word`` (bit 0 first).
+
+        ``length`` may exceed 64; the payload is consumed in 64-bit
+        chunks.  This is the bulk construction path the LOUDS builders
+        use for whole node bitmaps.
+        """
+        if self._sealed:
+            raise ValueError("cannot append to a sealed BitVector")
+        if length < 0:
+            raise ValueError(f"bit count must be >= 0, got {length}")
+        if length == 0:
+            return
+        word &= (1 << length) - 1
+        words = self._words
+        bit_index = self._size % _WORD_BITS
+        remaining = length
+        if bit_index:
+            words[-1] |= (word << bit_index) & _WORD_MASK
+            room = _WORD_BITS - bit_index
+            word >>= room
+            remaining -= room
+        while remaining > 0:
+            words.append(word & _WORD_MASK)
+            word >>= _WORD_BITS
+            remaining -= _WORD_BITS
+        self._size += length
 
     def seal(self) -> "BitVector":
-        """Freeze the vector and build the rank directory.
+        """Freeze the vector and build the rank and select directories.
 
         Returns ``self`` so construction can be chained:
         ``bv = BitVector(bits).seal()``.
@@ -70,11 +158,25 @@ class BitVector:
         if self._sealed:
             return self
         blocks = [0]
+        select1: List[int] = []
+        select0: List[int] = []
         running = 0
-        for word in self._words:
+        next_one = 1
+        next_zero = 1
+        size = self._size
+        for word_index, word in enumerate(self._words):
             running += _popcount(word)
             blocks.append(running)
+            while next_one <= running:
+                select1.append(word_index)
+                next_one += SELECT_SAMPLE_RATE
+            zeros = min((word_index + 1) * _WORD_BITS, size) - running
+            while next_zero <= zeros:
+                select0.append(word_index)
+                next_zero += SELECT_SAMPLE_RATE
         self._rank_blocks = blocks
+        self._select1_samples = select1
+        self._select0_samples = select0
         self._ones = running
         self._sealed = True
         return self
@@ -94,8 +196,12 @@ class BitVector:
         return (self._words[word_index] >> bit_index) & 1
 
     def __iter__(self) -> Iterator[int]:
-        for index in range(self._size):
-            yield self[index]
+        remaining = self._size
+        for word in self._words:
+            for _ in range(min(remaining, _WORD_BITS)):
+                yield word & 1
+                word >>= 1
+            remaining -= _WORD_BITS
 
     @property
     def sealed(self) -> bool:
@@ -112,7 +218,9 @@ class BitVector:
         """Bits ``[start, start + length)`` as an int (bit 0 = ``start``).
 
         A fast bulk accessor for consumers that scan whole node bitmaps
-        (LOUDS-dense navigation) instead of one bit at a time.
+        (LOUDS-dense navigation) instead of one bit at a time.  The word
+        run is materialized in one ``int.from_bytes`` call instead of a
+        per-word shift-or loop.
         """
         if length <= 0:
             return 0
@@ -121,12 +229,15 @@ class BitVector:
                 f"slice [{start}, {start + length}) out of range for size {self._size}"
             )
         first_word, bit_offset = divmod(start, _WORD_BITS)
-        words_needed = (bit_offset + length + _WORD_BITS - 1) // _WORD_BITS
-        combined = 0
-        for offset in range(words_needed):
-            word_index = first_word + offset
-            if word_index < len(self._words):
-                combined |= self._words[word_index] << (offset * _WORD_BITS)
+        last_word = (start + length - 1) // _WORD_BITS
+        if _NATIVE_LITTLE_ENDIAN:
+            combined = int.from_bytes(
+                self._words[first_word : last_word + 1].tobytes(), "little"
+            )
+        else:  # pragma: no cover - big-endian fallback
+            combined = 0
+            for offset, word in enumerate(self._words[first_word : last_word + 1]):
+                combined |= word << (offset * _WORD_BITS)
         combined >>= bit_offset
         return combined & ((1 << length) - 1)
 
@@ -158,25 +269,24 @@ class BitVector:
         self._require_sealed()
         if count < 1 or count > self._ones:
             raise ValueError(f"select1({count}) out of range; vector has {self._ones} ones")
-        # Binary search the first block whose prefix popcount reaches count.
-        lo, hi = 0, len(self._words)
+        # The sampled directory brackets the word; binary search only the
+        # rank blocks between two adjacent samples.
+        samples = self._select1_samples
+        sample_index = (count - 1) // SELECT_SAMPLE_RATE
+        lo = samples[sample_index]
+        if sample_index + 1 < len(samples):
+            hi = samples[sample_index + 1]
+        else:
+            hi = len(self._words) - 1
+        blocks = self._rank_blocks
         while lo < hi:
             mid = (lo + hi) // 2
-            if self._rank_blocks[mid + 1] >= count:
+            if blocks[mid + 1] >= count:
                 hi = mid
             else:
                 lo = mid + 1
-        remaining = count - self._rank_blocks[lo]
-        word = self._words[lo]
-        position = lo * _WORD_BITS
-        while remaining:
-            if word & 1:
-                remaining -= 1
-                if remaining == 0:
-                    return position
-            word >>= 1
-            position += 1
-        raise AssertionError("select directory inconsistent")  # pragma: no cover
+        remaining = count - blocks[lo]
+        return lo * _WORD_BITS + _select_in_word(self._words[lo], remaining)
 
     def select0(self, count: int) -> int:
         """Position of the ``count``-th clear bit, counting from 1."""
@@ -184,31 +294,29 @@ class BitVector:
         zeros = self._size - self._ones
         if count < 1 or count > zeros:
             raise ValueError(f"select0({count}) out of range; vector has {zeros} zeros")
-        # Binary search over rank0 = index - rank1(index) at block borders.
-        lo, hi = 0, len(self._words)
+        samples = self._select0_samples
+        sample_index = (count - 1) // SELECT_SAMPLE_RATE
+        lo = samples[sample_index]
+        if sample_index + 1 < len(samples):
+            hi = samples[sample_index + 1]
+        else:
+            hi = len(self._words) - 1
+        blocks = self._rank_blocks
+        size = self._size
         while lo < hi:
             mid = (lo + hi) // 2
-            border = min((mid + 1) * _WORD_BITS, self._size)
-            zeros_before = border - self._rank_blocks[mid + 1]
-            # _rank_blocks counts full words; clamp to actual size.
-            if zeros_before >= count:
+            border = min((mid + 1) * _WORD_BITS, size)
+            if border - blocks[mid + 1] >= count:
                 hi = mid
             else:
                 lo = mid + 1
         position = lo * _WORD_BITS
-        zeros_before = position - self._rank_blocks[lo]
-        remaining = count - zeros_before
-        word = self._words[lo] if lo < len(self._words) else 0
-        while remaining:
-            if position >= self._size:
-                raise AssertionError("select0 directory inconsistent")  # pragma: no cover
-            if not word & 1:
-                remaining -= 1
-                if remaining == 0:
-                    return position
-            word >>= 1
-            position += 1
-        raise AssertionError("select0 directory inconsistent")  # pragma: no cover
+        remaining = count - (position - blocks[lo])
+        inverted = ~self._words[lo] & _WORD_MASK
+        position += _select_in_word(inverted, remaining)
+        if position >= self._size:  # pragma: no cover - defended by the range check
+            raise AssertionError("select0 directory inconsistent")
+        return position
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -217,7 +325,10 @@ class BitVector:
         """Modeled storage footprint: payload words + rank directory.
 
         The C++ layout this models stores 64-bit payload words plus one
-        32-bit cumulative popcount per word-block.
+        32-bit cumulative popcount per word-block.  The sampled select
+        directory is derived metadata (rebuildable from the payload) and
+        is deliberately excluded so modeled sizes stay comparable with
+        the paper's storage figures.
         """
         payload = len(self._words) * 8
         directory = len(self._rank_blocks) * 4 if self._sealed else 0

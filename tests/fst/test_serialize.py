@@ -145,7 +145,15 @@ class TestSerializationFaultPoints:
 
 
 @settings(max_examples=20, deadline=None)
-@given(st.lists(st.binary(min_size=1, max_size=5), unique=True, min_size=1, max_size=40))
+@given(
+    # The 0x00 terminator convention requires null-free raw keys.
+    st.lists(
+        st.lists(st.integers(min_value=1, max_value=255), min_size=1, max_size=5).map(bytes),
+        unique=True,
+        min_size=1,
+        max_size=40,
+    )
+)
 def test_roundtrip_property(raw_keys):
     keys = sorted({terminated(key) for key in raw_keys})
     pairs = [(key, index) for index, key in enumerate(keys)]

@@ -165,7 +165,13 @@ class TestDenseCutoffHeuristic:
 
 @settings(max_examples=20, deadline=None)
 @given(
-    st.lists(st.binary(min_size=1, max_size=6), unique=True, min_size=1, max_size=60),
+    # The 0x00 terminator convention requires null-free raw keys.
+    st.lists(
+        st.lists(st.integers(min_value=1, max_value=255), min_size=1, max_size=6).map(bytes),
+        unique=True,
+        min_size=1,
+        max_size=60,
+    ),
     st.sampled_from(DENSE_CONFIGS),
 )
 def test_fst_matches_dict(raw_keys, dense_levels):

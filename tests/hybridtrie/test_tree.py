@@ -236,7 +236,13 @@ class TestProtocol:
 
 @settings(max_examples=15, deadline=None)
 @given(
-    st.lists(st.binary(min_size=1, max_size=5), unique=True, min_size=2, max_size=50),
+    # The 0x00 terminator convention requires null-free raw keys.
+    st.lists(
+        st.lists(st.integers(min_value=1, max_value=255), min_size=1, max_size=5).map(bytes),
+        unique=True,
+        min_size=2,
+        max_size=50,
+    ),
     st.integers(min_value=0, max_value=4),
     st.lists(st.integers(min_value=0, max_value=49), max_size=12),
 )

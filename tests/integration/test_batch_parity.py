@@ -1,0 +1,241 @@
+"""Batched operations must equal per-key loops on every index family.
+
+Every ``*_many`` entry point promises the same return values as the
+equivalent per-key loop and the same final index contents.  Each test
+builds twin indexes from the same seed data, drives one through the
+batched API and the other through per-key calls, and compares both the
+returned values and the resulting contents; the families with a
+self-verifier additionally prove their invariants afterwards.
+"""
+
+import random
+
+import pytest
+
+from repro.art.tree import ART, terminated
+from repro.bptree.hybrid import AdaptiveBPlusTree
+from repro.bptree.leaves import LeafEncoding
+from repro.bptree.tree import BPlusTree
+from repro.dualstage.index import DualStageIndex, StaticEncoding
+from repro.fst.trie import FST
+from repro.hybridtrie.tree import HybridTrie
+
+
+def int_workload(seed, universe=50_000, loaded=4000, probes=3000):
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(universe), loaded))
+    pairs = [(key, key * 3 + 1) for key in keys]
+    probe_keys = [rng.randrange(universe) for _ in range(probes)]
+    return pairs, probe_keys
+
+
+def byte_workload(seed, loaded=1500, probes=1500):
+    rng = random.Random(seed)
+    words = {
+        bytes(rng.randrange(97, 123) for _ in range(rng.randrange(3, 12)))
+        for _ in range(loaded)
+    }
+    keys = sorted(terminated(word) for word in words)
+    pairs = [(key, index * 7 + 1) for index, key in enumerate(keys)]
+    probe_keys = [
+        rng.choice(keys)
+        if rng.random() < 0.6
+        else terminated(bytes(rng.randrange(97, 123) for _ in range(5)))
+        for _ in range(probes)
+    ]
+    return pairs, probe_keys
+
+
+class TestBPlusTreeParity:
+    @pytest.mark.parametrize(
+        "encoding", [LeafEncoding.GAPPED, LeafEncoding.PACKED, LeafEncoding.SUCCINCT]
+    )
+    def test_lookup_many_sorted_and_unsorted(self, encoding):
+        pairs, probe_keys = int_workload(1)
+        tree = BPlusTree.bulk_load(pairs, encoding)
+        for keys in (sorted(probe_keys), probe_keys):
+            assert tree.lookup_many(keys) == [tree.lookup(key) for key in keys]
+
+    def test_insert_many_matches_loop(self):
+        pairs, _ = int_workload(2)
+        rng = random.Random(22)
+        inserts = [(rng.randrange(60_000), rng.randrange(1000)) for _ in range(2000)]
+        batched = BPlusTree.bulk_load(pairs, LeafEncoding.GAPPED)
+        looped = BPlusTree.bulk_load(pairs, LeafEncoding.GAPPED)
+        for chunk_keys in (sorted(inserts), inserts):  # sorted + fallback paths
+            assert batched.insert_many(chunk_keys) == [
+                looped.insert(key, value) for key, value in chunk_keys
+            ]
+        assert list(batched.items()) == list(looped.items())
+        batched.verify()
+
+    def test_scan_many_matches_loop(self):
+        pairs, probe_keys = int_workload(3)
+        tree = BPlusTree.bulk_load(pairs, LeafEncoding.PACKED)
+        requests = [(start, 1 + start % 40) for start in sorted(probe_keys[:300])]
+        assert tree.scan_many(requests) == [
+            tree.scan(start, count) for start, count in requests
+        ]
+
+    def test_duplicate_keys_in_one_batch(self):
+        tree = BPlusTree(LeafEncoding.GAPPED)
+        results = tree.insert_many([(5, 1), (5, 2), (7, 3), (7, 4)])
+        assert results == [True, False, True, False]
+        assert tree.lookup_many([5, 7]) == [2, 4]
+
+
+class TestAdaptiveBPlusTreeParity:
+    def test_mixed_batches_match_loop_and_verify(self):
+        pairs, probe_keys = int_workload(4)
+        batched = AdaptiveBPlusTree.bulk_load_adaptive(pairs)
+        looped = AdaptiveBPlusTree.bulk_load_adaptive(pairs)
+        rng = random.Random(44)
+        inserts = sorted(
+            (rng.randrange(60_000), rng.randrange(1000)) for _ in range(1500)
+        )
+        sorted_probes = sorted(probe_keys)
+        assert batched.lookup_many(sorted_probes) == [
+            looped.lookup(key) for key in sorted_probes
+        ]
+        assert batched.insert_many(inserts) == [
+            looped.insert(key, value) for key, value in inserts
+        ]
+        requests = [(start, 1 + start % 25) for start in sorted_probes[:200]]
+        assert batched.scan_many(requests) == [
+            looped.scan(start, count) for start, count in requests
+        ]
+        assert list(batched.items()) == list(looped.items())
+        batched.verify()
+        looped.verify()
+
+    def test_sampling_state_identical_to_per_key(self):
+        pairs, probe_keys = int_workload(5)
+        batched = AdaptiveBPlusTree.bulk_load_adaptive(pairs)
+        looped = AdaptiveBPlusTree.bulk_load_adaptive(pairs)
+        sorted_probes = sorted(probe_keys)
+        batched.lookup_many(sorted_probes)
+        for key in sorted_probes:
+            looped.lookup(key)
+        assert batched.manager.counters.accesses == looped.manager.counters.accesses
+        assert batched.manager.counters.sampled == looped.manager.counters.sampled
+
+
+class TestARTParity:
+    def test_lookup_many_sorted_and_unsorted(self):
+        pairs, probe_keys = byte_workload(6)
+        tree = ART.from_sorted(pairs)
+        for keys in (sorted(probe_keys), probe_keys):
+            assert tree.lookup_many(keys) == [tree.lookup(key) for key in keys]
+
+    def test_insert_many_then_items_match(self):
+        pairs, _ = byte_workload(7)
+        batched = ART()
+        looped = ART()
+        assert batched.insert_many(pairs) == [
+            looped.insert(key, value) for key, value in pairs
+        ]
+        assert list(batched.items()) == list(looped.items())
+
+    def test_scan_many_matches_loop(self):
+        pairs, probe_keys = byte_workload(8)
+        tree = ART.from_sorted(pairs)
+        requests = [(start, 5) for start in sorted(probe_keys[:100])]
+        assert tree.scan_many(requests) == [
+            tree.scan(start, count) for start, count in requests
+        ]
+
+    def test_lookup_many_empty_tree_and_batch(self):
+        tree = ART()
+        assert tree.lookup_many([]) == []
+        assert tree.lookup_many([b"a\x00", b"b\x00"]) == [None, None]
+
+
+class TestFSTParity:
+    def test_lookup_many_sorted_and_unsorted(self):
+        pairs, probe_keys = byte_workload(9)
+        fst = FST(pairs)
+        for keys in (sorted(probe_keys), probe_keys):
+            assert fst.lookup_many(keys) == [fst.lookup(key) for key in keys]
+
+    def test_scan_many_matches_loop(self):
+        pairs, probe_keys = byte_workload(10)
+        fst = FST(pairs)
+        requests = [(start, 4) for start in sorted(probe_keys[:80])]
+        assert fst.scan_many(requests) == [
+            fst.scan(start, count) for start, count in requests
+        ]
+
+
+class TestHybridTrieParity:
+    def test_lookup_many_matches_loop_and_verify(self):
+        pairs, probe_keys = byte_workload(11)
+        batched = HybridTrie(pairs)
+        looped = HybridTrie(pairs)
+        sorted_probes = sorted(probe_keys)
+        assert batched.lookup_many(sorted_probes) == [
+            looped.lookup(key) for key in sorted_probes
+        ]
+        # Unsorted falls back to the per-key path on the same instance.
+        assert batched.lookup_many(probe_keys) == [
+            batched.lookup(key) for key in probe_keys
+        ]
+        assert batched.items() == looped.items()
+        batched.verify()
+        looped.verify()
+
+    def test_scan_many_matches_loop(self):
+        pairs, probe_keys = byte_workload(12)
+        trie = HybridTrie(pairs, adaptive=False)
+        requests = [(start, 6) for start in sorted(probe_keys[:80])] + [(b"", 0)]
+        assert trie.scan_many(requests) == [
+            trie.scan(start, count) for start, count in requests
+        ]
+
+    def test_non_adaptive_lookup_many(self):
+        pairs, probe_keys = byte_workload(13)
+        trie = HybridTrie(pairs, adaptive=False)
+        sorted_probes = sorted(probe_keys)
+        assert trie.lookup_many(sorted_probes) == [
+            trie.lookup(key) for key in sorted_probes
+        ]
+        trie.verify()
+
+
+class TestDualStageParity:
+    @pytest.mark.parametrize(
+        "encoding", [StaticEncoding.PACKED, StaticEncoding.SUCCINCT]
+    )
+    def test_mixed_batches_match_loop_and_verify(self, encoding):
+        pairs, probe_keys = int_workload(14, loaded=3000, probes=2000)
+        batched = DualStageIndex.bulk_load(pairs, encoding)
+        looped = DualStageIndex.bulk_load(pairs, encoding)
+        rng = random.Random(140)
+        inserts = sorted(
+            (rng.randrange(60_000), rng.randrange(1000)) for _ in range(400)
+        )
+        deletions = [key for key, _ in pairs[::37]]
+        batched.insert_many(inserts)
+        for key, value in inserts:
+            looped.insert(key, value)
+        for key in deletions:
+            assert batched.delete(key) == looped.delete(key)
+        sorted_probes = sorted(probe_keys)
+        assert batched.lookup_many(sorted_probes) == [
+            looped.lookup(key) for key in sorted_probes
+        ]
+        requests = [(start, 1 + start % 20) for start in sorted_probes[:150]]
+        assert batched.scan_many(requests) == [
+            looped.scan(start, count) for start, count in requests
+        ]
+        batched.verify()
+        looped.verify()
+
+    def test_lookup_many_hits_tombstones_and_static(self):
+        pairs, _ = int_workload(15, loaded=1000, probes=0)
+        index = DualStageIndex.bulk_load(pairs, StaticEncoding.SUCCINCT)
+        present = [key for key, _ in pairs[:50]]
+        index.insert_many([(key, 999) for key in present[:10]])
+        for key in present[10:20]:
+            index.delete(key)
+        probe = present[:25] + [10**9 + offset for offset in range(5)]
+        assert index.lookup_many(probe) == [index.lookup(key) for key in probe]

@@ -121,7 +121,13 @@ class TestByteKeyIndexesAgree:
 
 @settings(max_examples=15, deadline=None)
 @given(
-    st.lists(st.binary(min_size=1, max_size=6), unique=True, min_size=1, max_size=60)
+    # The 0x00 terminator convention requires null-free raw keys.
+    st.lists(
+        st.lists(st.integers(min_value=1, max_value=255), min_size=1, max_size=6).map(bytes),
+        unique=True,
+        min_size=1,
+        max_size=60,
+    )
 )
 def test_art_fst_hybrid_property(raw_keys):
     keys = sorted({terminated(key) for key in raw_keys})

@@ -77,7 +77,13 @@ class TestEmailStyleUsage:
 
 @settings(max_examples=20, deadline=None)
 @given(
-    st.lists(st.binary(min_size=1, max_size=6), unique=True, min_size=1, max_size=50),
+    # The 0x00 terminator convention requires null-free raw keys.
+    st.lists(
+        st.lists(st.integers(min_value=1, max_value=255), min_size=1, max_size=6).map(bytes),
+        unique=True,
+        min_size=1,
+        max_size=50,
+    ),
     st.binary(max_size=4),
 )
 def test_prefix_property(raw_keys, prefix):

@@ -1,0 +1,107 @@
+"""The sampled select directory must agree with a reference select.
+
+``select1``/``select0`` used to binary-search the whole rank directory;
+they now bracket the search between two sampled word positions and then
+step bytes inside one word.  These tests pin the fast path to a
+straightforward reference implementation, including the all-zeros /
+all-ones edges where one of the two sample arrays is empty.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.bitvector import SELECT_SAMPLE_RATE, BitVector
+
+
+def make(bits):
+    return BitVector(bits).seal()
+
+
+def reference_select(bits, wanted, index):
+    """Position of the ``index``-th (1-based) occurrence of ``wanted``."""
+    seen = 0
+    for position, bit in enumerate(bits):
+        if bit == wanted:
+            seen += 1
+            if seen == index:
+                return position
+    raise AssertionError("reference select out of range")
+
+
+class TestAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=700))
+    def test_select1_matches_reference(self, bits):
+        vector = make(bits)
+        for index in range(1, vector.ones + 1):
+            assert vector.select1(index) == reference_select(bits, 1, index)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=700))
+    def test_select0_matches_reference(self, bits):
+        vector = make(bits)
+        zeros = len(bits) - vector.ones
+        for index in range(1, zeros + 1):
+            assert vector.select0(index) == reference_select(bits, 0, index)
+
+    def test_large_random_vector_crosses_many_samples(self):
+        rng = random.Random(0xC0FFEE)
+        bits = [rng.randint(0, 1) for _ in range(8 * SELECT_SAMPLE_RATE)]
+        vector = make(bits)
+        positions1 = [i for i, bit in enumerate(bits) if bit]
+        positions0 = [i for i, bit in enumerate(bits) if not bit]
+        for index, expected in enumerate(positions1, start=1):
+            assert vector.select1(index) == expected
+        for index, expected in enumerate(positions0, start=1):
+            assert vector.select0(index) == expected
+
+
+class TestEdges:
+    def test_all_ones(self):
+        size = 3 * SELECT_SAMPLE_RATE + 17
+        vector = make([1] * size)
+        for index in (1, 2, SELECT_SAMPLE_RATE, size):
+            assert vector.select1(index) == index - 1
+        with pytest.raises(ValueError):
+            vector.select0(1)
+
+    def test_all_zeros(self):
+        size = 3 * SELECT_SAMPLE_RATE + 17
+        vector = make([0] * size)
+        for index in (1, 2, SELECT_SAMPLE_RATE, size):
+            assert vector.select0(index) == index - 1
+        with pytest.raises(ValueError):
+            vector.select1(1)
+
+    def test_empty_vector(self):
+        vector = make([])
+        with pytest.raises(ValueError):
+            vector.select1(1)
+        with pytest.raises(ValueError):
+            vector.select0(1)
+
+    def test_out_of_range(self):
+        vector = make([1, 0, 1])
+        with pytest.raises(ValueError):
+            vector.select1(3)
+        with pytest.raises(ValueError):
+            vector.select0(2)
+
+    def test_sparse_ones_far_apart(self):
+        bits = [0] * 5000
+        for position in (0, 63, 64, 1000, 4095, 4999):
+            bits[position] = 1
+        vector = make(bits)
+        expected = [i for i, bit in enumerate(bits) if bit]
+        for index, position in enumerate(expected, start=1):
+            assert vector.select1(index) == position
+
+    def test_rank_select_inverse(self):
+        rng = random.Random(7)
+        bits = [rng.randint(0, 1) for _ in range(2000)]
+        vector = make(bits)
+        for index in range(1, vector.ones + 1):
+            assert vector.rank1(vector.select1(index) + 1) == index
