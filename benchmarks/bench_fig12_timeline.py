@@ -1,5 +1,7 @@
 """Figure 12: the headline timeline — W1.1 -> W1.2 -> W1.3 on OSM keys."""
 
+import json
+
 import numpy as np
 from conftest import banner, run_once
 
@@ -23,6 +25,14 @@ def test_fig12_workload_timeline(benchmark):
     print("\nfinal sizes:")
     for name, (index_bytes, aux_bytes) in result["sizes"].items():
         print(f"  {name:<11} {human_bytes(index_bytes):>10} (+{human_bytes(aux_bytes)})")
+    events = result["adaptation_events"]
+    print(f"\nadaptation events ({len(events)} phases):")
+    for event in events:
+        print(
+            f"  epoch {event['epoch']:>3}: +{event['expansions']} expand "
+            f"-{event['compactions']} compact, skip {event['skip_length_before']}"
+            f"->{event['skip_length_after']}, {human_bytes(event['index_bytes'])}"
+        )
 
     series = result["series"]
     sizes = result["sizes"]
@@ -40,3 +50,10 @@ def test_fig12_workload_timeline(benchmark):
     # Space: adaptive far below gapped (paper: -72%), sampling overhead tiny.
     assert sizes["ahi"][0] < 0.7 * sizes["gapped"][0]
     assert sizes["ahi"][1] < 0.05 * sizes["ahi"][0]  # paper: 0.1%
+    # The event log is the canonical timeline: phases ran, epochs ascend,
+    # and every event dict is JSON-safe as produced (the single
+    # serialization path shared with --trace and EventLog.to_jsonl).
+    assert events and json.loads(json.dumps(events)) == events
+    epochs = [event["epoch"] for event in events]
+    assert epochs == sorted(epochs)
+    assert sum(event["expansions"] for event in events) > 0

@@ -20,6 +20,8 @@ def test_fig20_trie_timeline(benchmark):
     print("  expansions (cum):", result["expansions"])
     print("  compactions (cum):", result["compactions"])
     print("  skip lengths:", result["skip_lengths"])
+    events = result["adaptation_events"]
+    print(f"  adaptation events: {len(events)} phases")
 
     series = result["series"]
     expansions = result["expansions"]
@@ -41,3 +43,8 @@ def test_fig20_trie_timeline(benchmark):
     # The skip length adapts over the run.
     skips = [skip for skip in result["skip_lengths"] if skip is not None]
     assert len(set(skips)) > 1
+    # The event log carries the same timeline: the manager-side migration
+    # totals match the adapter's cumulative counters exactly (the trie
+    # has no eager insert-time expansions — it is read-only here).
+    assert sum(event["expansions"] for event in events) == expansions[-1]
+    assert len({event["skip_length_after"] for event in events}) > 1

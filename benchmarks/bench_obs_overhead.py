@@ -1,0 +1,294 @@
+"""Observability overhead suite (PR 3).
+
+Proves the telemetry layer's zero-cost-when-disabled claim on the PR 2
+perf-suite hot paths (single-key lookups on every index family) and
+writes the machine-readable ``BENCH_PR3.json`` at the repo root.
+
+With no :class:`~repro.obs.runtime.Telemetry` installed, each
+instrumented lookup pays exactly one module-global read plus an
+``is None`` branch (the ``active_tracer()`` gate).  Wall-clock A/B runs
+of the same code path are dominated by machine noise at the <5% level,
+so the headline bound is established deterministically instead: the
+gate cost is timed directly in a tight loop (loop overhead subtracted)
+and divided by each family's measured per-lookup time.  That
+*gate share* must stay at or below 5% for every family.
+
+The suite also reports measured throughput with telemetry off, with a
+metrics registry installed, and with full tracing (sampled op spans
+into an in-memory sink) — the honest price of turning telemetry *on*.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --check BENCH_PR3.json --tolerance 0.50
+
+Gate share depends on tree depth (shallower trees -> faster lookups ->
+larger share), so baseline comparisons require the same ``--keys`` as
+the committed baseline; :func:`check_against_baseline` enforces it.
+
+or through pytest (reduced scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -q
+"""
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.art.tree import ART, terminated
+from repro.bptree.hybrid import AdaptiveBPlusTree
+from repro.bptree.leaves import LeafEncoding
+from repro.bptree.tree import BPlusTree
+from repro.dualstage.index import DualStageIndex, StaticEncoding
+from repro.fst.trie import FST
+from repro.hybridtrie.tree import HybridTrie
+from repro.obs import MetricsRegistry, Telemetry, active, active_tracer
+
+DEFAULT_KEYS = 4_000
+OVERHEAD_BOUND = 0.05          # disabled-telemetry gate share per lookup
+TRACE_SAMPLE_EVERY = 64        # op-span sampling in the traced mode
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_PR3.json"
+
+
+def _best_of(runs, func):
+    """Fastest wall-clock of ``runs`` executions (noise floor, not mean)."""
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_gate_ns(iterations=200_000, runs=5):
+    """Cost of one disabled-telemetry probe: ``active_tracer()`` + branch.
+
+    Timed in a tight loop with the bare-loop overhead subtracted, so the
+    result is the marginal per-lookup price every instrumented hot path
+    pays when no telemetry is installed.
+    """
+    indices = range(iterations)
+
+    def probed():
+        for _ in indices:
+            if active_tracer() is not None:  # pragma: no cover - off here
+                raise AssertionError("telemetry unexpectedly installed")
+
+    def bare():
+        for _ in indices:
+            pass
+
+    probed_time = _best_of(runs, probed)
+    bare_time = _best_of(runs, bare)
+    return max(0.0, (probed_time - bare_time) / iterations * 1e9)
+
+
+def _int_data(num_keys, seed=0x5EED):
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(num_keys * 4), num_keys))
+    pairs = [(key, key * 3 + 1) for key in keys]
+    probes = [
+        rng.choice(keys) if rng.random() < 0.8 else rng.randrange(num_keys * 4)
+        for _ in range(num_keys)
+    ]
+    return pairs, probes
+
+
+def _byte_data(num_keys, seed=0xBEEF):
+    rng = random.Random(seed)
+    words = set()
+    while len(words) < num_keys:
+        words.add(bytes(rng.randrange(97, 123) for _ in range(rng.randrange(4, 14))))
+    keys = sorted(terminated(word) for word in words)
+    pairs = [(key, index) for index, key in enumerate(keys)]
+    probes = [
+        rng.choice(keys)
+        if rng.random() < 0.8
+        else terminated(bytes(rng.randrange(97, 123) for _ in range(6)))
+        for _ in range(num_keys)
+    ]
+    return pairs, probes
+
+
+def _build_lookup_loops(num_keys):
+    """One ``() -> None`` lookup loop per family, plus its probe count."""
+    pairs, probes = _int_data(num_keys)
+    byte_pairs, byte_probes = _byte_data(max(1000, num_keys // 4))
+
+    tree = BPlusTree.bulk_load(pairs, LeafEncoding.SUCCINCT)
+    adaptive = AdaptiveBPlusTree.bulk_load_adaptive(pairs)
+    dual = DualStageIndex.bulk_load(pairs, StaticEncoding.SUCCINCT)
+    art = ART.from_sorted(byte_pairs)
+    fst = FST(byte_pairs)
+    trie = HybridTrie(byte_pairs)
+
+    return {
+        "bptree_succinct": (
+            lambda: [tree.lookup(key) for key in probes], len(probes)),
+        "bptree_adaptive": (
+            lambda: [adaptive.lookup(key) for key in probes], len(probes)),
+        "dualstage": (
+            lambda: [dual.lookup(key) for key in probes], len(probes)),
+        "art": (
+            lambda: [art.lookup(key) for key in byte_probes], len(byte_probes)),
+        "fst": (
+            lambda: [fst.lookup(key) for key in byte_probes], len(byte_probes)),
+        "hybridtrie": (
+            lambda: [trie.lookup(key) for key in byte_probes], len(byte_probes)),
+    }
+
+
+def run_suite(num_keys=DEFAULT_KEYS, runs=3):
+    """Run every family in every mode; returns the BENCH_PR3.json payload."""
+    assert active() is None, "telemetry must not be installed for the baseline"
+    loops = _build_lookup_loops(num_keys)
+    gate_ns = measure_gate_ns()
+    families = {}
+
+    for family, (loop, total_ops) in loops.items():
+        off_time = _best_of(runs, loop)
+
+        with Telemetry(registry=MetricsRegistry(), tracer=None):
+            metrics_time = _best_of(runs, loop)
+
+        with Telemetry.with_memory_trace(op_sample_every=TRACE_SAMPLE_EVERY):
+            traced_time = _best_of(runs, loop)
+
+        off_ns_per_op = off_time / total_ops * 1e9
+        families[family] = {
+            "off_ops_per_sec": round(total_ops / off_time, 1),
+            "metrics_ops_per_sec": round(total_ops / metrics_time, 1),
+            "traced_ops_per_sec": round(total_ops / traced_time, 1),
+            "off_ns_per_op": round(off_ns_per_op, 1),
+            "gate_share": round(gate_ns / off_ns_per_op, 4),
+            "metrics_overhead": round(metrics_time / off_time - 1.0, 4),
+            "traced_overhead": round(traced_time / off_time - 1.0, 4),
+        }
+
+    return {
+        "suite": "PR3 observability overhead suite",
+        "keys": num_keys,
+        "gate_ns": round(gate_ns, 2),
+        "overhead_bound": OVERHEAD_BOUND,
+        "trace_sample_every": TRACE_SAMPLE_EVERY,
+        "families": families,
+    }
+
+
+def format_report(payload):
+    lines = [
+        f"obs overhead suite @ {payload['keys']} keys  "
+        f"(disabled-telemetry gate: {payload['gate_ns']:.1f} ns/lookup)"
+    ]
+    for family, stats in payload["families"].items():
+        lines.append(
+            f"{family:18s} off {stats['off_ops_per_sec']:>12,.0f} ops/s  "
+            f"gate {stats['gate_share']:>6.2%}  "
+            f"metrics {stats['metrics_overhead']:>+7.1%}  "
+            f"traced {stats['traced_overhead']:>+7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def check_headline(payload):
+    """The acceptance claim: gate share <= 5% on every family."""
+    bound = payload.get("overhead_bound", OVERHEAD_BOUND)
+    over = {
+        family: stats["gate_share"]
+        for family, stats in payload["families"].items()
+        if stats["gate_share"] > bound
+    }
+    assert not over, (
+        f"disabled-telemetry gate exceeds the {bound:.0%} bound: {over} "
+        f"(gate {payload['gate_ns']:.1f} ns/lookup)"
+    )
+
+
+def check_against_baseline(payload, baseline, tolerance):
+    """Fail on gate-share regressions beyond ``tolerance``.
+
+    Gate share (gate ns / per-lookup ns) is a ratio of two measurements
+    on the same machine, so it is far more portable than raw ops/sec.
+    Families present in the baseline but missing now count as
+    regressions; the absolute <= 5% bound is enforced separately by
+    :func:`check_headline`.
+    """
+    failures = []
+    if baseline.get("keys") != payload["keys"]:
+        return [
+            f"baseline measured at {baseline.get('keys')} keys but this run "
+            f"used {payload['keys']}; gate share is depth-dependent — rerun "
+            f"with matching --keys"
+        ]
+    for family, stats in baseline.get("families", {}).items():
+        current = payload["families"].get(family)
+        if current is None:
+            failures.append(f"{family}: missing from current run")
+            continue
+        ceiling = stats["gate_share"] * (1.0 + tolerance)
+        if current["gate_share"] > ceiling:
+            failures.append(
+                f"{family}: gate share {current['gate_share']:.2%} rose above "
+                f"{ceiling:.2%} (baseline {stats['gate_share']:.2%} "
+                f"+ {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+@pytest.mark.perf
+def test_obs_overhead_headline():
+    payload = run_suite(num_keys=4_000)
+    print(format_report(payload))
+    check_headline(payload)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Observability overhead suite (PR 3).")
+    parser.add_argument("--keys", type=int, default=DEFAULT_KEYS)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RESULT_FILE,
+        help=f"result JSON path (default {RESULT_FILE})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip writing the result JSON"
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="baseline JSON to compare gate shares against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.50,
+        help="allowed relative gate-share regression vs the baseline (default 0.50)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(num_keys=args.keys)
+    print(format_report(payload))
+    check_headline(payload)
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failures = check_against_baseline(payload, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"no gate-share regressions vs {args.check} (tolerance {args.tolerance:.0%})")
+    if not args.no_write:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

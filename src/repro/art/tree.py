@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from repro.art.nodes import Node4
+from repro.obs.runtime import active_tracer
 from repro.sim.counters import OpCounters
 
 _LEAF_HEADER_BYTES = 16
@@ -51,6 +52,8 @@ def _common_prefix_length(a: bytes, b: bytes) -> int:
 class ART:
     """Adaptive Radix Tree with inserts, deletes, lookups, and scans."""
 
+    stats_family = "art"
+
     def __init__(self, counters: Optional[OpCounters] = None) -> None:
         self._root: Optional[object] = None
         self._num_keys = 0
@@ -69,6 +72,9 @@ class ART:
     # ------------------------------------------------------------------
     def lookup(self, key: bytes) -> Optional[int]:
         """Return the value stored under ``key``, or None."""
+        tracer = active_tracer()
+        if tracer is not None:
+            return self._traced_lookup(tracer, key)
         node = self._root
         depth = 0
         while node is not None:
@@ -86,6 +92,35 @@ class ART:
             node = node.find_child(key[depth])
             depth += 1
         return None
+
+    def _traced_lookup(self, tracer, key: bytes) -> Optional[int]:
+        """:meth:`lookup` under an installed tracer (identical result)."""
+        span = tracer.op_start("lookup", family=self.stats_family)
+        node = self._root
+        depth = 0
+        visits = 0
+        value: Optional[int] = None
+        while node is not None:
+            visits += 1
+            self.counters.add("art_visit")
+            if isinstance(node, ARTLeaf):
+                value = node.value if node.key == key else None
+                break
+            prefix = node.prefix
+            if prefix:
+                if key[depth : depth + len(prefix)] != prefix:
+                    break
+                depth += len(prefix)
+            if depth >= len(key):
+                break
+            node = node.find_child(key[depth])
+            depth += 1
+        if span is not None:
+            tracer.event("descent", nodes_visited=visits, depth=depth)
+            kind = type(node).__name__.lower() if node is not None else "none"
+            tracer.event(f"leaf_probe:{kind}", hit=value is not None)
+            tracer.end(span)
+        return value
 
     def __contains__(self, key: bytes) -> bool:
         return self.lookup(key) is not None
@@ -397,6 +432,26 @@ class ART:
             if not isinstance(node, ARTLeaf):
                 stack.extend(child for _, child in node.children_items())
         return census
+
+    def stats(self) -> dict:
+        """Uniform JSON-safe stats dict (see :mod:`repro.obs.introspect`)."""
+        from repro.obs.introspect import base_stats
+
+        stats = base_stats(
+            self.stats_family,
+            num_keys=self._num_keys,
+            size_bytes=self.size_bytes(),
+            census=self.node_census(),
+            counters_snapshot=self.counters.snapshot(),
+        )
+        stats["height"] = self.height()
+        return stats
+
+    def describe(self) -> str:
+        """Human-readable rendering of :meth:`stats`."""
+        from repro.obs.introspect import format_stats
+
+        return format_stats(self.stats())
 
     def height(self) -> int:
         """Maximum node depth (leaves included)."""

@@ -32,6 +32,7 @@ from repro.core.access import AccessType
 from repro.core.budget import MemoryBudget
 from repro.core.heuristics import Heuristic
 from repro.core.manager import AdaptationManager, ManagerConfig
+from repro.obs.runtime import active_tracer
 
 # Encodings ordered compact -> fast, as the manager expects.
 BTREE_ENCODING_ORDER: Tuple[LeafEncoding, ...] = (
@@ -43,6 +44,8 @@ BTREE_ENCODING_ORDER: Tuple[LeafEncoding, ...] = (
 
 class AdaptiveBPlusTree(BPlusTree):
     """The adaptive Hybrid B+-tree (AHI-BTree)."""
+
+    stats_family = "bptree_adaptive"
 
     def __init__(
         self,
@@ -95,6 +98,9 @@ class AdaptiveBPlusTree(BPlusTree):
     # ------------------------------------------------------------------
     def lookup(self, key: int) -> Optional[int]:
         """Return the value stored under ``key``, or None."""
+        tracer = active_tracer()
+        if tracer is not None:
+            return self._traced_lookup(tracer, key)
         leaf, path = self._descend(key)
         self.counters.add(f"leaf_visit:{leaf.encoding}")
         self.counters.add("sample_check")
@@ -102,6 +108,23 @@ class AdaptiveBPlusTree(BPlusTree):
             parent = path[-1][0] if path else None
             self.manager.track(leaf, AccessType.READ, context=parent)
         return leaf.lookup(key)
+
+    def _traced_lookup(self, tracer, key: int) -> Optional[int]:
+        """Tracked lookup under an installed tracer (identical result)."""
+        span = tracer.op_start("lookup", family=self.stats_family)
+        leaf, path = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        self.counters.add("sample_check")
+        sampled = self.manager.is_sample()
+        if sampled:
+            parent = path[-1][0] if path else None
+            self.manager.track(leaf, AccessType.READ, context=parent)
+        value = leaf.lookup(key)
+        if span is not None:
+            tracer.event("descent", inner_visits=len(path), height=self._height)
+            tracer.event(f"leaf_probe:{leaf.encoding}", hit=value is not None)
+            tracer.end(span, sampled=sampled)
+        return value
 
     def _maybe_expand_for_insert(self, leaf: LeafNode, parent) -> None:
         """Eager expansion: writes into compact leaves are expensive, so
@@ -384,6 +407,23 @@ class AdaptiveBPlusTree(BPlusTree):
         for leaf in self.leaves():
             counts[leaf.encoding] = counts.get(leaf.encoding, 0) + 1
         return counts
+
+    def stats(self) -> dict:
+        """Uniform stats dict including the adaptation block."""
+        from repro.obs.introspect import base_stats
+
+        stats = base_stats(
+            self.stats_family,
+            num_keys=self._num_keys,
+            size_bytes=self.size_bytes(),
+            census=self.leaf_encoding_census(),
+            counters_snapshot=self.counters.snapshot(),
+            manager=self.manager,
+        )
+        stats["height"] = self._height
+        stats["num_leaves"] = self._num_leaves
+        stats["total_size_bytes"] = self.total_size_bytes()
+        return stats
 
 
 def find_parent(tree: BPlusTree, leaf: LeafNode) -> Optional[InnerNode]:

@@ -24,6 +24,7 @@ from repro.bptree.leaves import (
     LeafEncoding,
     LeafNode,
 )
+from repro.obs.runtime import active_tracer
 from repro.sim.counters import OpCounters
 
 DEFAULT_INNER_FANOUT = 64
@@ -32,6 +33,8 @@ DEFAULT_FILL_FACTOR = 0.70
 
 class BPlusTree:
     """B+-tree with one leaf encoding for all leaves."""
+
+    stats_family = "bptree"
 
     def __init__(
         self,
@@ -187,9 +190,30 @@ class BPlusTree:
 
     def lookup(self, key: int) -> Optional[int]:
         """Return the value stored under ``key``, or None."""
+        tracer = active_tracer()
+        if tracer is not None:
+            return self._traced_lookup(tracer, key)
         leaf, _ = self._descend(key)
         self.counters.add(f"leaf_visit:{leaf.encoding}")
         return leaf.lookup(key)
+
+    def _traced_lookup(self, tracer, key: int) -> Optional[int]:
+        """:meth:`lookup` under an installed tracer (identical result).
+
+        Emits a sampled ``lookup`` span with ``descent`` and
+        ``leaf_probe:<encoding>`` children; the untraced path stays a
+        straight-line function so the telemetry-off cost is one global
+        read plus a branch.
+        """
+        span = tracer.op_start("lookup", family=self.stats_family)
+        leaf, path = self._descend(key)
+        self.counters.add(f"leaf_visit:{leaf.encoding}")
+        value = leaf.lookup(key)
+        if span is not None:
+            tracer.event("descent", inner_visits=len(path), height=self._height)
+            tracer.event(f"leaf_probe:{leaf.encoding}", hit=value is not None)
+            tracer.end(span)
+        return value
 
     def insert(self, key: int, value: int) -> bool:
         """Insert ``key``; returns False when the key already existed (the
@@ -512,6 +536,28 @@ class BPlusTree:
             encoding: (count, total_bytes / count)
             for encoding, (count, total_bytes) in totals.items()
         }
+
+    def stats(self) -> dict:
+        """Uniform JSON-safe stats dict (see :mod:`repro.obs.introspect`)."""
+        from repro.obs.introspect import base_stats
+
+        stats = base_stats(
+            self.stats_family,
+            num_keys=self._num_keys,
+            size_bytes=self.size_bytes(),
+            census=self.leaf_encoding_census(),
+            counters_snapshot=self.counters.snapshot(),
+        )
+        stats["height"] = self._height
+        stats["num_leaves"] = self._num_leaves
+        stats["leaf_encoding"] = str(self.leaf_encoding)
+        return stats
+
+    def describe(self) -> str:
+        """Human-readable rendering of :meth:`stats`."""
+        from repro.obs.introspect import format_stats
+
+        return format_stats(self.stats())
 
     def verify(self) -> None:
         """Prove structural integrity; raises

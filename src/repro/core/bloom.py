@@ -13,6 +13,9 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
+from repro.obs.metrics import RATIO_BUCKETS, SIZE_BUCKETS
+from repro.obs.runtime import active_registry
+
 BITS_PER_ITEM = 10
 
 
@@ -152,8 +155,25 @@ class BloomFilter:
         self._count += 1
         return seen
 
+    def saturation(self) -> float:
+        """Share of bits currently set (false-positive-rate proxy)."""
+        return self._bits.bit_count() / self._num_bits
+
     def reset(self) -> None:
-        """Clear the filter (done after every sampling phase)."""
+        """Clear the filter (done after every sampling phase).
+
+        A phase boundary, so this is where the filter publishes into the
+        installed metrics registry (if any): insertions seen this phase
+        and how saturated the bit array got before clearing.
+        """
+        registry = active_registry()
+        if registry is not None and self._count:
+            registry.histogram(
+                "bloom.insertions_per_phase", SIZE_BUCKETS
+            ).record(self._count)
+            registry.histogram("bloom.saturation", RATIO_BUCKETS).record(
+                self.saturation()
+            )
         self._bits = 0
         self._count = 0
 

@@ -8,8 +8,9 @@ benchmark harness reads the log to regenerate those series.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,23 @@ class AdaptationEvent:
     retries: int = 0              # failed units re-attempted this phase
     quarantined: int = 0          # units newly quarantined this phase
     adaptation_disabled: bool = False  # True once degradation kicked in
+
+    def as_dict(self) -> Dict:
+        """This event as a JSON-safe dict.
+
+        The *single* serialization path for adaptation events: the
+        timeline benchmarks (Figures 12, 16, 20), the JSONL trace sink's
+        ``adaptation_phase`` span attributes, and :meth:`EventLog.to_jsonl`
+        all route through it instead of plucking fields ad hoc.
+        """
+        from repro.obs.jsonable import to_jsonable
+
+        return to_jsonable(self)
+
+    @property
+    def migrations(self) -> int:
+        """Expansions plus compactions in this phase."""
+        return self.expansions + self.compactions
 
 
 @dataclass
@@ -77,6 +95,16 @@ class EventLog:
     def total_quarantined(self) -> int:
         """Units quarantined across all logged phases."""
         return sum(event.quarantined for event in self.events)
+
+    def as_dicts(self) -> List[Dict]:
+        """Every event through :meth:`AdaptationEvent.as_dict`, in order."""
+        return [event.as_dict() for event in self.events]
+
+    def to_jsonl(self) -> str:
+        """The log as JSON Lines (one event document per line)."""
+        return "\n".join(
+            json.dumps(event, sort_keys=True) for event in self.as_dicts()
+        )
 
     def clear(self) -> None:
         """Remove every entry."""

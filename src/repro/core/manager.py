@@ -40,6 +40,18 @@ from repro.core.sampling import (
     required_sample_size,
 )
 from repro.core.topk import TopKClassifier
+from repro.obs.metrics import SIZE_BUCKETS
+from repro.obs.runtime import active_registry, active_tracer
+
+
+def _encoding_name(encoding: object) -> str:
+    """Lowercase span-safe name of one encoding (enum value or str)."""
+    return str(getattr(encoding, "value", encoding)).lower()
+
+
+def _migration_span_name(source: object, target: object) -> str:
+    """The ``migration:<src>-><dst>`` span name of the trace taxonomy."""
+    return f"migration:{_encoding_name(source)}->{_encoding_name(target)}"
 
 
 class AdaptiveIndex(Protocol):
@@ -309,8 +321,19 @@ class AdaptationManager:
         Normally invoked automatically when the sample size is reached, but
         public so trained/offline flows and tests can force a phase.
         """
+        tracer = active_tracer()
+        phase_span = (
+            tracer.start("adaptation_phase", epoch=self._epoch)
+            if tracer is not None
+            else None
+        )
         k = self._choose_k()
-        hot_items = self._classify(k)
+        if tracer is not None:
+            with tracer.span("classify", k=k, candidates=len(self._samples)) as span:
+                hot_items = self._classify(k)
+                span.set(hot=len(hot_items))
+        else:
+            hot_items = self._classify(k)
         outcome = self._apply_heuristic(hot_items)
 
         if (
@@ -361,7 +384,33 @@ class AdaptationManager:
         self._epoch += 1
         self._sampled_this_phase = 0
         self._filter.reset()
+        if phase_span is not None:
+            # The span carries the event's canonical serialization — the
+            # same as_dict() path the timeline exports use.
+            tracer.end(phase_span, **event.as_dict())
+        registry = active_registry()
+        if registry is not None:
+            self._publish_phase_metrics(registry, event)
         return event
+
+    def _publish_phase_metrics(self, registry, event: AdaptationEvent) -> None:
+        """Push one phase's outcome into the installed metrics registry."""
+        registry.counter("manager.phases").inc()
+        registry.counter("manager.expansions").inc(event.expansions)
+        registry.counter("manager.compactions").inc(event.compactions)
+        registry.counter("manager.evictions").inc(event.evictions)
+        registry.counter("manager.migration_failures").inc(event.migration_failures)
+        registry.counter("manager.migration_retries").inc(event.retries)
+        registry.counter("manager.quarantined").inc(event.quarantined)
+        registry.histogram("manager.sampled_per_phase", SIZE_BUCKETS).record(event.sampled)
+        registry.histogram("manager.hot_per_phase", SIZE_BUCKETS).record(event.hot)
+        registry.histogram("manager.migrations_per_phase", SIZE_BUCKETS).record(
+            event.expansions + event.compactions
+        )
+        registry.gauge("manager.skip_length").set(event.skip_length_after)
+        registry.gauge("manager.sample_size").set(event.sample_size_after)
+        registry.gauge("manager.tracked_units").set(event.unique_tracked)
+        registry.gauge("index.bytes").set(event.index_bytes)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -447,6 +496,7 @@ class AdaptationManager:
         return classifier.hot_items()
 
     def _apply_heuristic(self, hot_items: set) -> _PhaseOutcome:
+        tracer = active_tracer()  # once per phase; spans per migration below
         budget = self.config.budget
         utilization = budget.utilization(self._index.used_memory(), self._index.num_keys)
         outcome = _PhaseOutcome()
@@ -487,7 +537,21 @@ class AdaptationManager:
                     )
                 except Exception:
                     self._record_migration_failure(identifier, outcome)
+                    if tracer is not None:
+                        tracer.event(
+                            _migration_span_name(current_encoding, decision.target_encoding),
+                            unit=type(identifier).__name__,
+                            outcome="failed",
+                            epoch=self._epoch,
+                        )
                     continue
+                if tracer is not None:
+                    tracer.event(
+                        _migration_span_name(current_encoding, decision.target_encoding),
+                        unit=type(identifier).__name__,
+                        outcome="migrated" if migrated else "skipped",
+                        epoch=self._epoch,
+                    )
                 self._failure_streaks.pop(identifier, None)
                 self._retry_at.pop(identifier, None)
                 if not migrated:

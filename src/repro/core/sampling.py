@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import List
 
+from repro.obs.runtime import active_registry
+
 DEFAULT_EPSILON = 0.05
 DEFAULT_DELTA = 0.05
 SKIP_MIN = 50
@@ -140,10 +142,19 @@ class SkipSampler:
         return offsets
 
     def set_skip_length(self, skip_length: int) -> None:
-        """Install a new skip length (takes effect at the next reload)."""
+        """Install a new skip length (takes effect at the next reload).
+
+        Called between phases (never per access), so it is also where the
+        sampler publishes its current stride into an installed metrics
+        registry.
+        """
         if skip_length < 0:
             raise ValueError(f"skip length must be >= 0, got {skip_length}")
         self.skip_length = skip_length
+        registry = active_registry()
+        if registry is not None:
+            registry.gauge("sampler.skip_length").set(skip_length)
+            registry.counter("sampler.skip_updates").inc()
 
 
 def adjust_skip_length(

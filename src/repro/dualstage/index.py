@@ -19,6 +19,8 @@ from repro.bptree.leaves import LeafEncoding
 from repro.bptree.tree import BPlusTree
 from repro.core.bloom import BloomFilter
 from repro.faults.injector import fault_point
+from repro.obs.metrics import SIZE_BUCKETS
+from repro.obs.runtime import active_registry, active_tracer
 from repro.sim.counters import OpCounters
 from repro.succinct.for_codec import ForBlock, for_encode
 
@@ -183,6 +185,8 @@ class CompactSortedArray:
 class DualStageIndex:
     """Dynamic stage + static stage + Bloom filter, with ratio merges."""
 
+    stats_family = "dualstage"
+
     def __init__(
         self,
         static_encoding: StaticEncoding = StaticEncoding.SUCCINCT,
@@ -219,6 +223,9 @@ class DualStageIndex:
     # ------------------------------------------------------------------
     def lookup(self, key: int) -> Optional[int]:
         """Return the value stored under ``key``, or None."""
+        tracer = active_tracer()
+        if tracer is not None:
+            return self._traced_lookup(tracer, key)
         self.counters.add("bloom_probe")
         if key in self._bloom:
             self.counters.add("dynamic_stage_probe")
@@ -229,6 +236,29 @@ class DualStageIndex:
                 return None
         self.counters.add("static_stage_probe")
         return self._static.lookup(key)
+
+    def _traced_lookup(self, tracer, key: int) -> Optional[int]:
+        """:meth:`lookup` under an installed tracer (identical result)."""
+        span = tracer.op_start("lookup", family=self.stats_family)
+        self.counters.add("bloom_probe")
+        bloom_hit = key in self._bloom
+        value: Optional[int] = None
+        stage = "static"
+        if bloom_hit:
+            self.counters.add("dynamic_stage_probe")
+            value = self._dynamic.lookup(key)
+            if value is not None:
+                stage = "dynamic"
+            elif key in self._tombstones:
+                stage = "tombstone"
+        if value is None and stage == "static":
+            self.counters.add("static_stage_probe")
+            value = self._static.lookup(key)
+        if span is not None:
+            tracer.event("descent", bloom_hit=bloom_hit)
+            tracer.event(f"leaf_probe:{stage}", hit=value is not None)
+            tracer.end(span)
+        return value
 
     def lookup_many(self, keys: Sequence[int]) -> List[Optional[int]]:
         """Batched lookups; one value (or None) per key.
@@ -356,7 +386,35 @@ class DualStageIndex:
         exception-free swap, so a failure anywhere in the (expensive)
         rebuild — including an injected fault — leaves both stages
         serving the pre-merge state; the next insert simply retries.
+
+        Merges are phase-level events (not per-op), so the span is
+        always emitted under an installed tracer and the merge size is
+        published into an installed metrics registry.
         """
+        tracer = active_tracer()
+        span = None
+        if tracer is not None:
+            span = tracer.start(
+                "merge",
+                dynamic_entries=len(self._dynamic),
+                static_entries=len(self._static),
+            )
+        try:
+            self._merge_impl()
+        except BaseException:
+            if span is not None:
+                tracer.end(span, outcome="failed")
+            raise
+        if span is not None:
+            tracer.end(span, outcome="merged", merged_entries=len(self._static))
+        registry = active_registry()
+        if registry is not None:
+            registry.counter("dualstage.merges").inc()
+            registry.histogram("dualstage.merge_entries", SIZE_BUCKETS).record(
+                len(self._static)
+            )
+
+    def _merge_impl(self) -> None:
         fault_point("dualstage.merge.collect")
         merged: List[Tuple[int, int]] = []
         dynamic_items = list(self._dynamic.items())
@@ -424,3 +482,39 @@ class DualStageIndex:
         """Return the modeled C++ footprint in bytes."""
         bloom_bytes = self._bloom.size_bytes()
         return self._dynamic.size_bytes() + self._static.size_bytes() + bloom_bytes
+
+    def encoding_census(self) -> dict:
+        """Stage -> (count, avg bytes): dynamic leaves plus the static run."""
+        census = {
+            f"dynamic:{encoding}": entry
+            for encoding, entry in self._dynamic.leaf_encoding_census().items()
+        }
+        census[f"static:{self.static_encoding.value}"] = (
+            1,
+            float(self._static.size_bytes()),
+        )
+        return census
+
+    def stats(self) -> dict:
+        """Uniform JSON-safe stats dict (see :mod:`repro.obs.introspect`)."""
+        from repro.obs.introspect import base_stats
+
+        stats = base_stats(
+            self.stats_family,
+            num_keys=len(self),
+            size_bytes=self.size_bytes(),
+            census=self.encoding_census(),
+            counters_snapshot=self.counters.snapshot(),
+        )
+        stats["merges"] = self.merges
+        stats["dynamic_size"] = self.dynamic_size
+        stats["static_size"] = self.static_size
+        stats["tombstones"] = len(self._tombstones)
+        stats["bloom_saturation"] = round(self._bloom.saturation(), 4)
+        return stats
+
+    def describe(self) -> str:
+        """Human-readable rendering of :meth:`stats`."""
+        from repro.obs.introspect import format_stats
+
+        return format_stats(self.stats())

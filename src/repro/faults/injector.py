@@ -25,6 +25,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional
 
+from repro.obs.runtime import active_registry
+
 
 class InjectedFault(RuntimeError):
     """Raised by an armed injection point; carries the site and call #."""
@@ -138,6 +140,10 @@ class FaultInjector:
         if should_fail:
             self.failures_injected += 1
             self.failures_by_site[site] = self.failures_by_site.get(site, 0) + 1
+            registry = active_registry()
+            if registry is not None:
+                registry.counter("faults.injected").inc()
+                registry.counter(f"faults.injected:{site}").inc()
             raise InjectedFault(site, self.matching_calls)
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.fst.builder import TrieLevels, build_trie_levels
+from repro.obs.runtime import active_tracer
 from repro.sim.counters import OpCounters
 from repro.succinct.bitvector import BitVector
 
@@ -45,6 +46,8 @@ def choose_dense_cutoff(levels: TrieLevels, threshold: float = DENSE_FANOUT_THRE
 
 class FST:
     """A static succinct trie over prefix-free byte-string keys."""
+
+    stats_family = "fst"
 
     def __init__(
         self,
@@ -262,7 +265,41 @@ class FST:
         """Return the value stored under ``key``, or None."""
         if self._num_keys == 0:
             return None
+        tracer = active_tracer()
+        if tracer is not None:
+            return self._traced_lookup(tracer, key)
         return self.lookup_from(0, key, 0)
+
+    def _traced_lookup(self, tracer, key: bytes) -> Optional[int]:
+        """:meth:`lookup` under an installed tracer (identical result)."""
+        span = tracer.op_start("lookup", family=self.stats_family)
+        node = 0
+        depth = 0
+        dense_steps = 0
+        sparse_steps = 0
+        result: Optional[int] = None
+        while depth < len(key):
+            if node < self._num_dense_nodes:
+                dense_steps += 1
+            else:
+                sparse_steps += 1
+            child, value, found = self.step(node, key[depth])
+            if not found:
+                break
+            if value is not None:
+                if depth == len(key) - 1:
+                    result = value
+                break
+            node = child
+            depth += 1
+        if span is not None:
+            tracer.event(
+                "descent", dense_steps=dense_steps, sparse_steps=sparse_steps
+            )
+            region = "sparse" if sparse_steps else "dense"
+            tracer.event(f"leaf_probe:{region}", hit=result is not None)
+            tracer.end(span)
+        return result
 
     def lookup_from(self, node: int, key: bytes, depth: int) -> Optional[int]:
         """Continue a lookup from ``node`` at key byte ``depth`` — the entry
@@ -491,3 +528,40 @@ class FST:
     def size_bytes(self) -> int:
         """Return the modeled C++ footprint in bytes."""
         return self.dense_size_bytes() + self.sparse_size_bytes() + self.values_size_bytes()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def node_census(self) -> dict:
+        """Region -> (node count, avg modeled bytes) for dense/sparse."""
+        census: dict = {}
+        num_sparse = self._num_nodes - self._num_dense_nodes
+        if self._num_dense_nodes:
+            census["dense"] = (
+                self._num_dense_nodes,
+                self.dense_size_bytes() / self._num_dense_nodes,
+            )
+        if num_sparse:
+            census["sparse"] = (num_sparse, self.sparse_size_bytes() / num_sparse)
+        return census
+
+    def stats(self) -> dict:
+        """Uniform JSON-safe stats dict (see :mod:`repro.obs.introspect`)."""
+        from repro.obs.introspect import base_stats
+
+        stats = base_stats(
+            self.stats_family,
+            num_keys=self._num_keys,
+            size_bytes=self.size_bytes(),
+            census=self.node_census(),
+            counters_snapshot=self.counters.snapshot(),
+        )
+        stats["height"] = self._height
+        stats["dense_levels"] = self.dense_levels
+        return stats
+
+    def describe(self) -> str:
+        """Human-readable rendering of :meth:`stats`."""
+        from repro.obs.introspect import format_stats
+
+        return format_stats(self.stats())

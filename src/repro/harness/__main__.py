@@ -7,10 +7,14 @@ Regenerate any paper table/figure from the shell::
     python -m repro.harness tab1 fig9          # run several
     python -m repro.harness all                # run everything (minutes)
     python -m repro.harness fig14 --scale 0.5  # shrink the default sizes
+    python -m repro.harness fig13 --trace out.jsonl --metrics out.prom
 
 ``--scale`` multiplies every integer size parameter (key counts,
 operation counts) of the chosen experiments; 1.0 is the benchmark
-default.
+default.  ``--trace``/``--metrics`` install the :mod:`repro.obs`
+telemetry layer around the run and export a JSONL span trace and a
+Prometheus snapshot; ``--trace-ops N`` additionally samples every N-th
+per-operation span (off by default — phase-level spans only).
 """
 
 from __future__ import annotations
@@ -111,6 +115,26 @@ def main(argv=None) -> int:
         default=None,
         help="also write each result as JSON/CSV under DIR",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a Prometheus text-exposition snapshot to FILE",
+    )
+    parser.add_argument(
+        "--trace-ops",
+        metavar="N",
+        type=int,
+        default=0,
+        help="sample every N-th per-operation span into the trace "
+        "(0 = phase-level spans only, the default)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -124,17 +148,52 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)} (try 'list')")
 
-    for name in names:
-        function = EXPERIMENTS[name]
-        started = time.perf_counter()
-        result = function(**_scaled_kwargs(function, args.scale))
-        elapsed = time.perf_counter() - started
-        _render(f"{name}  ({elapsed:.1f}s)", result)
-        if args.export:
-            from repro.harness.export import write_result
+    telemetry = None
+    if args.trace or args.metrics:
+        from repro.obs import JsonlTraceSink, MetricsRegistry, Telemetry, Tracer
 
-            written = write_result(result, args.export, name)
-            print("exported: " + ", ".join(str(path) for path in written.values()))
+        tracer = None
+        if args.trace:
+            tracer = Tracer(
+                JsonlTraceSink(args.trace), op_sample_every=max(0, args.trace_ops)
+            )
+        telemetry = Telemetry(registry=MetricsRegistry(), tracer=tracer)
+        telemetry.install()
+
+    try:
+        for name in names:
+            function = EXPERIMENTS[name]
+            root_span = None
+            if telemetry is not None and telemetry.tracer is not None:
+                root_span = telemetry.tracer.start(
+                    f"experiment:{name}", scale=args.scale
+                )
+            started = time.perf_counter()
+            result = function(**_scaled_kwargs(function, args.scale))
+            elapsed = time.perf_counter() - started
+            if root_span is not None:
+                telemetry.tracer.end(root_span)
+            _render(f"{name}  ({elapsed:.1f}s)", result)
+            if args.export:
+                from repro.harness.export import write_result
+
+                written = write_result(result, args.export, name)
+                print("exported: " + ", ".join(str(path) for path in written.values()))
+    finally:
+        if telemetry is not None:
+            telemetry.uninstall()
+
+    if telemetry is not None:
+        from repro.obs import render_telemetry
+
+        if args.metrics:
+            from pathlib import Path
+
+            Path(args.metrics).write_text(telemetry.registry.to_prometheus())
+            print(f"metrics: {args.metrics}")
+        if args.trace:
+            print(f"trace: {args.trace}")
+        print(render_telemetry(telemetry, title=", ".join(names)))
     return 0
 
 

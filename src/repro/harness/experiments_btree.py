@@ -201,6 +201,7 @@ def experiment_fig12(
             for name, result in results.items()
         },
         "results": results,
+        "adaptation_events": variants["ahi"].manager.events.as_dicts(),
         "intervals_per_phase": ops_per_phase // interval_ops,
     }
 
@@ -377,6 +378,7 @@ def experiment_fig16(
         "expansions": ahi.series("expansions"),
         "compactions": ahi.series("compactions"),
         "results": results,
+        "adaptation_events": variants["ahi"].manager.events.as_dicts(),
         "intervals_per_phase": ops_per_phase // interval_ops,
     }
 

@@ -196,6 +196,7 @@ def experiment_fig20(
         "skip_lengths": ahi.series("skip_length"),
         "adaptation_phases": ahi.series("adaptation_phases"),
         "results": results,
+        "adaptation_events": trie.manager.events.as_dicts(),
         "final_expanded_branches": trie.expanded_branch_count(),
         "intervals_per_phase": ops_per_phase // interval_ops,
     }

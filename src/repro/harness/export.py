@@ -9,35 +9,35 @@ result.  The CLI (`python -m repro.harness ... --export DIR`) uses them.
 from __future__ import annotations
 
 import csv
-import enum
 import json
-from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Dict
 
+from repro.obs.jsonable import to_jsonable
 
-def _jsonable(value):
-    """Recursively convert experiment payloads to JSON-safe values."""
-    if isinstance(value, enum.Enum):
-        return value.value
-    if is_dataclass(value) and not isinstance(value, type):
-        return _jsonable(asdict(value))
-    if isinstance(value, dict):
-        return {str(key): _jsonable(entry) for key, entry in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(entry) for entry in value]
-    if isinstance(value, bytes):
-        return value.hex()
-    if hasattr(value, "intervals"):  # RunResult: keep the series, drop the object
+
+def _summarize_run_result(value):
+    """``default`` hook: collapse a RunResult to its totals.
+
+    Full interval series already live in the experiment's ``series``
+    keys, so the embedded RunResult objects export as summaries instead
+    of duplicating every interval.  Everything else is declined and
+    handled by :func:`repro.obs.jsonable.to_jsonable`'s standard rules
+    (dataclasses, Counters, bytes keys included).
+    """
+    if hasattr(value, "intervals") and hasattr(value, "total_operations"):
         return {
             "total_operations": value.total_operations,
             "modeled_ns_per_op": value.modeled_ns_per_op,
             "final_index_bytes": value.final_index_bytes,
             "final_aux_bytes": value.final_aux_bytes,
         }
-    if isinstance(value, (int, float, str, bool)) or value is None:
-        return value
-    return str(value)
+    return NotImplemented
+
+
+def _jsonable(value):
+    """Recursively convert experiment payloads to JSON-safe values."""
+    return to_jsonable(value, default=_summarize_run_result)
 
 
 def result_to_json(result: Dict) -> str:

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.manager import AdaptationManager
+from repro.obs.metrics import COST_NS_BUCKETS, SIZE_BUCKETS
+from repro.obs.runtime import active_registry, active_tracer
 from repro.sim.costmodel import CostModel
 from repro.workloads.spec import OpKind
 from repro.workloads.stream import Operation
@@ -195,14 +197,24 @@ def run_operations(
     interval_index = len(result.intervals)
     position = 0
     total = len(operations)
+    tracer = active_tracer()
+    registry = active_registry()
     while position < total:
         chunk = operations[position : position + interval_ops]
+        span = (
+            tracer.start(
+                "harness.interval", interval=interval_index, operations=len(chunk)
+            )
+            if tracer is not None
+            else None
+        )
         before = adapter.counter_snapshot()
         wall_start = time.perf_counter_ns()
         for op in chunk:
             adapter.execute(op)
         wall_ns = time.perf_counter_ns() - wall_start
-        events = _diff(adapter.counter_snapshot(), before)
+        after = adapter.counter_snapshot()
+        events = _diff(after, before)
         modeled_ns = cost_model.price(events)
         stats = IntervalStats(
             interval=interval_index,
@@ -216,6 +228,30 @@ def run_operations(
             skip_length=adapter.skip_length(),
             adaptation_phases=adapter.adaptation_phases(),
         )
+        if span is not None:
+            tracer.end(
+                span,
+                modeled_ns_per_op=round(stats.modeled_ns_per_op, 1),
+                index_bytes=stats.index_bytes,
+                expansions=stats.expansions,
+                compactions=stats.compactions,
+            )
+        if registry is not None:
+            # Hot-path OpCounters are pulled, not pushed: one publish per
+            # interval instead of a registry call per event.  Interval
+            # *deltas* are added (not absolute totals) so several adapters
+            # sharing one registry aggregate instead of clashing.
+            for event, delta in events.items():
+                registry.counter(f"ops.{event}").inc(delta)
+            registry.counter("harness.operations").inc(len(chunk))
+            registry.gauge("harness.index_bytes").set(stats.index_bytes)
+            registry.gauge("harness.aux_bytes").set(stats.aux_bytes)
+            registry.histogram("harness.interval_ops", SIZE_BUCKETS).record(
+                len(chunk)
+            )
+            registry.histogram(
+                "harness.modeled_ns_per_op", COST_NS_BUCKETS
+            ).record(stats.modeled_ns_per_op)
         result.intervals.append(stats)
         result.total_operations += len(chunk)
         result.total_modeled_ns += modeled_ns

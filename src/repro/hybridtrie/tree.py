@@ -32,6 +32,7 @@ from repro.core.trained import rank_units
 from repro.faults.injector import fault_point
 from repro.fst.trie import FST
 from repro.hybridtrie.tagged import BRANCH_POINTER_BYTES, TrieBranch, TrieEncoding
+from repro.obs.runtime import active_tracer
 from repro.sim.counters import OpCounters
 
 TRIE_ENCODING_ORDER: Tuple[TrieEncoding, ...] = (TrieEncoding.FST, TrieEncoding.ART)
@@ -40,6 +41,8 @@ DEFAULT_ART_LEVELS = 2
 
 class HybridTrie:
     """Level-wise ART + FST with adaptive branch-wise refinement."""
+
+    stats_family = "hybridtrie"
 
     def __init__(
         self,
@@ -91,6 +94,9 @@ class HybridTrie:
     # ------------------------------------------------------------------
     def lookup(self, key: bytes) -> Optional[int]:
         """Return the value stored under ``key``, or None."""
+        tracer = active_tracer()
+        if tracer is not None:
+            return self._traced_lookup(tracer, key)
         if self._root is None:
             return None
         self.counters.add("sample_check")
@@ -117,6 +123,50 @@ class HybridTrie:
                 self.counters.add("trie_value_fetch")
                 return child if depth == len(key) else None
             current = child
+
+    def _traced_lookup(self, tracer, key: bytes) -> Optional[int]:
+        """:meth:`lookup` under an installed tracer (identical result)."""
+        span = tracer.op_start("lookup", family=self.stats_family)
+        if self._root is None:
+            if span is not None:
+                tracer.end(span, empty=True)
+            return None
+        self.counters.add("sample_check")
+        track = self.adaptive and self.manager.is_sample()
+        current = self._root
+        depth = 0
+        art_steps = 0
+        probe = "none"
+        value: Optional[int] = None
+        while True:
+            if isinstance(current, TrieBranch):
+                if track:
+                    self.manager.track(current, AccessType.READ)
+                if not current.expanded:
+                    value = self._fst.lookup_from(current.fst_node, key, depth)
+                    probe = "fst"
+                    break
+                current = current.art_node
+                continue
+            self.counters.add("art_visit")
+            art_steps += 1
+            if depth >= len(key):
+                break
+            child = current.find_child(key[depth])
+            depth += 1
+            if child is None:
+                break
+            if isinstance(child, int):
+                self.counters.add("trie_value_fetch")
+                value = child if depth == len(key) else None
+                probe = "art"
+                break
+            current = child
+        if span is not None:
+            tracer.event("descent", art_steps=art_steps, depth=depth)
+            tracer.event(f"leaf_probe:{probe}", hit=value is not None)
+            tracer.end(span, sampled=track)
+        return value
 
     def __contains__(self, key: bytes) -> bool:
         return self.lookup(key) is not None
@@ -658,6 +708,30 @@ class HybridTrie:
     def total_size_bytes(self) -> int:
         """Index plus the sampling framework's own footprint."""
         return self.size_bytes() + self.manager.size_bytes()
+
+    def stats(self) -> dict:
+        """Uniform stats dict including the adaptation block."""
+        from repro.obs.introspect import base_stats
+
+        stats = base_stats(
+            self.stats_family,
+            num_keys=self._num_keys,
+            size_bytes=self.size_bytes(),
+            census=self.encoding_census(),
+            counters_snapshot=self.counters.snapshot(),
+            manager=self.manager,
+        )
+        stats["art_levels"] = self.art_levels
+        stats["num_branches"] = self._num_branches
+        stats["expanded_branches"] = self.expanded_branch_count()
+        stats["total_size_bytes"] = self.total_size_bytes()
+        return stats
+
+    def describe(self) -> str:
+        """Human-readable rendering of :meth:`stats`."""
+        from repro.obs.introspect import format_stats
+
+        return format_stats(self.stats())
 
     def __len__(self) -> int:
         return self._num_keys

@@ -1,0 +1,143 @@
+"""The uniform ``.stats()`` / ``.describe()`` introspection contract.
+
+Every index family exposes::
+
+    index.stats()     # one JSON-safe dict, uniform top-level shape
+    index.describe()  # the same data as a human-readable report
+
+The shared shape (all families)::
+
+    {
+      "family":          "bptree_adaptive",
+      "num_keys":        123456,
+      "size_bytes":      1048576,
+      "encoding_census": {"succinct": {"count": 10, "avg_bytes": 400.0}, ...},
+      "counters":        {...},             # OpCounters snapshot
+      "adaptation":      {...} | None,      # adaptive families only
+    }
+
+``adaptation`` carries the decision trail the paper's Section 3
+machinery produces: sampler state, migration history (from the
+:class:`~repro.core.events.EventLog`), and quarantine/degradation
+status.  Helpers here build those blocks so the six families stay
+byte-for-byte consistent; family modules add extra keys after the
+shared ones (e.g. dual-stage merge counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.jsonable import to_jsonable
+
+RECENT_EVENTS_KEPT = 8
+
+
+def census_stats(census: Dict) -> Dict[str, Dict]:
+    """Normalize an ``encoding_census()`` mapping into the stats shape."""
+    normalized: Dict[str, Dict] = {}
+    for encoding, entry in census.items():
+        if isinstance(entry, tuple):
+            count, avg_bytes = entry
+        else:  # plain count (e.g. ART node census)
+            count, avg_bytes = entry, None
+        key = str(getattr(encoding, "value", encoding))
+        normalized[key] = {"count": int(count)}
+        if avg_bytes is not None:
+            normalized[key]["avg_bytes"] = round(float(avg_bytes), 1)
+    return normalized
+
+
+def manager_stats(manager, recent_events: int = RECENT_EVENTS_KEPT) -> Dict:
+    """The adaptation block of ``stats()`` for one AdaptationManager."""
+    events = manager.events
+    recent = [event.as_dict() for event in events.events[-recent_events:]]
+    return {
+        "epoch": manager.epoch,
+        "skip_length": manager.skip_length,
+        "sample_size": manager.sample_size,
+        "tracked_units": manager.tracked_units,
+        "accesses_seen": manager.counters.accesses,
+        "sampled": manager.counters.sampled,
+        "phases": manager.counters.adaptation_phases,
+        "quarantined_units": manager.quarantined_units,
+        "degraded": manager.adaptation_degraded,
+        "migration_history": {
+            "expansions": events.total_expansions,
+            "compactions": events.total_compactions,
+            "migrations": events.total_migrations,
+            "failures": events.total_migration_failures,
+            "quarantined": events.total_quarantined,
+            "recent_events": recent,
+        },
+    }
+
+
+def base_stats(
+    family: str,
+    num_keys: int,
+    size_bytes: int,
+    census: Dict,
+    counters_snapshot: Dict[str, int],
+    manager=None,
+) -> Dict:
+    """Assemble the uniform stats dict; family modules extend the result."""
+    return {
+        "family": family,
+        "num_keys": int(num_keys),
+        "size_bytes": int(size_bytes),
+        "encoding_census": census_stats(census),
+        "counters": to_jsonable(counters_snapshot),
+        "adaptation": manager_stats(manager) if manager is not None else None,
+    }
+
+
+def format_stats(stats: Dict) -> str:
+    """Render a ``stats()`` dict as the human-readable ``describe()`` text."""
+    lines = [
+        f"{stats['family']}: {stats['num_keys']:,} keys, "
+        f"{_human_bytes(stats['size_bytes'])}"
+    ]
+    census = stats.get("encoding_census") or {}
+    if census:
+        parts = []
+        for encoding, entry in sorted(census.items()):
+            part = f"{encoding}={entry['count']}"
+            if "avg_bytes" in entry:
+                part += f" (~{_human_bytes(entry['avg_bytes'])} each)"
+            parts.append(part)
+        lines.append("  encodings: " + ", ".join(parts))
+    adaptation = stats.get("adaptation")
+    if adaptation:
+        history = adaptation["migration_history"]
+        lines.append(
+            f"  adaptation: epoch {adaptation['epoch']}, "
+            f"skip {adaptation['skip_length']}, "
+            f"sample size {adaptation['sample_size']}, "
+            f"{adaptation['tracked_units']} tracked units"
+        )
+        lines.append(
+            f"  migrations: {history['expansions']} expansions, "
+            f"{history['compactions']} compactions, "
+            f"{history['failures']} failures, "
+            f"{adaptation['quarantined_units']} quarantined"
+            + (" [ADAPTATION DISABLED]" if adaptation["degraded"] else "")
+        )
+    for key, value in stats.items():
+        if key in ("family", "num_keys", "size_bytes", "encoding_census", "counters", "adaptation"):
+            continue
+        lines.append(f"  {key}: {value}")
+    counters = stats.get("counters") or {}
+    if counters:
+        top = sorted(counters.items(), key=lambda item: -item[1])[:6]
+        lines.append("  top counters: " + ", ".join(f"{k}={v:,}" for k, v in top))
+    return "\n".join(lines)
+
+
+def _human_bytes(count: float) -> str:
+    count = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:,.1f} {unit}" if unit != "B" else f"{int(count)} B"
+        count /= 1024
+    return f"{count:,.1f} GiB"  # pragma: no cover - unreachable

@@ -1,0 +1,86 @@
+"""The one JSON-coercion helper every exporter shares.
+
+Historically the harness exporter, the event log, and ad-hoc benchmark
+scripts each carried their own partial ``_jsonable``: dataclasses went
+through :func:`dataclasses.asdict` (losing non-init fields), Counters
+were treated as generic mappings, and ``bytes`` *keys* were stringified
+to ``"b'\\x01'"`` while bytes *values* became hex.  :func:`to_jsonable`
+is the single canonical conversion; everything under ``repro.obs`` and
+``repro.harness.export`` routes through it.
+
+Rules (applied recursively):
+
+* enums -> their ``.value``;
+* dataclass instances -> a plain dict of their fields;
+* ``collections.Counter`` and every other mapping -> a dict with
+  string keys (bytes keys become hex, exactly like bytes values);
+* lists/tuples -> lists; sets/frozensets -> sorted lists;
+* ``bytes``/``bytearray`` -> hex strings;
+* ints/floats/strings/bools/None -> unchanged (no precision loss);
+* the optional ``default`` hook is tried on any non-primitive *before*
+  the structural rules, so callers can override how specific objects
+  (e.g. the harness summarizing a RunResult) export; anything still
+  unknown falls back to ``str``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable, Optional
+
+_MISSING = object()
+
+
+def jsonable_key(key: Any) -> str:
+    """Coerce a mapping key to the string JSON requires."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (bytes, bytearray)):
+        return bytes(key).hex()
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    return str(key)
+
+
+def to_jsonable(
+    value: Any,
+    default: Optional[Callable[[Any], Any]] = None,
+) -> Any:
+    """Recursively convert ``value`` into JSON-safe builtins.
+
+    ``default`` is tried on every non-primitive (including dataclasses
+    and mappings) *before* the structural rules; return
+    :data:`NotImplemented` from it to decline.
+    """
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, bool) or value is None:  # bool before int
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    if default is not None:
+        converted = default(value)
+        if converted is not NotImplemented:
+            return to_jsonable(converted, None)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name), default)
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):  # Counter is a dict subclass: same path
+        return {
+            jsonable_key(key): to_jsonable(entry, default)
+            for key, entry in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(entry, default) for entry in value]
+    if isinstance(value, (set, frozenset)):
+        converted = [to_jsonable(entry, default) for entry in value]
+        try:
+            return sorted(converted)
+        except TypeError:
+            return sorted(converted, key=repr)
+    return str(value)

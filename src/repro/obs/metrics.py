@@ -1,0 +1,294 @@
+"""Named-instrument metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately wall-clock-free: counters and gauges hold
+plain integers/floats, and histograms bucket *modeled* quantities
+(modeled nanoseconds, batch sizes, entries migrated) against boundaries
+fixed at creation time — nothing in the hot path ever reads a clock.
+
+Two publication styles coexist:
+
+* **push** — phase-level code (the adaptation manager, the Bloom filter
+  on reset, the fault injector on a raise) grabs an instrument once and
+  records into it.  These sites run at most once per adaptation phase,
+  so their cost is irrelevant.
+* **pull** — the per-operation :class:`~repro.sim.counters.OpCounters`
+  streams are far too hot to publish per increment; instead exporters
+  call :meth:`MetricsRegistry.ingest_counters` with a snapshot, which
+  materializes one registry counter per event name.  The hot path pays
+  nothing.
+
+``to_prometheus`` renders the whole registry in the Prometheus text
+exposition format (version 0.0.4); :func:`parse_prometheus` is the
+matching minimal parser the CI smoke job and the tests use to prove the
+output is well-formed without a third-party dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+# Shared fixed boundaries.  Powers of two suit batch sizes and entry
+# counts; the cost buckets span the modeled-ns range the cost model
+# produces (tens of ns to tens of ms for a full merge).
+SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536)
+COST_NS_BUCKETS: Tuple[float, ...] = (
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000,
+    250_000, 1_000_000, 10_000_000, 100_000_000,
+)
+RATIO_BUCKETS: Tuple[float, ...] = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def set_total(self, total: int) -> None:
+        """Install an absolute cumulative total (pull-style ingestion)."""
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name!r} cannot move backwards "
+                f"({self.value} -> {total})"
+            )
+        self.value = total
+
+
+class Gauge:
+    """A named value that may go up and down."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Install the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary cumulative histogram (Prometheus semantics).
+
+    ``boundaries`` are the *upper* bucket bounds; an implicit +Inf bucket
+    catches everything beyond the last.  Recording is one bisect plus one
+    list increment — no clocks, no allocation.
+    """
+
+    __slots__ = ("name", "help", "boundaries", "bucket_counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        boundaries: Sequence[float] = SIZE_BUCKETS,
+        help: str = "",
+    ) -> None:
+        bounds = tuple(float(bound) for bound in boundaries)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one boundary")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} boundaries must strictly increase")
+        self.name = name
+        self.help = help
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +Inf last
+        self.total = 0.0
+        self.count = 0
+
+    def record(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Observations <= each boundary, then the +Inf total."""
+        running = 0
+        out = []
+        for bucket in self.bucket_counts:
+            running += bucket
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home of every named instrument."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ----------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._counters[name] = Counter(name, help)
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._gauges[name] = Gauge(name, help)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = SIZE_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._histograms[name] = Histogram(name, boundaries, help)
+        return instrument
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._counters or name in self._gauges or name in self._histograms:
+            raise ValueError(f"instrument name {name!r} already used with another type")
+
+    # -- pull-style ingestion -------------------------------------------
+    def ingest_counters(self, snapshot: Dict[str, int], prefix: str = "ops") -> None:
+        """Publish an :class:`OpCounters` snapshot as absolute counters.
+
+        Event names keep their conventional form (``leaf_visit:gapped``)
+        under ``<prefix>.``; repeated ingestion of growing snapshots is
+        idempotent because totals are installed, not added.
+        """
+        for event, count in snapshot.items():
+            self.counter(f"{prefix}.{event}").set_total(count)
+
+    # -- introspection ---------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """All instruments and their current values as plain dicts."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "mean": h.mean,
+                    "boundaries": list(h.boundaries),
+                    "bucket_counts": list(h.bucket_counts),
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- Prometheus text exposition --------------------------------------
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """The whole registry in text exposition format 0.0.4."""
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            metric = _prom_name(namespace, name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            if counter.help:
+                lines.append(f"# HELP {metric} {counter.help}")
+            lines.append(f"{metric} {_prom_value(counter.value)}")
+        for name, gauge in sorted(self._gauges.items()):
+            metric = _prom_name(namespace, name)
+            lines.append(f"# TYPE {metric} gauge")
+            if gauge.help:
+                lines.append(f"# HELP {metric} {gauge.help}")
+            lines.append(f"{metric} {_prom_value(gauge.value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            metric = _prom_name(namespace, name)
+            lines.append(f"# TYPE {metric} histogram")
+            if histogram.help:
+                lines.append(f"# HELP {metric} {histogram.help}")
+            cumulative = histogram.cumulative_counts()
+            for bound, count in zip(histogram.boundaries, cumulative):
+                lines.append(f'{metric}_bucket{{le="{_prom_value(bound)}"}} {count}')
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative[-1]}')
+            lines.append(f"{metric}_sum {_prom_value(histogram.total)}")
+            lines.append(f"{metric}_count {histogram.count}")
+        return "\n".join(lines) + "\n"
+
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    return _NAME_SANITIZE.sub("_", f"{namespace}_{name}")
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse a text exposition into ``{name{labels}: value}``.
+
+    Raises :class:`ValueError` on any malformed line — this is the
+    validation the CI smoke job runs over exported snapshots.
+    """
+    samples: Dict[str, float] = {}
+    types: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: malformed TYPE comment {raw!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _METRIC_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        labels = match.group("labels")
+        key = match.group("name") + (f"{{{labels}}}" if labels else "")
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        value = match.group("value")
+        samples[key] = float("inf") if value in ("Inf", "+Inf") else float(value)
+    if not samples:
+        raise ValueError("exposition contains no samples")
+    return samples
+
+
+def iter_instrument_names(samples: Iterable[str]) -> List[str]:
+    """Bare metric names (labels and suffixes stripped) from parse output."""
+    names = set()
+    for key in samples:
+        names.add(key.split("{", 1)[0])
+    return sorted(names)

@@ -1,0 +1,62 @@
+"""The human-readable console exporter.
+
+Renders a :class:`~repro.obs.runtime.Telemetry` (or a bare registry
+snapshot) as the text report the harness prints after a run with
+``--metrics``/``--trace`` enabled.  Nothing here is machine-parsed; the
+JSONL and Prometheus exporters carry the structured forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def render_metrics(snapshot: Dict, max_counters: int = 24) -> str:
+    """One registry ``snapshot()`` as an aligned console block."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        shown = sorted(counters.items(), key=lambda item: (-item[1], item[0]))
+        for name, value in shown[:max_counters]:
+            lines.append(f"  {name:<44} {value:>14,}")
+        if len(shown) > max_counters:
+            lines.append(f"  ... and {len(shown) - max_counters} more")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            rendered = f"{value:,.3f}".rstrip("0").rstrip(".")
+            lines.append(f"  {name:<44} {rendered:>14}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, data in sorted(histograms.items()):
+            lines.append(
+                f"  {name:<44} n={data['count']:<9,} "
+                f"mean={data['mean']:,.1f} sum={data['sum']:,.1f}"
+            )
+    return "\n".join(lines) if lines else "(no instruments recorded)"
+
+
+def render_trace_summary(span_names: Dict[str, int]) -> str:
+    """Span-name histogram (output of ``schema.validate_trace``)."""
+    if not span_names:
+        return "(no spans emitted)"
+    total = sum(span_names.values())
+    lines = [f"spans: {total:,} total"]
+    for name, count in sorted(span_names.items(), key=lambda item: (-item[1], item[0])):
+        lines.append(f"  {name:<44} {count:>10,}")
+    return "\n".join(lines)
+
+
+def render_telemetry(telemetry, title: Optional[str] = None) -> str:
+    """Full console report for one installed Telemetry."""
+    header = f"== telemetry report{': ' + title if title else ''} =="
+    parts = [header, render_metrics(telemetry.registry.snapshot())]
+    if telemetry.tracer is not None:
+        parts.append(
+            f"tracing: {telemetry.tracer.spans_emitted:,} spans emitted, "
+            f"op sampling 1/{telemetry.tracer.op_sample_every or 'off'}"
+        )
+    return "\n".join(parts)

@@ -1,0 +1,116 @@
+"""The telemetry switchboard: one process-global, default off.
+
+Instrumented call sites throughout the codebase ask two questions::
+
+    registry = active_registry()   # None unless telemetry is installed
+    tracer = active_tracer()       # None unless tracing is enabled
+
+Both return ``None`` by default, so every instrumentation point reduces
+to a global read plus an ``is None`` branch — the "no-op recorder"
+contract that ``benchmarks/bench_obs_overhead.py`` holds to a <=5%
+overhead bound on the hot paths.
+
+:class:`Telemetry` bundles a metrics registry with an optional tracer
+and installs/uninstalls like the fault injector::
+
+    with Telemetry.with_jsonl_trace("run.jsonl") as telemetry:
+        run_workload()
+    print(telemetry.registry.to_prometheus())
+
+Installation nests: installing a second telemetry remembers the first
+and restores it on uninstall.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import InMemoryTraceSink, JsonlTraceSink
+from repro.obs.tracing import Tracer
+
+# The currently-installed telemetry; None keeps every probe a no-op.
+_ACTIVE: Optional["Telemetry"] = None
+
+
+def active() -> Optional["Telemetry"]:
+    """The installed telemetry, or None."""
+    return _ACTIVE
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The installed metrics registry, or None."""
+    telemetry = _ACTIVE
+    return telemetry.registry if telemetry is not None else None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None (also None when only metrics are on)."""
+    telemetry = _ACTIVE
+    return telemetry.tracer if telemetry is not None else None
+
+
+class Telemetry:
+    """A metrics registry plus an optional tracer, installable globally."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._previous: Optional["Telemetry"] = None
+        self._installed = False
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def with_memory_trace(cls, op_sample_every: int = 0) -> "Telemetry":
+        """Registry + tracer over an in-memory sink (tests, reports)."""
+        return cls(tracer=Tracer(InMemoryTraceSink(), op_sample_every))
+
+    @classmethod
+    def with_jsonl_trace(
+        cls, path: Union[str, Path], op_sample_every: int = 0
+    ) -> "Telemetry":
+        """Registry + tracer writing JSONL spans to ``path``."""
+        return cls(tracer=Tracer(JsonlTraceSink(path), op_sample_every))
+
+    # -- installation ----------------------------------------------------
+    def install(self) -> "Telemetry":
+        """Make this the active telemetry (remembers any previous one)."""
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore whichever telemetry was active before :meth:`install`."""
+        global _ACTIVE
+        if not self._installed:
+            return
+        _ACTIVE = self._previous
+        self._previous = None
+        self._installed = False
+        if self.tracer is not None:
+            self.tracer.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self.install()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+
+    # -- convenience -----------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Registry snapshot plus tracer emission stats."""
+        result = {"metrics": self.registry.snapshot()}
+        if self.tracer is not None:
+            result["tracing"] = {
+                "spans_emitted": self.tracer.spans_emitted,
+                "ops_skipped": self.tracer.ops_skipped,
+                "op_sample_every": self.tracer.op_sample_every,
+            }
+        return result

@@ -1,0 +1,129 @@
+"""Trace-schema validation for JSONL span files.
+
+The checked-in schema lives at ``docs/trace_schema.json``.  It is
+expressed in JSON-Schema vocabulary for human readers, but validated by
+the hand-rolled checker below — the container image carries no
+``jsonschema`` package, and the span shape is small enough that a
+faithful structural check is ~60 lines.
+
+Beyond per-record shape, :func:`validate_trace` enforces two whole-trace
+invariants the schema's ``constraints`` section documents: sequence
+ordering (``seq_end >= seq_start``) and referential integrity (every
+``parent_id`` names a span that exists in the same trace).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+DEFAULT_SCHEMA_PATH = Path(__file__).resolve().parents[3] / "docs" / "trace_schema.json"
+
+_REQUIRED_FIELDS = ("span_id", "parent_id", "name", "seq_start", "seq_end", "attributes")
+_NAME_PATTERN = re.compile(r"^[a-z0-9_.:>-]+$")
+
+
+class TraceSchemaError(ValueError):
+    """A span record (or the whole trace) violates the schema."""
+
+
+def load_schema(path: Optional[Union[str, Path]] = None) -> Dict:
+    """Load the checked-in schema document (sanity-checks its shape).
+
+    Without an explicit ``path``, a missing checked-in file (installed
+    package without the repo's ``docs/``) falls back to the validator's
+    built-in field list.
+    """
+    schema_path = Path(path) if path is not None else DEFAULT_SCHEMA_PATH
+    if path is None and not schema_path.exists():
+        return {"required": list(_REQUIRED_FIELDS)}
+    schema = json.loads(schema_path.read_text())
+    required = schema.get("required")
+    if sorted(required or ()) != sorted(_REQUIRED_FIELDS):
+        raise TraceSchemaError(
+            f"schema at {schema_path} does not match the validator: "
+            f"required={required!r}"
+        )
+    return schema
+
+
+def validate_record(record: Dict, line_number: int = 0) -> None:
+    """Check one span record's shape; raises :class:`TraceSchemaError`."""
+    where = f"line {line_number}: " if line_number else ""
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"{where}span record must be an object, got {type(record).__name__}")
+    missing = [field for field in _REQUIRED_FIELDS if field not in record]
+    if missing:
+        raise TraceSchemaError(f"{where}missing fields {missing} in {sorted(record)}")
+    extra = [field for field in record if field not in _REQUIRED_FIELDS]
+    if extra:
+        raise TraceSchemaError(f"{where}unexpected fields {extra}")
+    span_id = record["span_id"]
+    if not isinstance(span_id, int) or isinstance(span_id, bool) or span_id < 1:
+        raise TraceSchemaError(f"{where}span_id must be a positive integer, got {span_id!r}")
+    parent_id = record["parent_id"]
+    if parent_id is not None and (
+        not isinstance(parent_id, int) or isinstance(parent_id, bool) or parent_id < 1
+    ):
+        raise TraceSchemaError(f"{where}parent_id must be null or a positive integer, got {parent_id!r}")
+    if parent_id == span_id:
+        raise TraceSchemaError(f"{where}span {span_id} cannot be its own parent")
+    name = record["name"]
+    if not isinstance(name, str) or not name or not _NAME_PATTERN.match(name):
+        raise TraceSchemaError(f"{where}invalid span name {name!r}")
+    for field in ("seq_start", "seq_end"):
+        value = record[field]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise TraceSchemaError(f"{where}{field} must be a positive integer, got {value!r}")
+    if record["seq_end"] < record["seq_start"]:
+        raise TraceSchemaError(
+            f"{where}span {span_id} ends (seq {record['seq_end']}) "
+            f"before it starts (seq {record['seq_start']})"
+        )
+    if not isinstance(record["attributes"], dict):
+        raise TraceSchemaError(f"{where}attributes must be an object")
+
+
+def validate_trace(records: Sequence[Dict]) -> Dict[str, int]:
+    """Validate a whole trace; returns ``{span name: count}`` on success."""
+    seen_ids: Dict[int, int] = {}
+    names: Dict[str, int] = {}
+    for number, record in enumerate(records, start=1):
+        validate_record(record, number)
+        span_id = record["span_id"]
+        if span_id in seen_ids:
+            raise TraceSchemaError(
+                f"line {number}: span_id {span_id} already used on line {seen_ids[span_id]}"
+            )
+        seen_ids[span_id] = number
+        names[record["name"]] = names.get(record["name"], 0) + 1
+    for number, record in enumerate(records, start=1):
+        parent_id = record["parent_id"]
+        if parent_id is not None and parent_id not in seen_ids:
+            raise TraceSchemaError(
+                f"line {number}: parent_id {parent_id} names no span in this trace"
+            )
+    return names
+
+
+def validate_trace_file(
+    path: Union[str, Path],
+    schema_path: Optional[Union[str, Path]] = None,
+) -> Dict[str, int]:
+    """Validate a JSONL trace file against the checked-in schema."""
+    load_schema(schema_path)  # confirms the schema and validator agree
+    records: List[Dict] = []
+    with Path(path).open() as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise TraceSchemaError(f"line {number}: not valid JSON ({error})") from error
+    if not records:
+        raise TraceSchemaError(f"{path}: trace contains no spans")
+    return validate_trace(records)

@@ -1,0 +1,181 @@
+"""Structured tracing: nestable spans over a pluggable sink.
+
+Spans model the paper's decision trail end-to-end::
+
+    lookup -> descent -> leaf_probe:succinct
+    adaptation_phase -> classify -> migration:gapped->succinct
+
+Design constraints, in priority order:
+
+* **No wall-clock in the hot path.**  Spans are ordered by a logical
+  sequence counter (``seq_start``/``seq_end``); durations, when they
+  matter, are modeled costs carried as attributes.
+* **Zero cost when disabled.**  Nothing here runs unless a tracer is
+  installed (see :mod:`repro.obs.runtime`); instrumented call sites pay
+  one global read and one ``is None`` branch.
+* **Bounded cost when enabled.**  Per-operation spans go through
+  :meth:`Tracer.op_start`, which applies its own skip-sampling gate
+  (``op_sample_every``) — the same idea the paper uses for access
+  sampling.  Phase-level spans (:meth:`Tracer.span`) are always emitted;
+  they fire at most once per adaptation phase / merge / interval.
+
+Span parenting uses a per-thread stack, so the concurrency experiments
+can trace without corrupting the tree.  Completed spans are emitted to
+the sink as flat :class:`SpanRecord` dicts (children before parents,
+post-order), which is what the JSONL schema in ``docs/trace_schema.json``
+describes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Protocol
+
+
+class TraceSink(Protocol):
+    """Receives completed span records."""
+
+    def emit(self, record: Dict) -> None:
+        """Accept one completed span (a JSON-safe dict)."""
+
+    def close(self) -> None:
+        """Flush and release resources."""
+
+
+class Span:
+    """One open span; becomes a record dict when finished."""
+
+    __slots__ = ("name", "span_id", "parent_id", "seq_start", "seq_end", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        seq_start: int,
+        attributes: Optional[Dict] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.seq_start = seq_start
+        self.seq_end: Optional[int] = None
+        self.attributes = attributes or {}
+
+    def set(self, **attributes) -> None:
+        """Attach attributes to the open span."""
+        self.attributes.update(attributes)
+
+
+class _ThreadState(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Span] = []
+
+
+class Tracer:
+    """Emits nested spans to one sink.
+
+    ``op_sample_every = 0`` disables per-operation spans entirely (the
+    default: phase-level visibility at near-zero cost); ``1`` traces
+    every operation; ``n`` traces every n-th.
+    """
+
+    def __init__(self, sink: TraceSink, op_sample_every: int = 0) -> None:
+        if op_sample_every < 0:
+            raise ValueError(f"op_sample_every must be >= 0, got {op_sample_every}")
+        self.sink = sink
+        self.op_sample_every = op_sample_every
+        self._op_countdown = 0
+        self._seq = 0
+        self._next_span_id = 1
+        self._lock = threading.Lock()
+        self._state = _ThreadState()
+        self.spans_emitted = 0
+        self.ops_skipped = 0
+
+    # -- internals -------------------------------------------------------
+    def _tick(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def _new_id(self) -> int:
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+            return span_id
+
+    # -- span lifecycle --------------------------------------------------
+    def start(self, name: str, **attributes) -> Span:
+        """Open a span as a child of the current innermost span."""
+        stack = self._state.stack
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(name, self._new_id(), parent_id, self._tick(), attributes)
+        stack.append(span)
+        return span
+
+    def end(self, span: Span, **attributes) -> None:
+        """Close ``span`` (and any forgotten children) and emit it."""
+        if attributes:
+            span.attributes.update(attributes)
+        stack = self._state.stack
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+            self._emit(top)  # abandoned child: close it at the same tick
+        span.seq_end = self._tick()
+        self._emit(span)
+
+    def op_start(self, name: str, **attributes) -> Optional[Span]:
+        """Per-operation span gate; None when sampled out or disabled."""
+        every = self.op_sample_every
+        if every == 0:
+            return None
+        if self._op_countdown > 0:
+            self._op_countdown -= 1
+            self.ops_skipped += 1
+            return None
+        self._op_countdown = every - 1
+        return self.start(name, **attributes)
+
+    def event(self, name: str, **attributes) -> None:
+        """An instantaneous span (seq_start == seq_end) under the current one."""
+        stack = self._state.stack
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(name, self._new_id(), parent_id, self._tick(), attributes)
+        span.seq_end = span.seq_start
+        self._emit(span)
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Context-managed span for phase-level code paths."""
+        span = self.start(name, **attributes)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def _emit(self, span: Span) -> None:
+        if span.seq_end is None:
+            span.seq_end = span.seq_start
+        self.spans_emitted += 1
+        self.sink.emit(
+            {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "seq_start": span.seq_start,
+                "seq_end": span.seq_end,
+                "attributes": span.attributes,
+            }
+        )
+
+    # -- teardown --------------------------------------------------------
+    def close(self) -> None:
+        """Close any still-open spans on this thread, then the sink."""
+        stack = self._state.stack
+        while stack:
+            self.end(stack[-1])
+        self.sink.close()

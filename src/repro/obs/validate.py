@@ -1,0 +1,73 @@
+"""CLI validation of exported telemetry artifacts.
+
+Used by the ``obs-smoke`` CI job::
+
+    python -m repro.obs.validate trace.jsonl --schema docs/trace_schema.json
+    python -m repro.obs.validate --prometheus metrics.prom
+    python -m repro.obs.validate trace.jsonl --require-span adaptation_phase
+
+Exit code 0 means every named artifact validated; any schema violation
+or malformed exposition line prints the failure and exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import iter_instrument_names, parse_prometheus
+from repro.obs.schema import TraceSchemaError, validate_trace_file
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate JSONL traces and Prometheus snapshots.",
+    )
+    parser.add_argument("trace", nargs="?", default=None, help="JSONL trace file")
+    parser.add_argument("--schema", default=None, help="trace schema JSON (default: checked-in)")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless the trace contains a span with this name (repeatable)",
+    )
+    parser.add_argument("--prometheus", default=None, metavar="FILE", help="exposition file to parse")
+    args = parser.parse_args(argv)
+
+    if args.trace is None and args.prometheus is None:
+        parser.error("nothing to validate: pass a trace file and/or --prometheus")
+
+    if args.trace is not None:
+        try:
+            names = validate_trace_file(args.trace, args.schema)
+        except (TraceSchemaError, OSError) as error:
+            print(f"TRACE INVALID: {error}", file=sys.stderr)
+            return 1
+        total = sum(names.values())
+        print(f"{args.trace}: {total} spans valid; names: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(names.items())
+        ))
+        missing = [name for name in args.require_span if name not in names]
+        if missing:
+            print(f"TRACE INVALID: required spans missing: {missing}", file=sys.stderr)
+            return 1
+
+    if args.prometheus is not None:
+        try:
+            samples = parse_prometheus(Path(args.prometheus).read_text())
+        except (ValueError, OSError) as error:
+            print(f"PROMETHEUS INVALID: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.prometheus}: {len(samples)} samples across "
+            f"{len(iter_instrument_names(samples))} metrics"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

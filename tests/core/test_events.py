@@ -1,10 +1,12 @@
 """Tests for the adaptation event log."""
 
+import json
+
 from repro.core.events import AdaptationEvent, EventLog
 
 
-def make_event(epoch=1, expansions=0, compactions=0):
-    return AdaptationEvent(
+def make_event(epoch=1, expansions=0, compactions=0, **overrides):
+    kwargs = dict(
         epoch=epoch,
         accesses_seen=1000,
         sampled=100,
@@ -18,6 +20,8 @@ def make_event(epoch=1, expansions=0, compactions=0):
         sample_size_after=2000,
         index_bytes=123456,
     )
+    kwargs.update(overrides)
+    return AdaptationEvent(**kwargs)
 
 
 class TestEventLog:
@@ -56,3 +60,49 @@ class TestEventLog:
         event = make_event()
         with pytest.raises(dataclasses.FrozenInstanceError):
             event.epoch = 99
+
+    def test_aggregates_against_hand_built_sequence(self):
+        log = EventLog()
+        log.append(make_event(epoch=1, expansions=4, migration_failures=1))
+        log.append(make_event(epoch=2, compactions=2, quarantined=1))
+        log.append(make_event(epoch=3, expansions=1, compactions=1, retries=2))
+        assert log.total_expansions == 5
+        assert log.total_compactions == 3
+        assert log.total_migrations == 8
+        assert log.total_migration_failures == 1
+        assert log.total_quarantined == 1
+        assert log[2].migrations == 2
+
+
+class TestSerialization:
+    """AdaptationEvent.as_dict is the single serialization path (trace
+    sink attributes, timeline benchmarks, and to_jsonl all use it)."""
+
+    def test_as_dict_covers_every_field(self):
+        import dataclasses
+
+        event = make_event(migration_failures=2, adaptation_disabled=True)
+        document = event.as_dict()
+        assert set(document) == {f.name for f in dataclasses.fields(event)}
+        assert document["epoch"] == 1
+        assert document["migration_failures"] == 2
+        assert document["adaptation_disabled"] is True
+        json.dumps(document)  # JSON-safe as produced
+
+    def test_as_dicts_preserves_order(self):
+        log = EventLog()
+        log.append(make_event(epoch=1))
+        log.append(make_event(epoch=2))
+        assert [entry["epoch"] for entry in log.as_dicts()] == [1, 2]
+
+    def test_to_jsonl_roundtrips(self):
+        log = EventLog()
+        log.append(make_event(epoch=1, expansions=3))
+        log.append(make_event(epoch=2, compactions=1))
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == log.as_dicts()
+
+    def test_empty_log_to_jsonl(self):
+        assert EventLog().to_jsonl() == ""

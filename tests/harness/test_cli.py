@@ -53,3 +53,36 @@ class TestMain:
     def test_every_name_resolves(self):
         for name in ("fig2", "fig5", "fig12", "fig20", "tab1", "tab2"):
             assert name in EXPERIMENTS
+
+
+class TestTelemetryFlags:
+    def test_trace_and_metrics_files_are_valid(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus
+        from repro.obs.runtime import active
+        from repro.obs.schema import validate_trace_file
+
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "run.prom"
+        assert main(
+            ["fig13", "--scale", "0.05", "--trace", str(trace),
+             "--metrics", str(metrics), "--trace-ops", "64"]
+        ) == 0
+        assert active() is None  # uninstalled after the run
+        names = validate_trace_file(trace)
+        assert "experiment:fig13" in names
+        assert "harness.interval" in names
+        assert "lookup" in names
+        samples = parse_prometheus(metrics.read_text())
+        assert any(key.startswith("repro_ops_") for key in samples)
+        output = capsys.readouterr().out
+        assert "telemetry report" in output
+        assert f"trace: {trace}" in output
+
+    def test_metrics_only_run(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus
+
+        metrics = tmp_path / "only.prom"
+        assert main(["fig13", "--scale", "0.05", "--metrics", str(metrics)]) == 0
+        samples = parse_prometheus(metrics.read_text())
+        assert "repro_harness_operations_total" in samples
+        assert "telemetry report" in capsys.readouterr().out

@@ -29,6 +29,47 @@ class TestJson:
         document = json.loads(result_to_json({"results": {"x": RunResult()}}))
         assert document["results"]["x"]["total_operations"] == 0
 
+    def test_run_results_export_as_summaries_not_intervals(self):
+        from repro.harness.runner import IntervalStats, RunResult
+
+        result = RunResult(total_operations=10, total_modeled_ns=1000.0)
+        result.intervals.append(
+            IntervalStats(
+                interval=0, operations=10, modeled_ns_per_op=100.0,
+                wall_ns_per_op=1.0, index_bytes=1, aux_bytes=0,
+                expansions=0, compactions=0,
+            )
+        )
+        document = json.loads(result_to_json({"r": result}))
+        assert document["r"]["modeled_ns_per_op"] == 100.0
+        assert "intervals" not in document["r"]
+
+    def test_handles_counters_and_bytes_keys(self):
+        from collections import Counter
+
+        document = json.loads(
+            result_to_json({"events": Counter({b"\x01": 2, "leaf_visit": 3})})
+        )
+        assert document["events"] == {"01": 2, "leaf_visit": 3}
+
+    def test_handles_dataclasses(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Row:
+            name: str
+            blob: bytes
+
+        document = json.loads(result_to_json({"row": Row("a", b"\xff")}))
+        assert document["row"] == {"name": "a", "blob": "ff"}
+
+    def test_adaptation_events_export_via_single_path(self):
+        from tests.core.test_events import make_event
+
+        events = [make_event(epoch=1).as_dict(), make_event(epoch=2).as_dict()]
+        document = json.loads(result_to_json({"adaptation_events": events}))
+        assert document["adaptation_events"] == events
+
 
 class TestWriteResult:
     def test_table_written_as_csv_and_json(self, tmp_path):

@@ -1,0 +1,82 @@
+"""Tests for the shared stats()/describe() building blocks."""
+
+import json
+
+from repro.bptree.hybrid import AdaptiveBPlusTree
+from repro.bptree.leaves import LeafEncoding
+from repro.obs.introspect import base_stats, census_stats, format_stats, manager_stats
+
+
+class TestCensusStats:
+    def test_tuple_entries(self):
+        census = {LeafEncoding.GAPPED: (3, 512.04)}
+        assert census_stats(census) == {
+            "gapped": {"count": 3, "avg_bytes": 512.0}
+        }
+
+    def test_plain_count_entries(self):
+        assert census_stats({"node4": 7}) == {"node4": {"count": 7}}
+
+
+class TestBaseStats:
+    def test_uniform_shape(self):
+        stats = base_stats(
+            family="bptree",
+            num_keys=100,
+            size_bytes=4096,
+            census={"gapped": (1, 4096.0)},
+            counters_snapshot={"inner_visit": 5},
+        )
+        assert stats["family"] == "bptree"
+        assert stats["num_keys"] == 100
+        assert stats["size_bytes"] == 4096
+        assert stats["counters"] == {"inner_visit": 5}
+        assert stats["adaptation"] is None
+        json.dumps(stats)  # JSON-safe as produced
+
+
+class TestManagerStats:
+    def make_tree(self):
+        pairs = [(key, key) for key in range(4_000)]
+        tree = AdaptiveBPlusTree.bulk_load_adaptive(pairs)
+        for key in range(0, 4_000, 3):
+            tree.lookup(key)
+        tree.manager.run_adaptation()
+        return tree
+
+    def test_adaptation_block(self):
+        tree = self.make_tree()
+        block = manager_stats(tree.manager)
+        assert block["phases"] >= 1
+        assert block["epoch"] >= 1
+        assert block["accesses_seen"] > 0
+        history = block["migration_history"]
+        assert history["migrations"] == history["expansions"] + history["compactions"]
+        assert len(history["recent_events"]) == len(tree.manager.events)
+        assert history["recent_events"][-1]["epoch"] == tree.manager.events[-1].epoch
+        json.dumps(block)
+
+    def test_recent_events_are_bounded(self):
+        tree = self.make_tree()
+        block = manager_stats(tree.manager, recent_events=1)
+        assert len(block["migration_history"]["recent_events"]) == 1
+        assert (
+            block["migration_history"]["recent_events"][0]["epoch"]
+            == tree.manager.events[-1].epoch
+        )
+
+
+class TestFormatStats:
+    def test_renders_all_sections(self):
+        tree = TestManagerStats().make_tree()
+        text = format_stats(tree.stats())
+        assert text.startswith("bptree_adaptive:")
+        assert "encodings:" in text
+        assert "adaptation: epoch" in text
+        assert "migrations:" in text
+        assert "top counters:" in text
+
+    def test_extras_rendered_generically(self):
+        stats = base_stats("fst", 10, 100, {}, {})
+        stats["height"] = 4
+        assert "height: 4" in format_stats(stats)

@@ -1,0 +1,114 @@
+"""Tests for the shared JSON-coercion helper."""
+
+import dataclasses
+import enum
+import json
+from collections import Counter
+
+from repro.obs.jsonable import jsonable_key, to_jsonable
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+@dataclasses.dataclass
+class Point:
+    x: int
+    y: bytes
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        for value in (1, 1.5, "s", True, None):
+            assert to_jsonable(value) is value
+
+    def test_enum_becomes_value(self):
+        assert to_jsonable(Color.RED) == "red"
+
+    def test_bytes_become_hex(self):
+        assert to_jsonable(b"\x01\xff") == "01ff"
+        assert to_jsonable(bytearray(b"\x02")) == "02"
+
+    def test_dataclass_becomes_dict(self):
+        assert to_jsonable(Point(1, b"\x0a")) == {"x": 1, "y": "0a"}
+
+    def test_counter_and_bytes_keys(self):
+        counts = Counter({b"\x01": 2, "plain": 1})
+        assert to_jsonable(counts) == {"01": 2, "plain": 1}
+
+    def test_enum_keys(self):
+        assert to_jsonable({Color.RED: 1}) == {"red": 1}
+
+    def test_sets_sort(self):
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+        assert to_jsonable(frozenset({"b", "a"})) == ["a", "b"]
+
+    def test_unsortable_sets_sort_by_repr(self):
+        result = to_jsonable({1, "a"})
+        assert sorted(result, key=repr) == result
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, (2, 3))) == [1, [2, 3]]
+
+    def test_unknown_falls_back_to_str(self):
+        class Opaque:
+            def __str__(self):
+                return "opaque"
+
+        assert to_jsonable(Opaque()) == "opaque"
+
+    def test_output_is_json_serializable(self):
+        payload = {
+            Color.RED: [Point(1, b"\x01"), {2, 1}],
+            b"\x02": Counter({"a": 1}),
+        }
+        json.dumps(to_jsonable(payload))  # must not raise
+
+
+class TestDefaultHook:
+    def test_hook_runs_before_structural_rules(self):
+        # A dataclass would normally expand to a field dict; the hook
+        # wins because it is consulted first.
+        def hook(value):
+            if isinstance(value, Point):
+                return "summarized"
+            return NotImplemented
+
+        assert to_jsonable(Point(1, b"\x01"), default=hook) == "summarized"
+
+    def test_hook_is_not_offered_primitives(self):
+        calls = []
+
+        def hook(value):
+            calls.append(value)
+            return NotImplemented
+
+        to_jsonable({"a": 1}, default=hook)
+        assert calls == [{"a": 1}]  # the dict, never the int or the str key
+
+    def test_declining_hook_falls_through(self):
+        def hook(value):
+            return NotImplemented
+
+        assert to_jsonable(Point(1, b"\x01"), default=hook) == {"x": 1, "y": "01"}
+
+    def test_hook_result_is_recursed_without_hook(self):
+        # The hook's output is converted by the standard rules only, so a
+        # hook returning the same type cannot loop forever.
+        def hook(value):
+            if isinstance(value, Point):
+                return {"point": Point(2, b"\x02")}
+            return NotImplemented
+
+        assert to_jsonable(Point(1, b"\x01"), default=hook) == {
+            "point": {"x": 2, "y": "02"}
+        }
+
+
+class TestJsonableKey:
+    def test_key_coercions(self):
+        assert jsonable_key("s") == "s"
+        assert jsonable_key(b"\x01") == "01"
+        assert jsonable_key(Color.RED) == "red"
+        assert jsonable_key(7) == "7"

@@ -1,0 +1,51 @@
+"""Tests for the console exporter."""
+
+from repro.obs.report import render_metrics, render_telemetry, render_trace_summary
+from repro.obs.runtime import Telemetry
+
+
+class TestRenderMetrics:
+    def test_empty_snapshot(self):
+        assert render_metrics({}) == "(no instruments recorded)"
+
+    def test_sections_render(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("manager.phases").inc(3)
+        telemetry.registry.gauge("index.bytes").set(2048)
+        telemetry.registry.histogram("batch.size", boundaries=(4,)).record(2)
+        text = render_metrics(telemetry.registry.snapshot())
+        assert "counters:" in text and "manager.phases" in text
+        assert "gauges:" in text and "index.bytes" in text
+        assert "histograms:" in text and "batch.size" in text
+
+    def test_counter_overflow_is_elided(self):
+        telemetry = Telemetry()
+        for index in range(30):
+            telemetry.registry.counter(f"c{index:02d}").inc()
+        text = render_metrics(telemetry.registry.snapshot(), max_counters=24)
+        assert "... and 6 more" in text
+
+
+class TestRenderTraceSummary:
+    def test_empty(self):
+        assert render_trace_summary({}) == "(no spans emitted)"
+
+    def test_counts(self):
+        text = render_trace_summary({"lookup": 10, "descent": 10, "merge": 1})
+        assert text.startswith("spans: 21 total")
+        assert "lookup" in text and "merge" in text
+
+
+class TestRenderTelemetry:
+    def test_full_report(self):
+        telemetry = Telemetry.with_memory_trace(op_sample_every=8)
+        telemetry.registry.counter("c").inc()
+        telemetry.tracer.end(telemetry.tracer.start("lookup"))
+        text = render_telemetry(telemetry, title="fig12")
+        assert text.startswith("== telemetry report: fig12 ==")
+        assert "1 spans emitted" in text
+        assert "op sampling 1/8" in text
+
+    def test_metrics_only_report_omits_tracing(self):
+        text = render_telemetry(Telemetry())
+        assert "tracing:" not in text

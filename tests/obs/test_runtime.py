@@ -1,0 +1,57 @@
+"""Tests for the global telemetry install point."""
+
+from repro.obs.runtime import (
+    Telemetry,
+    active,
+    active_registry,
+    active_tracer,
+)
+
+
+class TestDefaultOff:
+    def test_nothing_installed_by_default(self):
+        assert active() is None
+        assert active_registry() is None
+        assert active_tracer() is None
+
+
+class TestInstallUninstall:
+    def test_context_manager_installs_and_restores(self):
+        with Telemetry() as telemetry:
+            assert active() is telemetry
+            assert active_registry() is telemetry.registry
+            assert active_tracer() is None  # metrics-only
+        assert active() is None
+
+    def test_installation_nests(self):
+        with Telemetry() as outer:
+            with Telemetry.with_memory_trace() as inner:
+                assert active() is inner
+                assert active_tracer() is inner.tracer
+            assert active() is outer
+        assert active() is None
+
+    def test_uninstall_closes_tracer(self):
+        telemetry = Telemetry.with_memory_trace()
+        with telemetry:
+            telemetry.tracer.start("dangling")
+        sink = telemetry.tracer.sink
+        assert sink.closed
+        assert [record["name"] for record in sink.records] == ["dangling"]
+
+    def test_uninstall_without_install_is_noop(self):
+        telemetry = Telemetry()
+        telemetry.uninstall()  # must not disturb the (empty) global
+        assert active() is None
+
+    def test_snapshot_shape(self):
+        telemetry = Telemetry.with_memory_trace(op_sample_every=4)
+        telemetry.registry.counter("c").inc()
+        telemetry.tracer.end(telemetry.tracer.start("lookup"))
+        snapshot = telemetry.snapshot()
+        assert snapshot["metrics"]["counters"] == {"c": 1}
+        assert snapshot["tracing"]["spans_emitted"] == 1
+        assert snapshot["tracing"]["op_sample_every"] == 4
+
+    def test_metrics_only_snapshot_has_no_tracing_block(self):
+        assert "tracing" not in Telemetry().snapshot()

@@ -1,0 +1,112 @@
+"""Tests for JSONL trace-schema validation."""
+
+import pytest
+
+from repro.obs.runtime import Telemetry
+from repro.obs.schema import (
+    TraceSchemaError,
+    load_schema,
+    validate_record,
+    validate_trace,
+    validate_trace_file,
+)
+from repro.obs.sinks import JsonlTraceSink
+from repro.obs.tracing import Tracer
+
+
+def make_record(**overrides):
+    record = {
+        "span_id": 1,
+        "parent_id": None,
+        "name": "lookup",
+        "seq_start": 1,
+        "seq_end": 2,
+        "attributes": {},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestValidateRecord:
+    def test_valid_record_passes(self):
+        validate_record(make_record())
+
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            ({"span_id": 0}, "span_id"),
+            ({"span_id": True}, "span_id"),
+            ({"parent_id": 0}, "parent_id"),
+            ({"parent_id": 1}, "own parent"),
+            ({"name": "Bad Name!"}, "invalid span name"),
+            ({"name": ""}, "invalid span name"),
+            ({"seq_start": 0}, "seq_start"),
+            ({"seq_end": 1, "seq_start": 2}, "ends"),
+            ({"attributes": []}, "attributes"),
+        ],
+    )
+    def test_bad_fields_rejected(self, overrides, message):
+        with pytest.raises(TraceSchemaError, match=message):
+            validate_record(make_record(**overrides))
+
+    def test_missing_and_extra_fields_rejected(self):
+        record = make_record()
+        del record["seq_end"]
+        with pytest.raises(TraceSchemaError, match="missing fields"):
+            validate_record(record)
+        with pytest.raises(TraceSchemaError, match="unexpected fields"):
+            validate_record(make_record(duration_ns=5))
+
+    def test_real_span_names_pass(self):
+        for name in (
+            "leaf_probe:succinct",
+            "migration:gapped->succinct",
+            "harness.interval",
+            "adaptation_phase",
+        ):
+            validate_record(make_record(name=name))
+
+
+class TestValidateTrace:
+    def test_counts_by_name(self):
+        records = [
+            make_record(span_id=1),
+            make_record(span_id=2, parent_id=1, name="descent"),
+        ]
+        assert validate_trace(records) == {"lookup": 1, "descent": 1}
+
+    def test_duplicate_span_ids_rejected(self):
+        with pytest.raises(TraceSchemaError, match="already used"):
+            validate_trace([make_record(), make_record()])
+
+    def test_dangling_parent_rejected(self):
+        with pytest.raises(TraceSchemaError, match="names no span"):
+            validate_trace([make_record(parent_id=99)])
+
+
+class TestValidateTraceFile:
+    def test_real_trace_validates_against_checked_in_schema(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Telemetry(tracer=Tracer(JsonlTraceSink(path), op_sample_every=1)) as t:
+            with t.tracer.span("adaptation_phase"):
+                t.tracer.event("migration:gapped->succinct", unit=1)
+        names = validate_trace_file(path)
+        assert names == {"adaptation_phase": 1, "migration:gapped->succinct": 1}
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceSchemaError, match="no spans"):
+            validate_trace_file(path)
+
+    def test_non_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(TraceSchemaError, match="not valid JSON"):
+            validate_trace_file(path)
+
+    def test_checked_in_schema_matches_validator(self):
+        schema = load_schema()
+        assert sorted(schema["required"]) == sorted(
+            ("span_id", "parent_id", "name", "seq_start", "seq_end", "attributes")
+        )

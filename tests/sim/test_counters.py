@@ -32,6 +32,42 @@ class TestOpCounters:
         counters.add("a")
         assert counters.diff(counters.snapshot()) == {}
 
+    def test_diff_ignores_events_absent_now(self):
+        # diff iterates the *current* counts: an event that appears only
+        # in the earlier snapshot (e.g. after a reset) is silently
+        # dropped, never reported as a negative delta.
+        counters = OpCounters()
+        counters.add("a", 3)
+        earlier = counters.snapshot()
+        counters.reset()
+        counters.add("b", 2)
+        assert counters.diff(earlier) == {"b": 2}
+
+    def test_diff_against_empty_snapshot(self):
+        counters = OpCounters()
+        counters.add("a", 5)
+        assert counters.diff({}) == {"a": 5}
+
+    def test_diff_reports_decreases_when_event_survives(self):
+        counters = OpCounters()
+        counters.add("a", 5)
+        earlier = counters.snapshot()
+        counters.reset()
+        counters.add("a", 2)
+        assert counters.diff(earlier) == {"a": -3}
+
+    def test_snapshot_of_empty_counters(self):
+        assert OpCounters().snapshot() == {}
+
+    def test_add_many_matches_repeated_add(self):
+        batched, looped = OpCounters(), OpCounters()
+        batched.add_many({"x": 3, "y": 1})
+        batched.add_many({"x": 2})
+        for _ in range(5):
+            looped.add("x")
+        looped.add("y")
+        assert batched.snapshot() == looped.snapshot()
+
     def test_merge(self):
         a = OpCounters()
         b = OpCounters()

@@ -35,6 +35,7 @@ class TestSubpackageExports:
             "repro.sim",
             "repro.harness",
             "repro.hashmap",
+            "repro.obs",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
