@@ -9,7 +9,7 @@ after the hot set moves.
 import numpy as np
 from conftest import banner, run_once
 
-from repro.bptree.hybrid import BTREE_ENCODING_ORDER, AdaptiveBPlusTree
+from repro.bptree.hybrid import AdaptiveBPlusTree
 from repro.bptree.leaves import LeafEncoding
 from repro.core.heuristics import make_threshold_heuristic
 from repro.harness.experiments import scaled_manager_config

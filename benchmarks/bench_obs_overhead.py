@@ -21,7 +21,15 @@ Run directly::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
-        --check BENCH_PR3.json --tolerance 0.50
+        --check BENCH_PR3.json --tolerance 0.25
+
+Two gates are enforced, and they are different claims:
+
+* the **absolute** headline bound — gate share <= 5% on every family —
+  always runs (:func:`check_headline`); it is the documented contract.
+* the **relative** regression gate — gate share within ``--tolerance``
+  (default 25%) of the committed baseline — runs only with ``--check``
+  and catches creep long before the absolute bound is at risk.
 
 Gate share depends on tree depth (shallower trees -> faster lookups ->
 larger share), so baseline comparisons require the same ``--keys`` as
@@ -197,17 +205,21 @@ def format_report(payload):
 
 
 def check_headline(payload):
-    """The acceptance claim: gate share <= 5% on every family."""
+    """The acceptance claim: gate share <= 5% on every family.
+
+    Failures name each offending family with the numbers behind the
+    share, so a CI log line is enough to see what regressed.
+    """
     bound = payload.get("overhead_bound", OVERHEAD_BOUND)
-    over = {
-        family: stats["gate_share"]
+    failures = [
+        f"family '{family}': disabled-telemetry gate share "
+        f"{stats['gate_share']:.2%} exceeds the {bound:.0%} absolute bound "
+        f"(gate {payload['gate_ns']:.1f} ns / lookup "
+        f"{stats['off_ns_per_op']:.1f} ns)"
         for family, stats in payload["families"].items()
         if stats["gate_share"] > bound
-    }
-    assert not over, (
-        f"disabled-telemetry gate exceeds the {bound:.0%} bound: {over} "
-        f"(gate {payload['gate_ns']:.1f} ns/lookup)"
-    )
+    ]
+    assert not failures, "\n".join(failures)
 
 
 def check_against_baseline(payload, baseline, tolerance):
@@ -269,13 +281,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.50,
-        help="allowed relative gate-share regression vs the baseline (default 0.50)",
+        default=0.25,
+        help="allowed relative gate-share regression vs the baseline (default 0.25)",
     )
     args = parser.parse_args(argv)
     payload = run_suite(num_keys=args.keys)
     print(format_report(payload))
-    check_headline(payload)
+    try:
+        check_headline(payload)
+    except AssertionError as exc:
+        for line in str(exc).splitlines():
+            print(f"HEADLINE FAILURE: {line}")
+        return 1
     if args.check is not None:
         baseline = json.loads(args.check.read_text())
         failures = check_against_baseline(payload, baseline, args.tolerance)

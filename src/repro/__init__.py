@@ -17,7 +17,10 @@ chosen at run-time from sampled access statistics.  This package provides:
 * :mod:`repro.sim` — structural operation counters and the calibrated
   cost model (the documented substitution for hardware timing);
 * :mod:`repro.harness` — the experiment runner and one entry point per
-  paper table/figure.
+  paper table/figure;
+* :mod:`repro.service` — a sharded concurrent index service routing
+  batched traffic across per-shard adaptation managers under one
+  global memory budget.
 
 Quickstart::
 
@@ -37,13 +40,15 @@ from repro.bptree.leaves import LeafEncoding
 from repro.bptree.olc import OlcBPlusTree
 from repro.bptree.tree import BPlusTree
 from repro.core.access import AccessType
-from repro.core.budget import MemoryBudget
+from repro.core.budget import BudgetArbiter, MemoryBudget
 from repro.core.manager import AdaptationManager, ManagerConfig
 from repro.core.invariants import InvariantViolation, validate
 from repro.dualstage.index import DualStageIndex
 from repro.faults.injector import FaultInjector, InjectedFault
 from repro.fst.trie import FST
 from repro.hybridtrie.tree import HybridTrie
+from repro.service.partition import HashPartitioner, RangePartitioner
+from repro.service.router import ShardRouter
 from repro.sim.costmodel import CostModel
 
 __version__ = "0.1.0"
@@ -56,6 +61,10 @@ __all__ = [
     "OlcBPlusTree",
     "AccessType",
     "MemoryBudget",
+    "BudgetArbiter",
+    "HashPartitioner",
+    "RangePartitioner",
+    "ShardRouter",
     "AdaptationManager",
     "ManagerConfig",
     "DualStageIndex",

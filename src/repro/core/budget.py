@@ -15,6 +15,7 @@ with ``n_c``/``n_u`` compressed/uncompressed node counts and ``m_c``/
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict
 
 
 def estimate_expandable_k(
@@ -100,3 +101,137 @@ class MemoryBudget:
         if limit == float("inf"):
             return 0.0
         return used_bytes / limit
+
+
+def _member_keys(index: Any) -> int:
+    """Key count of one arbiter member (``num_keys`` or ``len``)."""
+    keys = getattr(index, "num_keys", None)
+    if keys is not None:
+        return int(keys)
+    return len(index)
+
+
+def _member_bytes(index: Any) -> int:
+    """Modeled bytes of one member (``used_memory`` or ``size_bytes``)."""
+    used = getattr(index, "used_memory", None)
+    if used is not None:
+        return int(used())
+    return int(index.size_bytes())
+
+
+class BudgetArbiter:
+    """Divides one global memory budget across many index structures.
+
+    The paper's adaptation manager runs *per structure* with a local
+    budget; a sharded service therefore needs an arbiter that carves one
+    service-wide :class:`MemoryBudget` into per-shard budgets and
+    installs them into each shard's manager:
+
+    * **unbounded** — every member stays unbounded;
+    * **relative** (bits per key) — the same bits-per-key bound is
+      handed to every member: the global bound is the key-weighted sum
+      of the members', so it composes exactly;
+    * **absolute** (bytes) — each member receives a floor allocation
+      plus a share of the remainder proportional to its key count, so
+      hot large shards get headroom to expand and empty shards cannot
+      starve the rest.
+
+    :meth:`rebalance` is cheap and idempotent; the service re-runs it
+    after every shard split/merge.
+    """
+
+    def __init__(self, budget: MemoryBudget, floor_bytes: int = 64 * 1024) -> None:
+        if floor_bytes < 0:
+            raise ValueError(f"floor_bytes must be >= 0, got {floor_bytes}")
+        self.budget = budget
+        self.floor_bytes = floor_bytes
+        self._members: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, name: str, index: Any) -> None:
+        """Add (or replace) one member structure under ``name``."""
+        self._members[name] = index
+
+    def unregister(self, name: str) -> None:
+        """Drop one member; unknown names are ignored."""
+        self._members.pop(name, None)
+
+    def clear(self) -> None:
+        """Drop every member."""
+        self._members.clear()
+
+    @property
+    def num_members(self) -> int:
+        """Number of registered member structures."""
+        return len(self._members)
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+    def rebalance(self) -> Dict[str, MemoryBudget]:
+        """Compute per-member budgets and install them into managers.
+
+        Members exposing a ``manager`` with a ``config.budget`` slot
+        (the adaptive families) receive their allocation in place; the
+        full allocation map is returned either way.
+        """
+        allocations = self._allocate()
+        for name, allocation in allocations.items():
+            manager = getattr(self._members[name], "manager", None)
+            if manager is not None:
+                manager.config.budget = allocation
+        return allocations
+
+    def _allocate(self) -> Dict[str, MemoryBudget]:
+        if not self._members:
+            return {}
+        if self.budget.absolute_bytes is None:
+            # Unbounded and relative budgets compose without arithmetic.
+            return {name: self.budget for name in self._members}
+        total_bytes = self.budget.absolute_bytes
+        floor = min(self.floor_bytes, total_bytes // len(self._members))
+        distributable = total_bytes - floor * len(self._members)
+        keys_by_name = {
+            name: _member_keys(index) for name, index in self._members.items()
+        }
+        total_keys = sum(keys_by_name.values())
+        allocations: Dict[str, MemoryBudget] = {}
+        for name in self._members:
+            if total_keys > 0:
+                share = distributable * keys_by_name[name] // total_keys
+            else:
+                share = distributable // len(self._members)
+            allocations[name] = MemoryBudget.absolute(max(1, floor + share))
+        return allocations
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def used_bytes(self) -> int:
+        """Total modeled bytes across every member."""
+        return sum(_member_bytes(index) for index in self._members.values())
+
+    def num_keys(self) -> int:
+        """Total keys across every member."""
+        return sum(_member_keys(index) for index in self._members.values())
+
+    def utilization(self) -> float:
+        """Global ``used / limit``; 0.0 when unbounded."""
+        return self.budget.utilization(self.used_bytes(), self.num_keys())
+
+    def exceeded(self) -> bool:
+        """True when the members jointly violate the global budget."""
+        return self.budget.exceeded(self.used_bytes(), self.num_keys())
+
+    def describe(self) -> Dict[str, Any]:
+        """One JSON-safe summary of the arbitration state."""
+        return {
+            "bounded": self.budget.bounded,
+            "absolute_bytes": self.budget.absolute_bytes,
+            "bits_per_key": self.budget.bits_per_key,
+            "members": self.num_members,
+            "used_bytes": self.used_bytes(),
+            "utilization": round(self.utilization(), 4),
+        }

@@ -44,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig19": exp.experiment_fig19,
     "fig20": exp.experiment_fig20,
     "faults": exp.experiment_fault_campaign,
+    "service-bench": exp.experiment_service_bench,
     "tab1": exp.experiment_table1,
     "tab2": exp.experiment_table2,
     "tab4": exp.experiment_table4,
@@ -101,7 +102,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names (fig2..fig20, tab1/tab2/tab4, faults), 'all', or 'list'",
+        help="experiment names (fig2..fig20, tab1/tab2/tab4, faults, "
+        "service-bench), 'all', or 'list'",
     )
     parser.add_argument(
         "--scale",

@@ -29,6 +29,7 @@ from repro.harness.experiments_micro import (
     experiment_table2,
     experiment_table4,
 )
+from repro.harness.experiments_service import experiment_service_bench
 from repro.harness.experiments_trie import (
     build_trie_variants,
     experiment_fig19,
@@ -58,6 +59,7 @@ __all__ = [
     "experiment_fig18",
     "experiment_fig19",
     "experiment_fig20",
+    "experiment_service_bench",
     "experiment_table1",
     "experiment_table2",
     "experiment_table4",

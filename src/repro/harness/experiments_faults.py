@@ -21,7 +21,7 @@ a thousand faults, zero damage" and have the claim hold by construction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -1,0 +1,114 @@
+"""Service bench: sharded-router scalability — wall vs modeled throughput.
+
+Partitions one key space across N shards behind a :class:`ShardRouter`
+and replays the same batched lookup/scan workload at every shard count.
+Two throughput figures are reported per row:
+
+* ``wall_Mops`` — honest wall-clock throughput.  Python's GIL caps real
+  parallel speedup, so this stays roughly flat as shards are added.
+* ``modeled_Mops`` — each shard's structural counter events priced by
+  the :class:`~repro.sim.costmodel.CostModel`; the aggregate modeled
+  time is the **max over shards** (shards run in parallel in the
+  model), the same idiom the Figure-18 concurrency experiment uses.
+
+With a balanced hash partitioning the modeled speedup approaches the
+shard count; the CI gate (``benchmarks/bench_service.py``) requires at
+least 2x at 4 OLC shards.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Mapping, Sequence
+
+from repro.service.router import ShardRouter
+from repro.sim.costmodel import CostModel
+
+
+def _priced_max_shard_ns(
+    cost_model: CostModel,
+    before: Mapping[int, Mapping[str, int]],
+    after: Mapping[int, Mapping[str, int]],
+) -> float:
+    """Price each shard's counter delta; return the slowest shard's ns."""
+    worst = 0.0
+    for shard_id, events in after.items():
+        base = before.get(shard_id, {})
+        delta = {name: count - base.get(name, 0) for name, count in events.items()}
+        worst = max(worst, cost_model.price(delta))
+    return worst
+
+
+def experiment_service_bench(
+    num_keys: int = 40_000,
+    num_lookups: int = 60_000,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    family: str = "olc",
+    partitioning: str = "hash",
+    batch_size: int = 512,
+    num_scans: int = 200,
+    scan_length: int = 100,
+    seed: int = 0,
+) -> Dict:
+    """Batched lookup + scan throughput of the sharded service across
+    shard counts, with modeled (parallel) and wall-clock figures."""
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(num_keys * 4), num_keys))
+    pairs = [(key, key * 3 + 1) for key in keys]
+    probes = [
+        rng.choice(keys) if rng.random() < 0.9 else rng.randrange(num_keys * 4)
+        for _ in range(num_lookups)
+    ]
+    batches = [
+        probes[start : start + batch_size]
+        for start in range(0, len(probes), batch_size)
+    ]
+    scan_starts = [rng.choice(keys) for _ in range(num_scans)]
+    cost_model = CostModel()
+    rows = []
+    baseline_modeled = None
+    for num_shards in shard_counts:
+        router = ShardRouter.build(
+            pairs, family=family, num_shards=num_shards, partitioning=partitioning
+        )
+        try:
+            before = router.counter_snapshots()
+            start = time.perf_counter()
+            for batch in batches:
+                router.get_many(batch)
+            wall_seconds = time.perf_counter() - start
+            lookup_ns = _priced_max_shard_ns(
+                cost_model, before, router.counter_snapshots()
+            )
+            scan_start = time.perf_counter()
+            for scan_key in scan_starts:
+                router.scan(scan_key, scan_length)
+            scan_seconds = time.perf_counter() - scan_start
+            wall_mops = num_lookups / wall_seconds / 1e6
+            modeled_mops = num_lookups / lookup_ns * 1000.0 if lookup_ns else 0.0
+            if baseline_modeled is None:
+                baseline_modeled = modeled_mops or 1.0
+            rows.append(
+                (
+                    num_shards,
+                    round(wall_mops, 3),
+                    round(modeled_mops, 2),
+                    round(modeled_mops / baseline_modeled, 2),
+                    round(router.imbalance(), 2),
+                    round(num_scans * scan_length / scan_seconds / 1e6, 3),
+                )
+            )
+        finally:
+            router.close()
+    return {
+        "headers": [
+            "shards",
+            "wall_Mops",
+            "modeled_Mops",
+            "modeled_speedup",
+            "imbalance",
+            "scan_wall_Mops",
+        ],
+        "rows": rows,
+    }

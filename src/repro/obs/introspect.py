@@ -26,7 +26,7 @@ shared ones (e.g. dual-stage merge counts).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.obs.jsonable import to_jsonable
 
@@ -48,7 +48,7 @@ def census_stats(census: Dict) -> Dict[str, Dict]:
     return normalized
 
 
-def manager_stats(manager, recent_events: int = RECENT_EVENTS_KEPT) -> Dict:
+def manager_stats(manager: Any, recent_events: int = RECENT_EVENTS_KEPT) -> Dict:
     """The adaptation block of ``stats()`` for one AdaptationManager."""
     events = manager.events
     recent = [event.as_dict() for event in events.events[-recent_events:]]
@@ -79,7 +79,7 @@ def base_stats(
     size_bytes: int,
     census: Dict,
     counters_snapshot: Dict[str, int],
-    manager=None,
+    manager: Optional[Any] = None,
 ) -> Dict:
     """Assemble the uniform stats dict; family modules extend the result."""
     return {

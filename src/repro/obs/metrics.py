@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 # Shared fixed boundaries.  Powers of two suit batch sizes and entry
 # counts; the cost buckets span the modeled-ns range the cost model

@@ -8,7 +8,7 @@ JSONL and Prometheus exporters carry the structured forms.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 def render_metrics(snapshot: Dict, max_counters: int = 24) -> str:
@@ -50,7 +50,7 @@ def render_trace_summary(span_names: Dict[str, int]) -> str:
     return "\n".join(lines)
 
 
-def render_telemetry(telemetry, title: Optional[str] = None) -> str:
+def render_telemetry(telemetry: Any, title: Optional[str] = None) -> str:
     """Full console report for one installed Telemetry."""
     header = f"== telemetry report{': ' + title if title else ''} =="
     parts = [header, render_metrics(telemetry.registry.snapshot())]

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from repro.obs.jsonable import to_jsonable
+from repro.obs.tracing import TraceSink
 
 
 class InMemoryTraceSink:
@@ -68,7 +69,7 @@ class JsonlTraceSink:
 class TeeTraceSink:
     """Fans every span out to several sinks."""
 
-    def __init__(self, *sinks) -> None:
+    def __init__(self, *sinks: TraceSink) -> None:
         self.sinks = list(sinks)
 
     def emit(self, record: Dict) -> None:

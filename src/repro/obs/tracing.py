@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, Iterator, List, Optional, Protocol
 
 
 class TraceSink(Protocol):
@@ -63,7 +63,7 @@ class Span:
         self.seq_end: Optional[int] = None
         self.attributes = attributes or {}
 
-    def set(self, **attributes) -> None:
+    def set(self, **attributes: object) -> None:
         """Attach attributes to the open span."""
         self.attributes.update(attributes)
 
@@ -107,7 +107,7 @@ class Tracer:
             return span_id
 
     # -- span lifecycle --------------------------------------------------
-    def start(self, name: str, **attributes) -> Span:
+    def start(self, name: str, **attributes: object) -> Span:
         """Open a span as a child of the current innermost span."""
         stack = self._state.stack
         parent_id = stack[-1].span_id if stack else None
@@ -115,7 +115,7 @@ class Tracer:
         stack.append(span)
         return span
 
-    def end(self, span: Span, **attributes) -> None:
+    def end(self, span: Span, **attributes: object) -> None:
         """Close ``span`` (and any forgotten children) and emit it."""
         if attributes:
             span.attributes.update(attributes)
@@ -128,7 +128,7 @@ class Tracer:
         span.seq_end = self._tick()
         self._emit(span)
 
-    def op_start(self, name: str, **attributes) -> Optional[Span]:
+    def op_start(self, name: str, **attributes: object) -> Optional[Span]:
         """Per-operation span gate; None when sampled out or disabled."""
         every = self.op_sample_every
         if every == 0:
@@ -140,7 +140,7 @@ class Tracer:
         self._op_countdown = every - 1
         return self.start(name, **attributes)
 
-    def event(self, name: str, **attributes) -> None:
+    def event(self, name: str, **attributes: object) -> None:
         """An instantaneous span (seq_start == seq_end) under the current one."""
         stack = self._state.stack
         parent_id = stack[-1].span_id if stack else None
@@ -149,7 +149,7 @@ class Tracer:
         self._emit(span)
 
     @contextmanager
-    def span(self, name: str, **attributes):
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
         """Context-managed span for phase-level code paths."""
         span = self.start(name, **attributes)
         try:

@@ -15,12 +15,13 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import List, Optional
 
 from repro.obs.metrics import iter_instrument_names, parse_prometheus
 from repro.obs.schema import TraceSchemaError, validate_trace_file
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",

@@ -1,0 +1,41 @@
+"""repro.service — a sharded front end over the index families.
+
+The adaptation manager of the paper (Section 3) runs *per structure*
+with bounded memory, which composes naturally across partitions: each
+shard of a :class:`~repro.service.router.ShardRouter` wraps one index
+family instance (AdaptiveBPlusTree, OlcBPlusTree, DualStageIndex,
+HybridTrie, ...) with its own manager, while one
+:class:`~repro.core.budget.BudgetArbiter` divides a single global
+memory budget across all shards.
+
+Components:
+
+* :mod:`repro.service.partition` — hash and range key-space
+  partitioners (range partitions support online split/merge);
+* :mod:`repro.service.shard` — one partition: an index instance plus
+  its access discipline (per-shard lock for non-thread-safe families,
+  lock-free reads for the OLC B+-tree);
+* :mod:`repro.service.router` — the batched front end
+  (``get_many`` / ``put_many`` / ``scan``) executing per-shard
+  sub-batches on a thread pool, merging ordered scans across shards,
+  and performing online shard split/merge with the PR-1
+  build-aside+swap discipline (fault-injectable, zero lost keys).
+"""
+
+from repro.service.partition import (
+    HashPartitioner,
+    Partitioner,
+    PartitionError,
+    RangePartitioner,
+)
+from repro.service.router import ShardRouter
+from repro.service.shard import Shard
+
+__all__ = [
+    "HashPartitioner",
+    "Partitioner",
+    "PartitionError",
+    "RangePartitioner",
+    "Shard",
+    "ShardRouter",
+]

@@ -1,0 +1,577 @@
+"""The sharded index service front end.
+
+A :class:`ShardRouter` owns N :class:`~repro.service.shard.Shard`\\ s and
+a :class:`~repro.service.partition.Partitioner`, and exposes the familiar
+index surface in batched form: ``get_many`` / ``put_many`` split each
+request into per-shard sub-batches and execute them on a
+``ThreadPoolExecutor`` (OLC B+-tree shards run truly concurrently;
+locked families serialize per shard), ``scan`` merges ordered results
+across shards (concatenation under range partitioning, a k-way heap
+merge under hash partitioning).
+
+Online **shard split/merge** reuses the PR-1 build-aside+swap
+discipline: the affected shards are write-frozen (reads keep flowing on
+OLC shards), their contents are snapshotted and rebuilt into
+replacement shards *aside*, and one atomic routing-table swap publishes
+the new layout.  Every step crosses a :func:`~repro.faults.injector
+.fault_point` (``service.split.*`` / ``service.merge.*``), and a fault
+anywhere before the swap leaves the old table serving — zero lost keys
+by construction, which the fault campaign in
+``benchmarks/bench_service.py`` replays at scale.
+
+One global :class:`~repro.core.budget.BudgetArbiter` divides the
+service-wide memory budget across the per-shard adaptation managers and
+is rebalanced after every split/merge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from bisect import bisect_left
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.budget import BudgetArbiter, MemoryBudget
+from repro.faults.injector import fault_point
+from repro.obs.runtime import active_registry
+from repro.service.partition import (
+    HashPartitioner,
+    Key,
+    Partitioner,
+    PartitionError,
+    RangePartitioner,
+)
+from repro.service.shard import Pair, Shard
+
+IndexFactory = Callable[[List[Pair]], Any]
+
+_DEFAULT_MAX_WORKERS = 8
+
+
+class ReadOnlyShardError(RuntimeError):
+    """A write was routed to a shard whose family has no insert path."""
+
+
+def _olc_factory(pairs: List[Pair]) -> Any:
+    from repro.bptree.olc import OlcBPlusTree
+
+    return OlcBPlusTree.bulk_load(pairs)
+
+
+def _adaptive_factory(pairs: List[Pair]) -> Any:
+    from repro.bptree.hybrid import AdaptiveBPlusTree
+
+    return AdaptiveBPlusTree.bulk_load_adaptive(pairs)
+
+
+def _dualstage_factory(pairs: List[Pair]) -> Any:
+    from repro.dualstage.index import DualStageIndex
+
+    return DualStageIndex.bulk_load(pairs)
+
+
+def _hybridtrie_factory(pairs: List[Pair]) -> Any:
+    from repro.hybridtrie.tree import HybridTrie
+
+    return HybridTrie(pairs)
+
+
+#: Family name -> bulk-load factory, as used by the harness and benches.
+FAMILY_FACTORIES: Dict[str, IndexFactory] = {
+    "olc": _olc_factory,
+    "adaptive": _adaptive_factory,
+    "dualstage": _dualstage_factory,
+    "hybridtrie": _hybridtrie_factory,
+}
+
+#: Families whose indexes synchronize themselves (no per-shard op lock).
+THREAD_SAFE_FAMILIES = frozenset({"olc"})
+
+
+@dataclass(frozen=True)
+class _RoutingTable:
+    """An immutable (partitioner, shards) snapshot, swapped atomically."""
+
+    partitioner: Partitioner
+    shards: Tuple[Shard, ...]
+
+
+class ShardRouter:
+    """Routes batched index traffic across partitioned shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        partitioner: Partitioner,
+        index_factory: IndexFactory,
+        max_workers: int = _DEFAULT_MAX_WORKERS,
+        budget: Optional[MemoryBudget] = None,
+    ) -> None:
+        if partitioner.num_shards != len(shards):
+            raise PartitionError(
+                f"partitioner routes to {partitioner.num_shards} shards "
+                f"but {len(shards)} were provided"
+            )
+        self._table = _RoutingTable(partitioner, tuple(shards))
+        self._index_factory = index_factory
+        self._max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._admin_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self.splits = 0
+        self.merges = 0
+        self.arbiter = BudgetArbiter(budget or MemoryBudget.unbounded())
+        self._register_shards()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        pairs: Sequence[Pair],
+        family: str = "olc",
+        num_shards: int = 4,
+        partitioning: str = "hash",
+        max_workers: int = _DEFAULT_MAX_WORKERS,
+        budget: Optional[MemoryBudget] = None,
+        index_factory: Optional[IndexFactory] = None,
+    ) -> "ShardRouter":
+        """Bulk-load a router from sorted unique pairs.
+
+        ``family`` picks a factory from :data:`FAMILY_FACTORIES` unless
+        an explicit ``index_factory`` is given; ``partitioning`` is
+        ``"hash"`` or ``"range"`` (range boundaries are chosen
+        equi-depth from the loaded keys).
+        """
+        if index_factory is None:
+            if family not in FAMILY_FACTORIES:
+                raise ValueError(
+                    f"unknown family {family!r}; expected one of "
+                    f"{sorted(FAMILY_FACTORIES)}"
+                )
+            index_factory = FAMILY_FACTORIES[family]
+        pairs = list(pairs)
+        keys = [key for key, _ in pairs]
+        partitioner: Partitioner
+        if partitioning == "hash":
+            partitioner = HashPartitioner(num_shards)
+        elif partitioning == "range":
+            partitioner = RangePartitioner.from_keys(keys, num_shards)
+        else:
+            raise ValueError(
+                f"unknown partitioning {partitioning!r}; expected 'hash' or 'range'"
+            )
+        groups: List[List[Pair]] = [[] for _ in range(num_shards)]
+        for pair in pairs:
+            groups[partitioner.shard_of(pair[0])].append(pair)
+        thread_safe = family in THREAD_SAFE_FAMILIES
+        shards = [
+            Shard(shard_id, index_factory(group), thread_safe=thread_safe)
+            for shard_id, group in enumerate(groups)
+        ]
+        return cls(
+            shards,
+            partitioner,
+            index_factory,
+            max_workers=max_workers,
+            budget=budget,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the executor (idempotent)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Routing primitives
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> _RoutingTable:
+        """The current routing snapshot (atomic attribute read)."""
+        return self._table
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards currently serving."""
+        return len(self._table.shards)
+
+    @property
+    def queue_depth(self) -> int:
+        """Per-shard sub-batches currently in flight on the executor."""
+        return self._inflight
+
+    def shard_for(self, key: Key) -> Shard:
+        """The shard currently serving ``key``."""
+        table = self._table
+        return table.shards[table.partitioner.shard_of(key)]
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-service",
+                )
+            return self._executor
+
+    def _run_per_shard(self, tasks: Sequence[Callable[[], None]]) -> None:
+        """Execute per-shard thunks, on the pool when it pays off."""
+        if self._max_workers <= 0 or len(tasks) <= 1:
+            for task in tasks:
+                task()
+            return
+        with self._inflight_lock:
+            self._inflight += len(tasks)
+        registry = active_registry()
+        if registry is not None:
+            registry.gauge("service.queue_depth").set(self._inflight)
+        try:
+            futures: List[Future[None]] = [
+                self._pool().submit(task) for task in tasks
+            ]
+            wait(futures)
+            for future in futures:
+                exception = future.exception()
+                if exception is not None:
+                    raise exception
+        finally:
+            with self._inflight_lock:
+                self._inflight -= len(tasks)
+
+    def _group_positions(
+        self, keys: Sequence[Key]
+    ) -> Dict[int, List[int]]:
+        """Input positions grouped by the shard id serving each key."""
+        shard_of = self._table.partitioner.shard_of
+        groups: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            groups.setdefault(shard_of(key), []).append(position)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: Key) -> Optional[int]:
+        """The value under ``key``, or None."""
+        return self.shard_for(key).get(key)
+
+    def get_many(self, keys: Sequence[Key]) -> List[Optional[int]]:
+        """Values aligned with ``keys``; sub-batches run per shard."""
+        keys = list(keys)
+        if not keys:
+            return []
+        table = self._table
+        groups = self._group_positions(keys)
+        results: List[Optional[int]] = [None] * len(keys)
+
+        def reader(shard: Shard, positions: List[int]) -> Callable[[], None]:
+            def run() -> None:
+                values = shard.get_many([keys[position] for position in positions])
+                for position, value in zip(positions, values):
+                    results[position] = value
+
+            return run
+
+        self._run_per_shard(
+            [
+                reader(table.shards[shard_id], positions)
+                for shard_id, positions in groups.items()
+            ]
+        )
+        self._count_ops("read", len(keys))
+        return results
+
+    def scan(self, start_key: Key, count: int) -> List[Pair]:
+        """Up to ``count`` pairs in key order starting at ``start_key``.
+
+        Range partitions concatenate shard results in shard order; hash
+        partitions scan every shard in parallel and k-way merge.
+        """
+        if count <= 0:
+            return []
+        table = self._table
+        if table.partitioner.ordered:
+            result: List[Pair] = []
+            first = table.partitioner.shard_of(start_key)
+            for shard in table.shards[first:]:
+                need = count - len(result)
+                if need <= 0:
+                    break
+                result.extend(shard.scan(start_key, need))
+            self._count_ops("scan", 1)
+            return result[:count]
+        per_shard: List[List[Pair]] = [[] for _ in table.shards]
+
+        def scanner(position: int, shard: Shard) -> Callable[[], None]:
+            def run() -> None:
+                per_shard[position] = shard.scan(start_key, count)
+
+            return run
+
+        self._run_per_shard(
+            [scanner(position, shard) for position, shard in enumerate(table.shards)]
+        )
+        self._count_ops("scan", 1)
+        merged = heapq.merge(*per_shard, key=lambda pair: pair[0])
+        return list(itertools.islice(merged, count))
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: Key, value: int) -> None:
+        """Upsert one pair."""
+        shard = self.shard_for(key)
+        self._check_writable(shard)
+        with shard.write_gate:
+            shard.put(key, value)
+        self._count_ops("write", 1)
+
+    def put_many(self, pairs: Sequence[Pair]) -> None:
+        """Upsert a batch; sub-batches run per shard in input order."""
+        pairs = list(pairs)
+        if not pairs:
+            return
+        table = self._table
+        groups = self._group_positions([key for key, _ in pairs])
+
+        def writer(shard: Shard, positions: List[int]) -> Callable[[], None]:
+            self._check_writable(shard)
+
+            def run() -> None:
+                with shard.write_gate:
+                    shard.put_many([pairs[position] for position in positions])
+
+            return run
+
+        self._run_per_shard(
+            [
+                writer(table.shards[shard_id], positions)
+                for shard_id, positions in groups.items()
+            ]
+        )
+        self._count_ops("write", len(pairs))
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; False when it was absent."""
+        shard = self.shard_for(key)
+        self._check_writable(shard)
+        with shard.write_gate:
+            removed = shard.delete(key)
+        self._count_ops("write", 1)
+        return removed
+
+    @staticmethod
+    def _check_writable(shard: Shard) -> None:
+        if not shard.supports_writes:
+            raise ReadOnlyShardError(
+                f"shard {shard.shard_id} wraps a read-only family "
+                f"({type(shard.index).__name__})"
+            )
+
+    # ------------------------------------------------------------------
+    # Online split / merge (build-aside + swap)
+    # ------------------------------------------------------------------
+    def split_shard(self, shard_id: int, at_key: Optional[Key] = None) -> Key:
+        """Split one range shard in two at ``at_key`` (default: median).
+
+        Writes to the shard are frozen for the duration; reads keep
+        flowing (OLC shards lock-free, locked families briefly
+        serialized).  A failure at any ``service.split.*`` fault point
+        aborts with the old routing table still serving — no key is
+        ever lost.  Returns the split key actually used.
+        """
+        with self._admin_lock:
+            table = self._table
+            self._check_shard_id(table, shard_id)
+            shard = table.shards[shard_id]
+            with shard.write_gate, shard._guard():
+                fault_point("service.split.collect")
+                pairs = shard.items()
+                split_key = at_key if at_key is not None else self._median_key(pairs)
+                # Validates the key against the shard's range (raises
+                # PartitionError on hash partitions or a bad boundary).
+                new_partitioner = table.partitioner.split(shard_id, split_key)
+                fault_point("service.split.build")
+                cut = bisect_left(pairs, (split_key,))
+                left = Shard(
+                    shard_id,
+                    self._index_factory(pairs[:cut]),
+                    thread_safe=shard.thread_safe,
+                )
+                right = Shard(
+                    shard_id + 1,
+                    self._index_factory(pairs[cut:]),
+                    thread_safe=shard.thread_safe,
+                )
+                fault_point("service.split.swap")
+                shards = (
+                    table.shards[:shard_id]
+                    + (left, right)
+                    + table.shards[shard_id + 1 :]
+                )
+                self._install(new_partitioner, shards)
+            self.splits += 1
+            self._publish_admin_metrics("service.splits")
+            return split_key
+
+    def merge_shards(self, left_id: int) -> None:
+        """Merge range shards ``left_id`` and ``left_id + 1`` into one.
+
+        Same discipline as :meth:`split_shard`: both shards are
+        write-frozen, the merged replacement is built aside, and one
+        table swap publishes it; a fault before the swap changes
+        nothing.
+        """
+        with self._admin_lock:
+            table = self._table
+            self._check_shard_id(table, left_id)
+            # Validates adjacency and raises on hash partitions.
+            new_partitioner = table.partitioner.merge(left_id)
+            left, right = table.shards[left_id], table.shards[left_id + 1]
+            with left.write_gate, left._guard(), right.write_gate, right._guard():
+                fault_point("service.merge.collect")
+                pairs = left.items() + right.items()
+                fault_point("service.merge.build")
+                merged = Shard(
+                    left_id,
+                    self._index_factory(pairs),
+                    thread_safe=left.thread_safe,
+                )
+                fault_point("service.merge.swap")
+                shards = (
+                    table.shards[:left_id]
+                    + (merged,)
+                    + table.shards[left_id + 2 :]
+                )
+                self._install(new_partitioner, shards)
+            self.merges += 1
+            self._publish_admin_metrics("service.merges")
+
+    def _install(self, partitioner: Partitioner, shards: Tuple[Shard, ...]) -> None:
+        for position, shard in enumerate(shards):
+            shard.shard_id = position
+        self._table = _RoutingTable(partitioner, shards)
+        self._register_shards()
+
+    @staticmethod
+    def _check_shard_id(table: _RoutingTable, shard_id: int) -> None:
+        if not 0 <= shard_id < len(table.shards):
+            raise PartitionError(
+                f"shard id {shard_id} outside [0, {len(table.shards)})"
+            )
+
+    @staticmethod
+    def _median_key(pairs: List[Pair]) -> Key:
+        """The first key of the upper half — a valid right-shard start."""
+        if len(pairs) < 2:
+            raise PartitionError("cannot split a shard with fewer than two keys")
+        candidate = pairs[len(pairs) // 2][0]
+        if candidate == pairs[0][0]:  # pragma: no cover - duplicate guard
+            raise PartitionError("no interior split key exists")
+        return candidate
+
+    # ------------------------------------------------------------------
+    # Budget arbitration
+    # ------------------------------------------------------------------
+    def _register_shards(self) -> None:
+        self.arbiter.clear()
+        for shard in self._table.shards:
+            self.arbiter.register(f"shard-{shard.shard_id}", shard.index)
+        self.arbiter.rebalance()
+
+    # ------------------------------------------------------------------
+    # Introspection and metrics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(shard.num_keys for shard in self._table.shards)
+
+    def imbalance(self) -> float:
+        """Largest shard's key count over the mean (1.0 = balanced)."""
+        counts = [shard.num_keys for shard in self._table.shards]
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 0.0
+        return max(counts) / mean
+
+    def counter_snapshots(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard structural counter events (for the cost model)."""
+        return {
+            shard.shard_id: shard.counter_snapshot()
+            for shard in self._table.shards
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """One JSON-safe summary of the whole service."""
+        table = self._table
+        return {
+            "partitioner": table.partitioner.describe(),
+            "num_shards": len(table.shards),
+            "num_keys": len(self),
+            "size_bytes": sum(shard.size_bytes() for shard in table.shards),
+            "imbalance": round(self.imbalance(), 4),
+            "splits": self.splits,
+            "merges": self.merges,
+            "queue_depth": self.queue_depth,
+            "budget": self.arbiter.describe(),
+            "shards": [shard.stats() for shard in table.shards],
+        }
+
+    def verify(self) -> None:
+        """Verify every shard and the routing discipline itself.
+
+        Each shard's structural self-verification runs, and every key is
+        checked to live on the shard the partitioner routes it to.
+        """
+        table = self._table
+        for shard in table.shards:
+            shard.verify()
+            for key, _ in shard.items():
+                routed = table.partitioner.shard_of(key)
+                if routed != shard.shard_id:
+                    from repro.core.invariants import InvariantViolation
+
+                    raise InvariantViolation(
+                        f"key {key!r} lives on shard {shard.shard_id} but "
+                        f"routes to shard {routed}"
+                    )
+
+    def _count_ops(self, kind: str, amount: int) -> None:
+        registry = active_registry()
+        if registry is None:
+            return
+        registry.counter(f"service.ops.{kind}").inc(amount)
+        registry.gauge("service.shards").set(self.num_shards)
+        registry.gauge("service.imbalance").set(self.imbalance())
+
+    def _publish_admin_metrics(self, counter_name: str) -> None:
+        registry = active_registry()
+        if registry is None:
+            return
+        registry.counter(counter_name).inc()
+        registry.gauge("service.shards").set(self.num_shards)
+        registry.gauge("service.imbalance").set(self.imbalance())

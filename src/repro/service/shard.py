@@ -1,0 +1,194 @@
+"""One service shard: an index family instance plus its access discipline.
+
+A :class:`Shard` wraps any existing family behind a uniform
+get/put/scan surface and enforces the right synchronization for it:
+
+* the OLC B+-tree synchronizes itself (versioned locks, validated
+  reads), so its shard carries **no operation lock** — readers run
+  truly concurrently and only the router-level ``write_gate`` orders
+  writers against online split/merge;
+* every other family is single-threaded by construction (adaptive
+  lookups may migrate encodings!), so both reads and writes serialize
+  on the shard's re-entrant operation lock.
+
+The ``write_gate`` exists on every shard, thread-safe or not: the
+router acquires it around each write batch, and split/merge holds it
+(plus the operation lock, when present) for the duration of a
+build-aside+swap — which is how a rebalance can promise zero lost keys
+without stopping reads on OLC shards.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from typing import Any, ContextManager, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.partition import Key
+
+Pair = Tuple[Key, int]
+
+#: Smallest conceivable integer key, used to seed full-content scans on
+#: families without an ``items()`` iterator (the dual-stage baseline).
+_INT_KEY_FLOOR = -(2**63)
+
+
+class Shard:
+    """One partition of the key space served by one index instance."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        index: Any,
+        thread_safe: bool = False,
+    ) -> None:
+        self.shard_id = shard_id
+        self.index = index
+        self.thread_safe = thread_safe
+        #: Serializes every operation on non-thread-safe families.
+        self.op_lock: Optional[threading.RLock] = (
+            None if thread_safe else threading.RLock()
+        )
+        #: Orders write batches against online split/merge (all families).
+        self.write_gate = threading.RLock()
+        self.ops = 0
+
+    # ------------------------------------------------------------------
+    # Locking helpers
+    # ------------------------------------------------------------------
+    def _guard(self) -> ContextManager[Any]:
+        return self.op_lock if self.op_lock is not None else nullcontext()
+
+    # ------------------------------------------------------------------
+    # Point and batched reads
+    # ------------------------------------------------------------------
+    def get(self, key: Key) -> Optional[int]:
+        """The value under ``key``, or None."""
+        with self._guard():
+            self.ops += 1
+            return self.index.lookup(key)
+
+    def get_many(self, keys: Sequence[Key]) -> List[Optional[int]]:
+        """Values aligned with ``keys`` (None for misses).
+
+        Thread-safe shards answer through per-key OLC-validated lookups
+        (safe against concurrent writers); locked shards sort the batch
+        once and take the family's ``lookup_many`` fast path.
+        """
+        if not keys:
+            return []
+        if self.thread_safe:
+            lookup = self.index.lookup
+            self.ops += len(keys)
+            return [lookup(key) for key in keys]
+        with self._guard():
+            self.ops += len(keys)
+            lookup_many = getattr(self.index, "lookup_many", None)
+            if lookup_many is None:
+                lookup = self.index.lookup
+                return [lookup(key) for key in keys]
+            order = sorted(range(len(keys)), key=lambda position: keys[position])
+            sorted_values = lookup_many([keys[position] for position in order])
+            values: List[Optional[int]] = [None] * len(keys)
+            for rank, position in enumerate(order):
+                values[position] = sorted_values[rank]
+            return values
+
+    def scan(self, start_key: Key, count: int) -> List[Pair]:
+        """Up to ``count`` ordered pairs starting at ``start_key``."""
+        with self._guard():
+            self.ops += 1
+            return list(self.index.scan(start_key, count))
+
+    # ------------------------------------------------------------------
+    # Writes (caller holds ``write_gate``)
+    # ------------------------------------------------------------------
+    @property
+    def supports_writes(self) -> bool:
+        """False for build-once families (the HybridTrie has no insert)."""
+        return hasattr(self.index, "insert")
+
+    def put(self, key: Key, value: int) -> None:
+        """Upsert one pair."""
+        with self._guard():
+            self.ops += 1
+            self.index.insert(key, value)
+
+    def put_many(self, pairs: Sequence[Pair]) -> None:
+        """Upsert a batch, through the family's ``insert_many`` if any."""
+        if not pairs:
+            return
+        with self._guard():
+            self.ops += len(pairs)
+            insert_many = getattr(self.index, "insert_many", None)
+            if insert_many is not None:
+                insert_many(list(pairs))
+                return
+            insert = self.index.insert
+            for key, value in pairs:
+                insert(key, value)
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; False when it was absent."""
+        with self._guard():
+            self.ops += 1
+            return bool(self.index.delete(key))
+
+    # ------------------------------------------------------------------
+    # Snapshots and introspection
+    # ------------------------------------------------------------------
+    def items(self) -> List[Pair]:
+        """All pairs currently in the shard, sorted by key.
+
+        Used by split/merge to build replacement shards aside; callers
+        must hold ``write_gate`` (and the operation lock is taken here)
+        so the snapshot is consistent.
+        """
+        with self._guard():
+            items_iter = getattr(self.index, "items", None)
+            if items_iter is not None:
+                return sorted(items_iter())
+            return sorted(self.index.scan(_INT_KEY_FLOOR, self.num_keys))
+
+    @property
+    def num_keys(self) -> int:
+        """Number of keys currently in the shard."""
+        keys = getattr(self.index, "num_keys", None)
+        if keys is not None:
+            return int(keys)
+        return len(self.index)
+
+    def size_bytes(self) -> int:
+        """Modeled bytes of the shard's index."""
+        return int(self.index.size_bytes())
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        """The index's structural counter events (for the cost model)."""
+        return dict(self.index.counters.snapshot())
+
+    def stats(self) -> Dict[str, Any]:
+        """One JSON-safe summary of this shard."""
+        manager = getattr(self.index, "manager", None)
+        return {
+            "shard_id": self.shard_id,
+            "family": getattr(self.index, "stats_family", type(self.index).__name__),
+            "thread_safe": self.thread_safe,
+            "num_keys": self.num_keys,
+            "size_bytes": self.size_bytes(),
+            "ops": self.ops,
+            "adaptation_phases": (
+                manager.counters.adaptation_phases if manager is not None else 0
+            ),
+            "migrations": (
+                manager.counters.expansions + manager.counters.compactions
+                if manager is not None
+                else 0
+            ),
+        }
+
+    def verify(self) -> None:
+        """Run the family's structural self-verification, if it has one."""
+        verify = getattr(self.index, "verify", None)
+        if verify is not None:
+            with self._guard():
+                verify()

@@ -3,7 +3,6 @@
 import random
 
 import numpy as np
-import pytest
 
 from repro.bptree.hybrid import BTREE_ENCODING_ORDER, AdaptiveBPlusTree
 from repro.bptree.leaves import LeafEncoding

@@ -5,7 +5,6 @@ only assert that each function executes and that its headline *shape*
 claim holds even at toy scale.
 """
 
-import pytest
 
 from repro.harness import experiments as exp
 

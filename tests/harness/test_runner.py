@@ -1,6 +1,5 @@
 """Tests for the workload runner and adapters."""
 
-import numpy as np
 
 from repro.bptree.hybrid import AdaptiveBPlusTree
 from repro.bptree.leaves import LeafEncoding

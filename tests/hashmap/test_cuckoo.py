@@ -1,6 +1,5 @@
 """Tests for the concurrent cuckoo hash map."""
 
-import random
 import threading
 
 import pytest

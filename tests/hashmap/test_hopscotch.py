@@ -1,6 +1,5 @@
 """Tests for the hopscotch hash map."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -1,7 +1,6 @@
 """Cross-module integration tests: full adaptation loops at small scale."""
 
 import numpy as np
-import pytest
 
 from repro.bptree.hybrid import BTREE_ENCODING_ORDER, AdaptiveBPlusTree
 from repro.bptree.leaves import LeafEncoding

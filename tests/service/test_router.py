@@ -1,0 +1,243 @@
+"""ShardRouter: batched routing, cross-shard scans, metrics, budgets."""
+
+import random
+
+import pytest
+
+from repro.core.budget import MemoryBudget
+from repro.obs import MetricsRegistry, Telemetry
+from repro.service.partition import PartitionError
+from repro.service.router import FAMILY_FACTORIES, ReadOnlyShardError, ShardRouter
+
+FAMILIES = ("olc", "adaptive", "dualstage")
+PARTITIONINGS = ("hash", "range")
+
+
+def int_pairs(count=2000, step=3):
+    return [(key * step, key * step + 1) for key in range(count)]
+
+
+def byte_pairs(count=400, seed=7):
+    rng = random.Random(seed)
+    words = set()
+    while len(words) < count:
+        words.add(bytes(rng.randrange(97, 123) for _ in range(rng.randrange(3, 9))))
+    return [(word + b"\x00", rank) for rank, word in enumerate(sorted(words))]
+
+
+@pytest.fixture(params=PARTITIONINGS)
+def partitioning(request):
+    return request.param
+
+
+class TestBuild:
+    def test_unknown_family_and_partitioning_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRouter.build(int_pairs(10), family="btree9000")
+        with pytest.raises(ValueError):
+            ShardRouter.build(int_pairs(10), partitioning="modulo")
+
+    def test_shard_count_must_match_partitioner(self):
+        from repro.service.partition import HashPartitioner
+        from repro.service.shard import Shard
+
+        factory = FAMILY_FACTORIES["olc"]
+        with pytest.raises(PartitionError):
+            ShardRouter([Shard(0, factory([]))], HashPartitioner(2), factory)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_all_keys_loaded_and_routable(self, family, partitioning):
+        pairs = int_pairs(1200)
+        with ShardRouter.build(
+            pairs, family=family, num_shards=4, partitioning=partitioning
+        ) as router:
+            assert len(router) == len(pairs)
+            assert router.num_shards == 4
+            router.verify()
+
+
+class TestPointAndBatchedOps:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_get_many_alignment_hits_and_misses(self, family, partitioning):
+        pairs = int_pairs(1500)
+        with ShardRouter.build(
+            pairs, family=family, num_shards=4, partitioning=partitioning
+        ) as router:
+            rng = random.Random(42)
+            expected = dict(pairs)
+            probes = [rng.randrange(0, 1500 * 3 + 10) for _ in range(600)]
+            values = router.get_many(probes)
+            assert values == [expected.get(key) for key in probes]
+
+    def test_get_many_empty_batch(self, partitioning):
+        with ShardRouter.build(
+            int_pairs(100), num_shards=2, partitioning=partitioning
+        ) as router:
+            assert router.get_many([]) == []
+            assert router.scan(0, 0) == []
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_put_many_then_read_back(self, family, partitioning):
+        pairs = int_pairs(800)
+        with ShardRouter.build(
+            pairs, family=family, num_shards=3, partitioning=partitioning
+        ) as router:
+            fresh = [(10**7 + key, key) for key in range(250)]
+            overwrite = [(key, 999) for key, _ in pairs[:50]]
+            router.put_many(fresh + overwrite)
+            assert router.get_many([key for key, _ in fresh]) == [
+                value for _, value in fresh
+            ]
+            assert router.get_many([key for key, _ in overwrite]) == [999] * 50
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_put_get_delete_single_key(self, family, partitioning):
+        with ShardRouter.build(
+            int_pairs(300), family=family, num_shards=2, partitioning=partitioning
+        ) as router:
+            router.put(-77, 123)
+            assert router.get(-77) == 123
+            assert router.delete(-77) is True
+            assert router.get(-77) is None
+            assert router.delete(-77) is False
+
+    def test_inline_mode_without_executor(self):
+        with ShardRouter.build(
+            int_pairs(200), num_shards=4, partitioning="hash", max_workers=0
+        ) as router:
+            keys = [key for key, _ in int_pairs(200)]
+            assert router.get_many(keys) == [value for _, value in int_pairs(200)]
+            assert router.queue_depth == 0
+
+
+class TestCrossShardScan:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_scan_merges_in_key_order(self, family, partitioning):
+        pairs = int_pairs(1000)
+        with ShardRouter.build(
+            pairs, family=family, num_shards=4, partitioning=partitioning
+        ) as router:
+            # Spans every shard boundary regardless of the partitioning.
+            result = router.scan(pairs[100][0], 700)
+            assert result == pairs[100:800]
+
+    def test_scan_from_before_and_past_the_keyspace(self, partitioning):
+        pairs = int_pairs(300)
+        with ShardRouter.build(
+            pairs, num_shards=3, partitioning=partitioning
+        ) as router:
+            assert router.scan(-(10**9), 50) == pairs[:50]
+            assert router.scan(pairs[-1][0] + 1, 50) == []
+            assert router.scan(0, 10**6) == pairs
+
+    def test_scan_count_is_exact_at_shard_boundaries(self):
+        pairs = int_pairs(400)
+        with ShardRouter.build(pairs, num_shards=4, partitioning="range") as router:
+            boundaries = router.table.partitioner.boundaries
+            for boundary in boundaries:
+                result = router.scan(boundary - 1, 5)
+                expected_start = next(
+                    position for position, (key, _) in enumerate(pairs)
+                    if key >= boundary - 1
+                )
+                assert result == pairs[expected_start : expected_start + 5]
+
+    def test_byte_key_scan_on_trie_shards(self, partitioning):
+        pairs = byte_pairs(300)
+        with ShardRouter.build(
+            pairs, family="hybridtrie", num_shards=3, partitioning=partitioning
+        ) as router:
+            assert router.scan(pairs[0][0], 120) == pairs[:120]
+            assert router.get_many([key for key, _ in pairs[::5]]) == [
+                value for _, value in pairs[::5]
+            ]
+
+
+class TestReadOnlyFamilies:
+    def test_trie_shards_reject_writes(self):
+        pairs = byte_pairs(120)
+        with ShardRouter.build(
+            pairs, family="hybridtrie", num_shards=2, partitioning="range"
+        ) as router:
+            with pytest.raises(ReadOnlyShardError):
+                router.put(b"zzz\x00", 1)
+            with pytest.raises(ReadOnlyShardError):
+                router.put_many([(b"zzz\x00", 1)])
+            with pytest.raises(ReadOnlyShardError):
+                router.delete(pairs[0][0])
+
+
+class TestBudgetIntegration:
+    def test_global_budget_reaches_shard_managers(self):
+        pairs = int_pairs(2000)
+        with ShardRouter.build(
+            pairs,
+            family="adaptive",
+            num_shards=4,
+            partitioning="range",
+            budget=MemoryBudget.absolute(8_000_000),
+        ) as router:
+            budgets = [
+                shard.index.manager.config.budget for shard in router.table.shards
+            ]
+            assert all(budget.bounded for budget in budgets)
+            total = sum(budget.absolute_bytes for budget in budgets)
+            assert total <= 8_000_000
+            assert router.arbiter.num_members == 4
+
+    def test_rebalance_follows_split(self):
+        pairs = int_pairs(1000)
+        with ShardRouter.build(
+            pairs,
+            family="adaptive",
+            num_shards=2,
+            partitioning="range",
+            budget=MemoryBudget.absolute(4_000_000),
+        ) as router:
+            router.split_shard(0)
+            assert router.arbiter.num_members == 3
+            budgets = [
+                shard.index.manager.config.budget for shard in router.table.shards
+            ]
+            assert all(budget.bounded for budget in budgets)
+
+
+class TestStatsAndMetrics:
+    def test_stats_shape_is_json_safe(self):
+        import json
+
+        pairs = int_pairs(500)
+        with ShardRouter.build(pairs, num_shards=4, partitioning="range") as router:
+            router.get_many([key for key, _ in pairs[:100]])
+            stats = router.stats()
+            json.dumps(stats)
+            assert stats["num_shards"] == 4
+            assert stats["num_keys"] == 500
+            assert len(stats["shards"]) == 4
+            assert stats["imbalance"] >= 1.0
+            assert stats["budget"]["members"] == 4
+
+    def test_service_metrics_published_under_telemetry(self):
+        pairs = int_pairs(600)
+        with ShardRouter.build(pairs, num_shards=3, partitioning="range") as router:
+            with Telemetry(registry=MetricsRegistry()) as telemetry:
+                router.get_many([key for key, _ in pairs[:200]])
+                router.put_many([(10**8 + key, key) for key in range(50)])
+                router.scan(0, 30)
+                router.split_shard(0)
+                router.merge_shards(0)
+            snapshot = telemetry.registry.snapshot()
+            assert snapshot["counters"]["service.ops.read"] == 200
+            assert snapshot["counters"]["service.ops.write"] == 50
+            assert snapshot["counters"]["service.ops.scan"] == 1
+            assert snapshot["counters"]["service.splits"] == 1
+            assert snapshot["counters"]["service.merges"] == 1
+            assert snapshot["gauges"]["service.shards"] == 3
+
+    def test_imbalance_reflects_skewed_shards(self):
+        pairs = int_pairs(900)
+        with ShardRouter.build(pairs, num_shards=3, partitioning="range") as router:
+            balanced = router.imbalance()
+            assert balanced == pytest.approx(1.0, abs=0.1)
+            router.put_many([(10**9 + key, key) for key in range(900)])
+            assert router.imbalance() > balanced

@@ -1,0 +1,211 @@
+"""Online shard split/merge: build-aside+swap, faults, concurrency."""
+
+import random
+import threading
+
+import pytest
+
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.service.partition import PartitionError
+from repro.service.router import ShardRouter
+
+SPLIT_SITES = ("service.split.collect", "service.split.build", "service.split.swap")
+MERGE_SITES = ("service.merge.collect", "service.merge.build", "service.merge.swap")
+
+
+def int_pairs(count=1500):
+    return [(key * 2, key) for key in range(count)]
+
+
+def contents(router):
+    return router.scan(-(10**12), 10**6)
+
+
+class TestSplit:
+    @pytest.mark.parametrize("family", ("olc", "adaptive", "dualstage"))
+    def test_split_preserves_contents(self, family):
+        pairs = int_pairs()
+        with ShardRouter.build(
+            pairs, family=family, num_shards=2, partitioning="range"
+        ) as router:
+            split_key = router.split_shard(1)
+            assert router.num_shards == 3
+            assert router.splits == 1
+            assert contents(router) == pairs
+            router.verify()
+            # The new boundary routes the split key to the right-hand shard.
+            assert router.table.partitioner.shard_of(split_key) == 2
+
+    def test_split_at_explicit_key(self):
+        pairs = int_pairs(400)
+        with ShardRouter.build(pairs, num_shards=1, partitioning="range") as router:
+            router.split_shard(0, at_key=100)
+            low, high = router.table.partitioner.shard_range(0)
+            assert (low, high) == (None, 100)
+            left, right = router.table.shards
+            assert left.num_keys == 50  # keys 0, 2, ..., 98
+            assert right.num_keys == len(pairs) - 50
+            assert contents(router) == pairs
+
+    def test_split_rejects_hash_partitioning(self):
+        with ShardRouter.build(
+            int_pairs(200), num_shards=2, partitioning="hash"
+        ) as router:
+            with pytest.raises(PartitionError):
+                router.split_shard(0)
+
+    def test_split_rejects_bad_ids_and_tiny_shards(self):
+        with ShardRouter.build(
+            int_pairs(100), num_shards=1, partitioning="range"
+        ) as router:
+            with pytest.raises(PartitionError):
+                router.split_shard(5)
+            router.put(10**9, 1)  # shard 0 now splittable; make a 1-key shard
+            router.split_shard(0, at_key=10**9)
+            with pytest.raises(PartitionError):
+                router.split_shard(1)  # single-key shard has no interior
+
+
+class TestMerge:
+    @pytest.mark.parametrize("family", ("olc", "adaptive", "dualstage"))
+    def test_merge_preserves_contents(self, family):
+        pairs = int_pairs()
+        with ShardRouter.build(
+            pairs, family=family, num_shards=4, partitioning="range"
+        ) as router:
+            router.merge_shards(1)
+            assert router.num_shards == 3
+            assert router.merges == 1
+            assert contents(router) == pairs
+            router.verify()
+
+    def test_split_then_merge_round_trips(self):
+        pairs = int_pairs(800)
+        with ShardRouter.build(pairs, num_shards=2, partitioning="range") as router:
+            before = router.table.partitioner.boundaries
+            key = router.split_shard(0)
+            assert router.table.partitioner.boundaries.count(key) == 1
+            router.merge_shards(0)
+            assert router.table.partitioner.boundaries == before
+            assert contents(router) == pairs
+
+    def test_merge_rejects_last_shard(self):
+        with ShardRouter.build(
+            int_pairs(100), num_shards=2, partitioning="range"
+        ) as router:
+            with pytest.raises(PartitionError):
+                router.merge_shards(1)
+
+
+class TestFaultInjectedSplitMerge:
+    @pytest.mark.parametrize("site", SPLIT_SITES)
+    def test_fault_during_split_loses_nothing(self, site):
+        pairs = int_pairs(600)
+        with ShardRouter.build(pairs, num_shards=2, partitioning="range") as router:
+            with FaultInjector(site=site, fail_at=1) as injector:
+                with pytest.raises(InjectedFault):
+                    router.split_shard(0)
+                assert injector.failures_injected == 1
+            assert router.num_shards == 2
+            assert router.splits == 0
+            assert contents(router) == pairs
+            router.verify()
+            # The service still accepts traffic and can split afterwards.
+            router.split_shard(0)
+            assert contents(router) == pairs
+
+    @pytest.mark.parametrize("site", MERGE_SITES)
+    def test_fault_during_merge_loses_nothing(self, site):
+        pairs = int_pairs(600)
+        with ShardRouter.build(pairs, num_shards=3, partitioning="range") as router:
+            with FaultInjector(site=site, fail_at=1):
+                with pytest.raises(InjectedFault):
+                    router.merge_shards(0)
+            assert router.num_shards == 3
+            assert router.merges == 0
+            assert contents(router) == pairs
+            router.verify()
+
+    def test_randomized_campaign_zero_lost_keys(self):
+        rng = random.Random(0xC0FFEE)
+        pairs = int_pairs(500)
+        expected = dict(pairs)
+        with ShardRouter.build(pairs, num_shards=2, partitioning="range") as router:
+            with FaultInjector(site="service.*", rate=0.4, seed=99) as injector:
+                for round_number in range(30):
+                    try:
+                        if rng.random() < 0.5 and router.num_shards > 1:
+                            router.merge_shards(rng.randrange(router.num_shards - 1))
+                        else:
+                            router.split_shard(rng.randrange(router.num_shards))
+                    except (InjectedFault, PartitionError):
+                        pass
+                    key = rng.randrange(0, 1000) * 2
+                    assert router.get(key) == expected.get(key)
+            assert injector.failures_injected > 0
+        assert sorted(expected.items()) == contents(router)
+
+
+class TestConcurrentReadersDuringSplit:
+    @pytest.mark.parametrize("family", ("olc", "adaptive"))
+    def test_readers_never_miss_during_split_merge(self, family):
+        pairs = int_pairs(1200)
+        expected = dict(pairs)
+        router = ShardRouter.build(
+            pairs, family=family, num_shards=2, partitioning="range"
+        )
+        stop = threading.Event()
+        failures = []
+
+        def reader(seed):
+            rng = random.Random(seed)
+            while not stop.is_set():
+                keys = [rng.randrange(0, 1200) * 2 for _ in range(64)]
+                values = router.get_many(keys)
+                for key, value in zip(keys, values):
+                    if value != expected[key]:
+                        failures.append((key, value))
+                        return
+
+        threads = [threading.Thread(target=reader, args=(seed,)) for seed in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(5):
+                router.split_shard(router.num_shards // 2)
+            for _ in range(5):
+                router.merge_shards(0)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            router.close()
+        assert not failures
+        assert contents(router) == pairs
+
+    def test_writers_blocked_during_split_land_afterwards(self):
+        pairs = int_pairs(600)
+        router = ShardRouter.build(pairs, num_shards=2, partitioning="range")
+        done = threading.Event()
+        written = []
+
+        def writer():
+            for position in range(200):
+                key = 10**9 + position
+                router.put(key, position)
+                written.append(key)
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            while not done.is_set():
+                router.split_shard(router.num_shards - 1)
+                if router.num_shards > 6:
+                    router.merge_shards(router.num_shards - 2)
+        finally:
+            thread.join()
+            router.close()
+        values = router.get_many(written)
+        assert values == list(range(200))
+        router.verify()

@@ -36,6 +36,7 @@ class TestSubpackageExports:
             "repro.harness",
             "repro.hashmap",
             "repro.obs",
+            "repro.service",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

@@ -17,7 +17,6 @@ from repro.workloads.spec import (
     w12,
     w13,
     w51,
-    w52,
     w61,
     w62,
 )
