@@ -88,7 +88,14 @@ def experiment_service_bench(
             wall_mops = num_lookups / wall_seconds / 1e6
             modeled_mops = num_lookups / lookup_ns * 1000.0 if lookup_ns else 0.0
             if baseline_modeled is None:
-                baseline_modeled = modeled_mops or 1.0
+                if modeled_mops <= 0.0:
+                    raise RuntimeError(
+                        f"service bench baseline ({num_shards} shard(s), "
+                        f"family={family!r}) priced zero counter events; "
+                        "modeled speedups would be meaningless — the family "
+                        "must publish structural counters"
+                    )
+                baseline_modeled = modeled_mops
             rows.append(
                 (
                     num_shards,

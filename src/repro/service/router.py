@@ -17,7 +17,11 @@ the new layout.  Every step crosses a :func:`~repro.faults.injector
 .fault_point` (``service.split.*`` / ``service.merge.*``), and a fault
 anywhere before the swap leaves the old table serving — zero lost keys
 by construction, which the fault campaign in
-``benchmarks/bench_service.py`` replays at scale.
+``benchmarks/bench_service.py`` replays at scale.  Writers that block
+on a shard's ``write_gate`` while a split/merge holds it revalidate
+their route once the gate is acquired: the table may have been swapped
+while they waited, and writing into the now-orphaned shard would lose
+the pair, so re-routed pairs are retried against the fresh table.
 
 One global :class:`~repro.core.budget.BudgetArbiter` divides the
 service-wide memory budget across the per-shard adaptation managers and
@@ -263,11 +267,18 @@ class ShardRouter:
             with self._inflight_lock:
                 self._inflight -= len(tasks)
 
+    @staticmethod
     def _group_positions(
-        self, keys: Sequence[Key]
+        table: _RoutingTable, keys: Sequence[Key]
     ) -> Dict[int, List[int]]:
-        """Input positions grouped by the shard id serving each key."""
-        shard_of = self._table.partitioner.shard_of
+        """Input positions grouped by the shard position serving each key.
+
+        Grouping always runs against an explicit ``table`` snapshot so
+        that the caller indexes ``table.shards`` with positions computed
+        by the *same* partitioner — re-reading ``self._table`` here
+        would tear the snapshot under a concurrent split/merge.
+        """
+        shard_of = table.partitioner.shard_of
         groups: Dict[int, List[int]] = {}
         for position, key in enumerate(keys):
             groups.setdefault(shard_of(key), []).append(position)
@@ -286,7 +297,7 @@ class ShardRouter:
         if not keys:
             return []
         table = self._table
-        groups = self._group_positions(keys)
+        groups = self._group_positions(table, keys)
         results: List[Optional[int]] = [None] * len(keys)
 
         def reader(shard: Shard, positions: List[int]) -> Callable[[], None]:
@@ -345,10 +356,7 @@ class ShardRouter:
     # ------------------------------------------------------------------
     def put(self, key: Key, value: int) -> None:
         """Upsert one pair."""
-        shard = self.shard_for(key)
-        self._check_writable(shard)
-        with shard.write_gate:
-            shard.put(key, value)
+        self._write_group(self.shard_for(key), [(key, value)])
         self._count_ops("write", 1)
 
     def put_many(self, pairs: Sequence[Pair]) -> None:
@@ -357,14 +365,13 @@ class ShardRouter:
         if not pairs:
             return
         table = self._table
-        groups = self._group_positions([key for key, _ in pairs])
+        groups = self._group_positions(table, [key for key, _ in pairs])
 
         def writer(shard: Shard, positions: List[int]) -> Callable[[], None]:
-            self._check_writable(shard)
-
             def run() -> None:
-                with shard.write_gate:
-                    shard.put_many([pairs[position] for position in positions])
+                self._write_group(
+                    shard, [pairs[position] for position in positions]
+                )
 
             return run
 
@@ -376,12 +383,60 @@ class ShardRouter:
         )
         self._count_ops("write", len(pairs))
 
+    def _write_group(self, shard: Shard, group: List[Pair]) -> None:
+        """Write ``group`` through ``shard``'s write gate, revalidating
+        the route once the gate is held.
+
+        ``shard`` is where a routing snapshot sent these pairs, but a
+        concurrent split/merge holds the gate for its whole
+        build-aside+swap — a writer that blocked on the gate may wake up
+        *after* the table swap, when ``shard`` is an orphaned index no
+        table routes to any more.  Writing there would silently lose the
+        pairs.  So after acquiring the gate the current table is
+        re-read: pairs it still routes to ``shard`` land here, and the
+        rest are regrouped against the fresh table and retried.
+        """
+        worklist: List[Tuple[Shard, List[Pair]]] = [(shard, group)]
+        while worklist:
+            shard, group = worklist.pop()
+            self._check_writable(shard)
+            moved: List[Pair] = []
+            with shard.write_gate:
+                current = self._table
+                shard_of = current.partitioner.shard_of
+                still: List[Pair] = []
+                for pair in group:
+                    if current.shards[shard_of(pair[0])] is shard:
+                        still.append(pair)
+                    else:
+                        moved.append(pair)
+                if still:
+                    shard.put_many(still)
+            if moved:
+                # The swap may have scattered the group across several
+                # new shards; retries are rare and small, so re-fan-out
+                # serially on this thread.
+                table = self._table
+                regrouped = self._group_positions(
+                    table, [key for key, _ in moved]
+                )
+                for position, indexes in regrouped.items():
+                    worklist.append(
+                        (table.shards[position], [moved[i] for i in indexes])
+                    )
+
     def delete(self, key: Key) -> bool:
         """Remove ``key``; False when it was absent."""
-        shard = self.shard_for(key)
-        self._check_writable(shard)
-        with shard.write_gate:
-            removed = shard.delete(key)
+        while True:
+            shard = self.shard_for(key)
+            self._check_writable(shard)
+            with shard.write_gate:
+                # Same revalidation as _write_group: a split/merge may
+                # have swapped the table while we waited on the gate.
+                current = self._table
+                if current.shards[current.partitioner.shard_of(key)] is shard:
+                    removed = shard.delete(key)
+                    break
         self._count_ops("write", 1)
         return removed
 
@@ -389,7 +444,7 @@ class ShardRouter:
     def _check_writable(shard: Shard) -> None:
         if not shard.supports_writes:
             raise ReadOnlyShardError(
-                f"shard {shard.shard_id} wraps a read-only family "
+                f"shard wraps a read-only family "
                 f"({type(shard.index).__name__})"
             )
 
@@ -473,8 +528,10 @@ class ShardRouter:
             self._publish_admin_metrics("service.merges")
 
     def _install(self, partitioner: Partitioner, shards: Tuple[Shard, ...]) -> None:
-        for position, shard in enumerate(shards):
-            shard.shard_id = position
+        # Never mutate shard objects here: they are shared with the
+        # still-published old table, so renumbering them in place would
+        # let concurrent stats()/arbiter readers observe torn ids.
+        # Routing positions are derived from the table index instead.
         self._table = _RoutingTable(partitioner, shards)
         self._register_shards()
 
@@ -500,8 +557,8 @@ class ShardRouter:
     # ------------------------------------------------------------------
     def _register_shards(self) -> None:
         self.arbiter.clear()
-        for shard in self._table.shards:
-            self.arbiter.register(f"shard-{shard.shard_id}", shard.index)
+        for position, shard in enumerate(self._table.shards):
+            self.arbiter.register(f"shard-{position}", shard.index)
         self.arbiter.rebalance()
 
     # ------------------------------------------------------------------
@@ -519,10 +576,11 @@ class ShardRouter:
         return max(counts) / mean
 
     def counter_snapshots(self) -> Dict[int, Dict[str, int]]:
-        """Per-shard structural counter events (for the cost model)."""
+        """Per-shard structural counter events (for the cost model),
+        keyed by the shard's position in the current routing table."""
         return {
-            shard.shard_id: shard.counter_snapshot()
-            for shard in self._table.shards
+            position: shard.counter_snapshot()
+            for position, shard in enumerate(self._table.shards)
         }
 
     def stats(self) -> Dict[str, Any]:
@@ -538,7 +596,10 @@ class ShardRouter:
             "merges": self.merges,
             "queue_depth": self.queue_depth,
             "budget": self.arbiter.describe(),
-            "shards": [shard.stats() for shard in table.shards],
+            "shards": [
+                {**shard.stats(), "shard_id": position}
+                for position, shard in enumerate(table.shards)
+            ],
         }
 
     def verify(self) -> None:
@@ -548,15 +609,15 @@ class ShardRouter:
         checked to live on the shard the partitioner routes it to.
         """
         table = self._table
-        for shard in table.shards:
+        for position, shard in enumerate(table.shards):
             shard.verify()
             for key, _ in shard.items():
                 routed = table.partitioner.shard_of(key)
-                if routed != shard.shard_id:
+                if routed != position:
                     from repro.core.invariants import InvariantViolation
 
                     raise InvariantViolation(
-                        f"key {key!r} lives on shard {shard.shard_id} but "
+                        f"key {key!r} lives on shard {position} but "
                         f"routes to shard {routed}"
                     )
 

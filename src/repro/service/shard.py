@@ -42,6 +42,9 @@ class Shard:
         index: Any,
         thread_safe: bool = False,
     ) -> None:
+        #: The position this shard was built for.  Purely informational:
+        #: the router derives routing positions from the table index, so
+        #: a shard's constructed id may go stale after splits/merges.
         self.shard_id = shard_id
         self.index = index
         self.thread_safe = thread_safe
@@ -52,6 +55,9 @@ class Shard:
         #: Orders write batches against online split/merge (all families).
         self.write_gate = threading.RLock()
         self.ops = 0
+        #: Guards ``ops``: thread-safe shards serve reads with no other
+        #: lock held, so unsynchronized increments would lose counts.
+        self._ops_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Locking helpers
@@ -59,13 +65,17 @@ class Shard:
     def _guard(self) -> ContextManager[Any]:
         return self.op_lock if self.op_lock is not None else nullcontext()
 
+    def _note_ops(self, amount: int) -> None:
+        with self._ops_lock:
+            self.ops += amount
+
     # ------------------------------------------------------------------
     # Point and batched reads
     # ------------------------------------------------------------------
     def get(self, key: Key) -> Optional[int]:
         """The value under ``key``, or None."""
         with self._guard():
-            self.ops += 1
+            self._note_ops(1)
             return self.index.lookup(key)
 
     def get_many(self, keys: Sequence[Key]) -> List[Optional[int]]:
@@ -79,10 +89,10 @@ class Shard:
             return []
         if self.thread_safe:
             lookup = self.index.lookup
-            self.ops += len(keys)
+            self._note_ops(len(keys))
             return [lookup(key) for key in keys]
         with self._guard():
-            self.ops += len(keys)
+            self._note_ops(len(keys))
             lookup_many = getattr(self.index, "lookup_many", None)
             if lookup_many is None:
                 lookup = self.index.lookup
@@ -97,7 +107,7 @@ class Shard:
     def scan(self, start_key: Key, count: int) -> List[Pair]:
         """Up to ``count`` ordered pairs starting at ``start_key``."""
         with self._guard():
-            self.ops += 1
+            self._note_ops(1)
             return list(self.index.scan(start_key, count))
 
     # ------------------------------------------------------------------
@@ -111,7 +121,7 @@ class Shard:
     def put(self, key: Key, value: int) -> None:
         """Upsert one pair."""
         with self._guard():
-            self.ops += 1
+            self._note_ops(1)
             self.index.insert(key, value)
 
     def put_many(self, pairs: Sequence[Pair]) -> None:
@@ -119,7 +129,7 @@ class Shard:
         if not pairs:
             return
         with self._guard():
-            self.ops += len(pairs)
+            self._note_ops(len(pairs))
             insert_many = getattr(self.index, "insert_many", None)
             if insert_many is not None:
                 insert_many(list(pairs))
@@ -131,7 +141,7 @@ class Shard:
     def delete(self, key: Key) -> bool:
         """Remove ``key``; False when it was absent."""
         with self._guard():
-            self.ops += 1
+            self._note_ops(1)
             return bool(self.index.delete(key))
 
     # ------------------------------------------------------------------

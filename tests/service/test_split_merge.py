@@ -183,6 +183,43 @@ class TestConcurrentReadersDuringSplit:
         assert not failures
         assert contents(router) == pairs
 
+    def test_stale_writer_is_rerouted_after_split_swap(self):
+        """Deterministic lost-write regression: a writer that captured a
+        shard from the pre-split table must not write into it once the
+        table has been swapped — the revalidation under the write gate
+        has to land the pairs in the current table instead."""
+        pairs = int_pairs(600)
+        with ShardRouter.build(pairs, num_shards=2, partitioning="range") as router:
+            stale_table = router.table
+            stale_shard = stale_table.shards[1]
+            key = pairs[-1][0] + 2
+            assert stale_table.partitioner.shard_of(key) == 1
+            router.split_shard(1)  # stale_shard is now orphaned
+            assert stale_shard not in router.table.shards
+            # Emulate the racing writer: it routed `key` to stale_shard
+            # before the swap and only now acquires the write gate.
+            router._write_group(stale_shard, [(key, 42)])
+            assert router.get(key) == 42
+            assert stale_shard.get(key) is None
+            router.verify()
+
+    def test_stale_batch_scattered_across_new_shards(self):
+        """A stale batch whose keys the swap scattered over several new
+        shards is re-fanned-out, losing nothing."""
+        pairs = int_pairs(600)
+        with ShardRouter.build(pairs, num_shards=1, partitioning="range") as router:
+            stale_shard = router.table.shards[0]
+            router.split_shard(0)
+            router.split_shard(0)
+            assert router.num_shards == 3
+            batch = [(key + 1, key) for key, _ in pairs[::100]]
+            router._write_group(stale_shard, batch)
+            assert router.get_many([key for key, _ in batch]) == [
+                value for _, value in batch
+            ]
+            assert all(stale_shard.get(key) is None for key, _ in batch)
+            router.verify()
+
     def test_writers_blocked_during_split_land_afterwards(self):
         pairs = int_pairs(600)
         router = ShardRouter.build(pairs, num_shards=2, partitioning="range")
