@@ -1,0 +1,153 @@
+"""The ``python -m repro.analysis`` command line.
+
+Exit codes follow linter convention: 0 clean, 1 findings (or, under
+``--check-suppressions``, unjustified suppressions), 2 usage or parse
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import Rule, all_rule_ids, build_rules, run_rules
+from repro.analysis.loader import AnalysisError, ParsedModule, load_paths
+from repro.analysis.project import Project
+from repro.analysis.reporters import render_json, render_sarif, render_text
+from repro.analysis.rules.ra004_telemetry import TelemetryHygieneRule
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based static analysis enforcing this repo's "
+        "concurrency, hot-path, migration, and telemetry disciplines.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--trace-schema",
+        default=None,
+        metavar="PATH",
+        help="trace schema whose name pattern RA004 enforces "
+        "(default: docs/trace_schema.json when present)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--check-suppressions",
+        action="store_true",
+        help="report `# repro: ignore[...]` comments lacking a "
+        "`-- justification` instead of running the rules",
+    )
+    return parser
+
+
+def _build_rules(args: argparse.Namespace) -> List[Rule]:
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    rules = build_rules(select)
+    if args.trace_schema is not None:
+        for position, rule in enumerate(rules):
+            if isinstance(rule, TelemetryHygieneRule):
+                rules[position] = TelemetryHygieneRule(Path(args.trace_schema))
+    return rules
+
+
+def _check_suppressions(modules: Sequence[ParsedModule]) -> List[str]:
+    problems: List[str] = []
+    for module in modules:
+        for suppression in module.suppressions:
+            if not suppression.justified:
+                rules = ",".join(sorted(suppression.rules))
+                problems.append(
+                    f"{module.path.as_posix()}:{suppression.line}: suppression "
+                    f"ignore[{rules}] lacks a `-- justification` comment"
+                )
+    return problems
+
+
+def _emit(report: str, output: Optional[str]) -> None:
+    if output is None:
+        print(report)
+    else:
+        Path(output).write_text(report + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for rule in build_rules():
+            print(f"{rule.id}  {rule.title}\n    {rule.rationale}")
+        return 0
+    try:
+        modules = load_paths([Path(path) for path in args.paths])
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not modules:
+        print("error: no python files found", file=sys.stderr)
+        return 2
+    if args.check_suppressions:
+        problems = _check_suppressions(modules)
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"{len(problems)} unjustified suppression(s)")
+            return 1
+        print(f"suppression hygiene clean across {len(modules)} module(s)")
+        return 0
+    try:
+        rules = _build_rules(args)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    project = Project(modules)
+    findings, suppressed_findings = run_rules(project, rules)
+    suppressed = len(suppressed_findings)
+    if args.format == "text":
+        report = render_text(findings, suppressed)
+    elif args.format == "json":
+        report = json.dumps(
+            render_json(findings, rules, [str(p) for p in args.paths], suppressed),
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        report = json.dumps(render_sarif(findings, rules), indent=2, sort_keys=True)
+    _emit(report, args.output)
+    return 1 if findings else 0
+
+
+def list_rule_ids() -> List[str]:
+    """Registered rule ids (import side-effect free helper for tests)."""
+    return all_rule_ids()

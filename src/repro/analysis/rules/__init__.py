@@ -1,0 +1,13 @@
+"""Built-in rules; importing this package registers them all."""
+
+from repro.analysis.rules.ra001_locks import LockDisciplineRule
+from repro.analysis.rules.ra002_hotpath import HotPathPurityRule
+from repro.analysis.rules.ra003_migration import MigrationDisciplineRule
+from repro.analysis.rules.ra004_telemetry import TelemetryHygieneRule
+
+__all__ = [
+    "LockDisciplineRule",
+    "HotPathPurityRule",
+    "MigrationDisciplineRule",
+    "TelemetryHygieneRule",
+]

@@ -1,0 +1,239 @@
+"""RA001 — service lock discipline.
+
+``repro.service`` has exactly one sanctioned locking protocol, written
+down in ``docs/service.md`` and enforced here mechanically:
+
+1. **Acquisition order** — ``_admin_lock`` before any ``write_gate``
+   before any ``op_lock``/``_guard()``; private leaf locks
+   (``_executor_lock``, ``_inflight_lock``, ``_ops_lock``) innermost.
+   Lexically acquiring a lower-rank lock while a higher-rank lock is
+   held inverts the hierarchy and is a deadlock in waiting.
+2. **No blocking while holding a lock** — submitting to or waiting on
+   the executor (``submit``/``wait``/``result``/``shutdown``/``sleep``,
+   or the router helpers ``_pool``/``_run_per_shard``) under any
+   service lock stalls every writer behind the holder.
+3. **Snapshot reads** — code that routes (indexes ``.shards[...]`` or
+   calls ``.partitioner.shard_of``) must do so on a *captured* routing
+   table (``table = self._table``), never inline on ``self._table``:
+   two inline reads can interleave with a concurrent split/merge swap
+   and tear the snapshot.
+4. **Gated-write revalidation** — a write forwarded to a shard under
+   its ``write_gate`` must re-read ``self._table`` inside the gated
+   block and confirm the route.  The PR-4 lost-write race happened
+   because a writer woke up after a table swap and wrote into an
+   orphaned shard; the revalidation block is what closes it, so its
+   absence is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.loader import ParsedModule
+from repro.analysis.project import FunctionInfo, Project, attribute_chain
+
+#: Lock rank by attribute name: outermost (0) to innermost (3).
+LOCK_RANKS: Dict[str, int] = {
+    "_admin_lock": 0,
+    "write_gate": 1,
+    "op_lock": 2,
+    "_guard": 2,
+    "_executor_lock": 3,
+    "_inflight_lock": 3,
+    "_ops_lock": 3,
+}
+
+#: Callables that block (or enqueue work) and must not run under a lock.
+BLOCKING_ATTRS = frozenset({"submit", "shutdown", "result", "map"})
+BLOCKING_NAMES = frozenset({"wait", "sleep"})
+BLOCKING_HELPERS = frozenset({"_pool", "_run_per_shard"})
+
+#: Shard write methods that require in-gate route revalidation.
+SHARD_WRITE_METHODS = frozenset({"put", "put_many", "delete", "insert", "insert_many"})
+
+DEFAULT_SCOPE: Tuple[str, ...] = ("repro.service", "repro.service.*")
+
+
+@dataclass(frozen=True)
+class _Lock:
+    """One lexically held lock: its rank and rendered receiver."""
+
+    rank: int
+    kind: str
+    receiver: str
+
+
+def _lock_of(expr: ast.expr) -> Optional[_Lock]:
+    """Classify a ``with`` context expression as a known lock, if it is one."""
+    target = expr
+    if isinstance(target, ast.Call):
+        target = target.func
+    chain = attribute_chain(target)
+    if chain is None or len(chain) < 2:
+        return None
+    kind = chain[-1]
+    rank = LOCK_RANKS.get(kind)
+    if rank is None:
+        return None
+    return _Lock(rank=rank, kind=kind, receiver=".".join(chain[:-1]))
+
+
+def _reads_routing_table(node: ast.AST) -> bool:
+    """True when ``node`` contains a ``self._table`` read."""
+    for child in ast.walk(node):
+        chain = attribute_chain(child)
+        if chain is not None and chain[:2] == ["self", "_table"]:
+            return True
+    return False
+
+
+@register
+class LockDisciplineRule(Rule):
+    """RA001: the ``repro.service`` locking protocol, checked lexically."""
+
+    id = "RA001"
+    title = "service lock discipline"
+    rationale = (
+        "Lock order, no blocking under locks, snapshot reads, and gated-write "
+        "revalidation are the invariants behind the PR-4 lost-write fix; "
+        "eyeball review already missed one of them once."
+    )
+
+    def __init__(self, modules: Sequence[str] = DEFAULT_SCOPE) -> None:
+        self._scope = tuple(modules)
+
+    def _in_scope(self, module: ParsedModule) -> bool:
+        return any(fnmatchcase(module.name, pattern) for pattern in self._scope)
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for info in project.functions.values():
+            if not self._in_scope(info.module):
+                continue
+            yield from self._check_function(info)
+            yield from self._check_snapshot_reads(info)
+
+    # -- checks 1, 2, and 4: a lexical walk tracking held locks ---------
+    def _check_function(self, info: FunctionInfo) -> Iterator[Finding]:
+        held: List[_Lock] = []
+
+        def walk_statements(statements: Sequence[ast.stmt]) -> Iterator[Finding]:
+            for statement in statements:
+                yield from walk(statement)
+
+        def walk(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not info.node:
+                return  # nested defs run later, under their caller's locks
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired: List[_Lock] = []
+                for item in node.items:
+                    lock = _lock_of(item.context_expr)
+                    if lock is None:
+                        continue
+                    deeper = [h for h in held if h.rank > lock.rank]
+                    if deeper:
+                        yield self.finding(
+                            info.module,
+                            item.context_expr,
+                            f"lock order violation: acquiring {lock.kind} of "
+                            f"{lock.receiver!r} while holding {deeper[0].kind} of "
+                            f"{deeper[0].receiver!r} (order: _admin_lock -> "
+                            "write_gate -> op_lock -> leaf locks)",
+                            symbol=info.qualname,
+                        )
+                    acquired.append(lock)
+                    held.append(lock)
+                yield from self._check_gated_writes(info, node, acquired)
+                yield from walk_statements(node.body)
+                for _ in acquired:
+                    held.pop()
+                return
+            if isinstance(node, ast.Call) and held:
+                yield from self._check_blocking(info, node, held)
+            for child in ast.iter_child_nodes(node):
+                yield from walk(child)
+
+        yield from walk_statements(info.node.body)
+
+    def _check_blocking(
+        self, info: FunctionInfo, call: ast.Call, held: Sequence[_Lock]
+    ) -> Iterator[Finding]:
+        func = call.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            if func.attr in BLOCKING_ATTRS | BLOCKING_HELPERS | BLOCKING_NAMES:
+                name = func.attr
+        elif isinstance(func, ast.Name) and func.id in BLOCKING_NAMES | BLOCKING_HELPERS:
+            name = func.id
+        if name is None:
+            return
+        holder = held[-1]
+        yield self.finding(
+            info.module,
+            call,
+            f"blocking call {name}() while holding {holder.kind} of "
+            f"{holder.receiver!r}; hand work to the executor before taking "
+            "service locks",
+            symbol=info.qualname,
+        )
+
+    def _check_gated_writes(
+        self, info: FunctionInfo, node: ast.With | ast.AsyncWith, acquired: Sequence[_Lock]
+    ) -> Iterator[Finding]:
+        gates = [lock for lock in acquired if lock.kind == "write_gate" and lock.receiver != "self"]
+        if not gates:
+            return
+        body = ast.Module(body=list(node.body), type_ignores=[])
+        revalidates = _reads_routing_table(body)
+        for child in ast.walk(body):
+            if not isinstance(child, ast.Call):
+                continue
+            chain = attribute_chain(child.func)
+            if chain is None or len(chain) < 2 or chain[-1] not in SHARD_WRITE_METHODS:
+                continue
+            receiver = ".".join(chain[:-1])
+            if receiver not in {gate.receiver for gate in gates}:
+                continue
+            if not revalidates:
+                yield self.finding(
+                    info.module,
+                    child,
+                    f"write {chain[-1]}() on {receiver!r} under its write_gate "
+                    "without re-reading self._table inside the gated block; a "
+                    "concurrent split/merge may have swapped the table while "
+                    "this writer waited (lost-write race)",
+                    symbol=info.qualname,
+                )
+
+    # -- check 3: snapshot reads ----------------------------------------
+    def _check_snapshot_reads(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Subscript):
+                chain = attribute_chain(node.value)
+                if chain is not None and chain[:2] == ["self", "_table"]:
+                    yield self.finding(
+                        info.module,
+                        node,
+                        "indexing into an uncaptured routing-table read "
+                        f"({'.'.join(chain)}[...]); capture `table = self._table` "
+                        "once and index the snapshot",
+                        symbol=info.qualname,
+                    )
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if (
+                    chain is not None
+                    and chain[:2] == ["self", "_table"]
+                    and chain[-1] == "shard_of"
+                ):
+                    yield self.finding(
+                        info.module,
+                        node,
+                        "routing through an uncaptured table read "
+                        f"({'.'.join(chain)}(...)); capture `table = self._table` "
+                        "and route through the snapshot",
+                        symbol=info.qualname,
+                    )

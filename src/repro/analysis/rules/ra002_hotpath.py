@@ -1,0 +1,155 @@
+"""RA002 — hot-path purity.
+
+The PR-3 observability contract promises "no wall-clock in hot paths":
+per-operation code is timed by logical sequence counters and modeled
+costs only, and must not hide I/O or swallow errors.  This rule walks
+the call graph from the registered hot roots (see
+:mod:`repro.analysis.hotpaths`) and reports, in every reached function:
+
+* wall-clock reads — ``time.time``/``monotonic``/``perf_counter``/…
+  and ``datetime.now``/``utcnow``/``today``;
+* console or log I/O — ``print(...)`` and ``logging``/logger calls;
+* broad exception handlers — ``except:``, ``except Exception``,
+  ``except BaseException`` — unless the handler re-raises (a bare
+  ``raise``), which is the sanctioned cleanup-and-propagate shape.
+
+Deliberate containment sites (e.g. a failed eager expansion being an
+optimization miss, not an error) stay allowed via an inline
+``# repro: ignore[RA002] -- <why>`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.hotpaths import DEFAULT_HOT_ROOTS, HotRoot, hot_root_qualnames
+from repro.analysis.project import FunctionInfo, Project, attribute_chain
+
+WALL_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    }
+)
+WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True
+    names = []
+    if isinstance(kind, ast.Tuple):
+        names = [e.id for e in kind.elts if isinstance(e, ast.Name)]
+    elif isinstance(kind, ast.Name):
+        names = [kind.id]
+    return any(name in BROAD_EXCEPTIONS for name in names)
+
+
+@register
+class HotPathPurityRule(Rule):
+    """RA002: wall-clock, I/O, and broad excepts out of hot paths."""
+
+    id = "RA002"
+    title = "hot-path purity"
+    rationale = (
+        "Hot paths are measured in modeled costs and logical sequence; a "
+        "stray wall-clock read, log line, or swallowed exception skews every "
+        "benchmark and hides real faults (docs/observability.md)."
+    )
+
+    def __init__(self, roots: Sequence[HotRoot] = DEFAULT_HOT_ROOTS) -> None:
+        self._roots = tuple(roots)
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        root_names = hot_root_qualnames(project, self._roots)
+        reached = project.reachable_from(root_names)
+        for qualname in sorted(reached):
+            info = project.functions[qualname]
+            yield from self._check_function(project, info, reached[qualname])
+
+    def _check_function(
+        self, project: Project, info: FunctionInfo, root: str
+    ) -> Iterator[Finding]:
+        origin = f" (hot via {root})" if root != info.qualname else ""
+        imports = project.imports[info.module_name]
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                label = self._forbidden_call(imports.modules, imports.symbols, node)
+                if label is not None:
+                    yield self.finding(
+                        info.module,
+                        node,
+                        f"{label} in hot-path function {info.local_name}{origin}; "
+                        "hot paths must stay wall-clock- and I/O-free",
+                        symbol=info.qualname,
+                    )
+            elif (
+                isinstance(node, ast.ExceptHandler)
+                and _is_broad(node)
+                and not _handler_reraises(node)
+            ):
+                rendered = "bare except" if node.type is None else ast.unparse(node.type)
+                yield self.finding(
+                    info.module,
+                    node,
+                    f"broad exception handler ({rendered}) in hot-path "
+                    f"function {info.local_name}{origin} does not re-raise; "
+                    "catch the specific error or propagate",
+                    symbol=info.qualname,
+                )
+
+    def _forbidden_call(
+        self,
+        module_aliases: Dict[str, str],
+        symbol_aliases: Dict[str, str],
+        call: ast.Call,
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "print":
+                return "print()"
+            target = symbol_aliases.get(func.id, "")
+            if target.startswith("time.") and target.split(".", 1)[1] in WALL_CLOCK_TIME_ATTRS:
+                return f"wall-clock read {target}()"
+            if target.startswith("datetime.") and func.id in WALL_CLOCK_DATETIME_ATTRS:
+                return f"wall-clock read {target}()"
+            return None
+        chain = attribute_chain(func)
+        if chain is None or len(chain) < 2:
+            return None
+        root, attr = chain[0], chain[-1]
+        root_module = module_aliases.get(root, "")
+        if root_module == "time" and attr in WALL_CLOCK_TIME_ATTRS:
+            return f"wall-clock read time.{attr}()"
+        if attr in WALL_CLOCK_DATETIME_ATTRS and (
+            root_module == "datetime" or "datetime" in chain[:-1]
+        ):
+            return f"wall-clock read {'.'.join(chain)}()"
+        if root == "logging" or (attr in LOG_METHODS and "log" in root.lower()):
+            return f"log call {'.'.join(chain)}()"
+        return None
+
+
+__all__: Tuple[str, ...] = ("HotPathPurityRule",)

@@ -1,0 +1,128 @@
+"""RA004 — telemetry naming hygiene.
+
+The trace/metric namespace is a public contract: ``docs/trace_schema
+.json`` pins the allowed character set, the Prometheus exporter and the
+validators parse the names, and dashboards key on them.  Two things rot
+that contract:
+
+* **names outside the schema pattern** — a literal span/instrument name
+  that ``python -m repro.obs.validate`` would reject should fail review,
+  not a CI smoke three jobs later;
+* **f-string names at the call site** — ``registry.counter(f"x.{y}")``
+  creates unbounded metric cardinality invisibly and re-formats the
+  string on the hot path on every call.  Bounded-enum names belong in a
+  precomputed name table (a module-level dict of literals); genuinely
+  open-ended republishing helpers carry a justified suppression.
+
+The rule checks the first argument of every ``span``/``start``/
+``op_start``/``event``/``counter``/``gauge``/``histogram`` call: string
+literals must match the schema's ``name`` pattern, and dynamically
+formatted strings (f-strings, ``+``/``%``/``.format()`` on strings) are
+reported outright.  Plain variables pass — hoisting a name into a table
+or helper *is* the sanctioned fix.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.project import FunctionInfo, Project
+
+#: Methods whose first argument is a telemetry name.
+TELEMETRY_METHODS = frozenset(
+    {"span", "start", "op_start", "event", "counter", "gauge", "histogram"}
+)
+
+#: Fallback, kept in sync with docs/trace_schema.json.
+DEFAULT_NAME_PATTERN = r"^[a-z0-9_.:>-]+$"
+
+
+def schema_name_pattern(schema_path: Optional[Path]) -> str:
+    """The ``name`` pattern from the trace schema (fallback: built-in)."""
+    if schema_path is None or not schema_path.exists():
+        return DEFAULT_NAME_PATTERN
+    schema = json.loads(schema_path.read_text())
+    pattern = schema.get("properties", {}).get("name", {}).get("pattern")
+    return pattern if isinstance(pattern, str) else DEFAULT_NAME_PATTERN
+
+
+def _is_dynamic_string(node: ast.expr) -> bool:
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+        return _has_string_operand(node)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr == "format" and isinstance(node.func.value, ast.Constant)
+    return False
+
+
+def _has_string_operand(node: ast.BinOp) -> bool:
+    for side in (node.left, node.right):
+        if isinstance(side, ast.Constant) and isinstance(side.value, str):
+            return True
+        if isinstance(side, ast.JoinedStr):
+            return True
+        if isinstance(side, ast.BinOp) and _has_string_operand(side):
+            return True
+    return False
+
+
+@register
+class TelemetryHygieneRule(Rule):
+    """RA004: telemetry names are literal and schema-clean."""
+
+    id = "RA004"
+    title = "telemetry naming hygiene"
+    rationale = (
+        "Span and instrument names are parsed by the schema validator, the "
+        "Prometheus exporter, and dashboards; dynamic names explode "
+        "cardinality and off-pattern names break every consumer at once."
+    )
+
+    def __init__(self, schema_path: Optional[Path] = None) -> None:
+        if schema_path is None:
+            default = Path("docs") / "trace_schema.json"
+            schema_path = default if default.exists() else None
+        self._pattern_text = schema_name_pattern(schema_path)
+        self._pattern = re.compile(self._pattern_text)
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for info in project.functions.values():
+            yield from self._check_function(info)
+
+    def _check_function(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in TELEMETRY_METHODS:
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+                if not self._pattern.match(name_arg.value):
+                    yield self.finding(
+                        info.module,
+                        node,
+                        f"telemetry name {name_arg.value!r} does not match the "
+                        f"trace-schema pattern {self._pattern_text!r}",
+                        symbol=info.qualname,
+                    )
+            elif _is_dynamic_string(name_arg):
+                yield self.finding(
+                    info.module,
+                    node,
+                    f"dynamically formatted name passed to .{func.attr}(); use a "
+                    "precomputed table of literal names (bounded cardinality) or "
+                    "a suppressed, justified republishing helper",
+                    symbol=info.qualname,
+                )
+
+
+__all__: Tuple[str, ...] = ("TelemetryHygieneRule",)

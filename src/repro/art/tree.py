@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
-from repro.art.nodes import Node4
+from repro.art.nodes import Node4, Node16, Node48, Node256
 from repro.obs.runtime import active_tracer
 from repro.sim.counters import OpCounters
 
@@ -39,6 +39,16 @@ class ARTLeaf:
     def size_bytes(self) -> int:
         """Return the modeled C++ footprint in bytes."""
         return _LEAF_HEADER_BYTES + len(self.key)
+
+
+#: Precomputed ``leaf_probe:<node kind>`` span names by terminal node
+#: type (RA004: telemetry names are literal tables, never formatted on
+#: the hot path).  ``type(None)`` falls through to the miss name.
+_PROBE_EVENT_MISS = "leaf_probe:none"
+_PROBE_EVENTS = {
+    cls: f"leaf_probe:{cls.__name__.lower()}"
+    for cls in (ARTLeaf, Node4, Node16, Node48, Node256)
+}
 
 
 def _common_prefix_length(a: bytes, b: bytes) -> int:
@@ -117,8 +127,10 @@ class ART:
             depth += 1
         if span is not None:
             tracer.event("descent", nodes_visited=visits, depth=depth)
-            kind = type(node).__name__.lower() if node is not None else "none"
-            tracer.event(f"leaf_probe:{kind}", hit=value is not None)
+            tracer.event(
+                _PROBE_EVENTS.get(type(node), _PROBE_EVENT_MISS),
+                hit=value is not None,
+            )
             tracer.end(span)
         return value
 

@@ -23,6 +23,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.bptree.inner import InnerNode
 from repro.bptree.leaves import (
     DEFAULT_LEAF_CAPACITY,
+    LEAF_PROBE_EVENTS,
     LeafEncoding,
     LeafNode,
 )
@@ -122,7 +123,7 @@ class AdaptiveBPlusTree(BPlusTree):
         value = leaf.lookup(key)
         if span is not None:
             tracer.event("descent", inner_visits=len(path), height=self._height)
-            tracer.event(f"leaf_probe:{leaf.encoding}", hit=value is not None)
+            tracer.event(LEAF_PROBE_EVENTS[leaf.encoding], hit=value is not None)
             tracer.end(span, sampled=sampled)
         return value
 
@@ -140,6 +141,8 @@ class AdaptiveBPlusTree(BPlusTree):
         before = leaf.size_bytes()
         try:
             migrated = migrate_leaf(leaf, LeafEncoding.GAPPED, self.counters)
+        # repro: ignore[RA002] -- deliberate containment: a failed eager
+        # expansion must never fail the insert that triggered it.
         except Exception:
             # A failed eager expansion is an optimization miss, not an
             # error: the transactional migration left the leaf intact, so

@@ -44,6 +44,13 @@ class LeafEncoding(enum.Enum):
         return self.value
 
 
+#: Precomputed ``leaf_probe:<encoding>`` span names (RA004: telemetry
+#: names are literal tables, never formatted on the hot path).
+LEAF_PROBE_EVENTS = {
+    encoding: f"leaf_probe:{encoding.value}" for encoding in LeafEncoding
+}
+
+
 class _SortedPairStorage:
     """Shared behaviour of the two plain (uncompressed) leaf layouts."""
 

@@ -305,7 +305,7 @@ class OlcBPlusTree(BPlusTree):
                             break
                 except IndexError:
                     # A concurrent writer shifted the storage under us.
-                    raise OlcRestart()
+                    raise OlcRestart() from None
                 next_leaf = current.next_leaf
                 _lock_of(current).validate(current_version)
                 result.extend(taken)

@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from repro.bptree.inner import Child, InnerNode
 from repro.bptree.leaves import (
     DEFAULT_LEAF_CAPACITY,
+    LEAF_PROBE_EVENTS,
     LeafEncoding,
     LeafNode,
 )
@@ -211,7 +212,7 @@ class BPlusTree:
         value = leaf.lookup(key)
         if span is not None:
             tracer.event("descent", inner_visits=len(path), height=self._height)
-            tracer.event(f"leaf_probe:{leaf.encoding}", hit=value is not None)
+            tracer.event(LEAF_PROBE_EVENTS[leaf.encoding], hit=value is not None)
             tracer.end(span)
         return value
 

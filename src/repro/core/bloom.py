@@ -11,7 +11,7 @@ roughly a 1% false-positive rate; we default to the same.
 from __future__ import annotations
 
 import math
-from typing import Hashable
+from typing import Hashable, Iterable, Iterator, List
 
 from repro.obs.metrics import RATIO_BUCKETS, SIZE_BUCKETS
 from repro.obs.runtime import active_registry
@@ -75,7 +75,7 @@ class BloomFilter:
         h2 = _mix(base, 0xD1B54A32D192ED03) | 1
         return h1, h2
 
-    def _positions(self, item: Hashable):
+    def _positions(self, item: Hashable) -> Iterator[int]:
         h1, h2 = self._hash_pair(item)
         for i in range(self._num_hashes):
             yield (h1 + i * h2) % self._num_bits
@@ -91,7 +91,7 @@ class BloomFilter:
         self._bits = bits
         self._count += 1
 
-    def add_many(self, items) -> None:
+    def add_many(self, items: Iterable[Hashable]) -> None:
         """Insert every item of ``items`` (one bit-buffer write-back)."""
         num_bits = self._num_bits
         num_hashes = self._num_hashes
@@ -116,7 +116,7 @@ class BloomFilter:
             h1 += h2
         return True
 
-    def contains_many(self, items) -> "list[bool]":
+    def contains_many(self, items: Iterable[Hashable]) -> List[bool]:
         """Batched membership: one bool per item, in order."""
         num_bits = self._num_bits
         num_hashes = self._num_hashes

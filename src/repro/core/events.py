@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 
 @dataclass(frozen=True)
@@ -65,7 +65,7 @@ class EventLog:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[AdaptationEvent]:
         return iter(self.events)
 
     def __getitem__(self, index: int) -> AdaptationEvent:

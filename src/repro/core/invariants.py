@@ -27,7 +27,11 @@ its own integrity after any failed migration.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, Any, List
+
+if TYPE_CHECKING:
+    from repro.dualstage.index import DualStageIndex
+    from repro.fst.trie import FST
 
 
 class InvariantViolation(AssertionError):
@@ -70,14 +74,14 @@ def violations_of(index: object) -> List[str]:
 # ----------------------------------------------------------------------
 # B+-tree
 # ----------------------------------------------------------------------
-def check_bptree(tree) -> List[str]:
+def check_bptree(tree: Any) -> List[str]:
     """All violations of a (plain or adaptive) B+-tree's invariants."""
     from repro.bptree.inner import InnerNode
 
     violations: List[str] = []
     leaves_in_order = []
 
-    def visit(node, lo, hi) -> None:
+    def visit(node: Any, lo: Any, hi: Any) -> None:
         if isinstance(node, InnerNode):
             if node.keys != sorted(node.keys):
                 violations.append(f"inner node keys out of order: {node.keys[:8]}")
@@ -171,7 +175,7 @@ def check_bptree(tree) -> List[str]:
 # ----------------------------------------------------------------------
 # Hybrid Trie
 # ----------------------------------------------------------------------
-def check_trie(trie) -> List[str]:
+def check_trie(trie: Any) -> List[str]:
     """All violations of a Hybrid Trie's invariants (FST included)."""
     from repro.hybridtrie.tagged import TrieBranch, TrieEncoding
 
@@ -179,7 +183,7 @@ def check_trie(trie) -> List[str]:
     compact_count = 0
     expanded_count = 0
 
-    def walk(current) -> None:
+    def walk(current: Any) -> None:
         nonlocal compact_count, expanded_count
         if isinstance(current, TrieBranch):
             if current.detached:
@@ -241,7 +245,7 @@ def check_trie(trie) -> List[str]:
 # ----------------------------------------------------------------------
 # FST (LOUDS consistency)
 # ----------------------------------------------------------------------
-def _check_rank_directory(name: str, vector, violations: List[str]) -> None:
+def _check_rank_directory(name: str, vector: Any, violations: List[str]) -> None:
     if not vector.sealed:
         violations.append(f"{name} bitvector is not sealed")
         return
@@ -288,7 +292,7 @@ def _check_rank_directory(name: str, vector, violations: List[str]) -> None:
             violations.append(f"{name} has bits set beyond its declared length")
 
 
-def check_fst(fst) -> List[str]:
+def check_fst(fst: FST) -> List[str]:
     """All violations of an FST's LOUDS and value-array invariants."""
     violations: List[str] = []
 
@@ -406,7 +410,7 @@ def check_fst(fst) -> List[str]:
 # ----------------------------------------------------------------------
 # Dual-Stage
 # ----------------------------------------------------------------------
-def check_dualstage(index) -> List[str]:
+def check_dualstage(index: DualStageIndex) -> List[str]:
     """All violations of a Dual-Stage index's invariants."""
     violations: List[str] = []
 

@@ -18,7 +18,14 @@ The index side of the contract is the :class:`AdaptiveIndex` protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Protocol, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.hashmap.hopscotch import HopscotchMap
+
+#: The per-phase aggregate store (Section 3.1.3): a plain dict or the
+#: paper's hopscotch map.
+SampleMap = Union[Dict[Hashable, int], "HopscotchMap"]
 
 from repro.core.access import AccessStats, AccessType, Classification
 from repro.core.bloom import BloomFilter
@@ -40,7 +47,7 @@ from repro.core.sampling import (
     required_sample_size,
 )
 from repro.core.topk import TopKClassifier
-from repro.obs.metrics import SIZE_BUCKETS
+from repro.obs.metrics import SIZE_BUCKETS, MetricsRegistry
 from repro.obs.runtime import active_registry, active_tracer
 
 
@@ -393,7 +400,9 @@ class AdaptationManager:
             self._publish_phase_metrics(registry, event)
         return event
 
-    def _publish_phase_metrics(self, registry, event: AdaptationEvent) -> None:
+    def _publish_phase_metrics(
+        self, registry: MetricsRegistry, event: AdaptationEvent
+    ) -> None:
         """Push one phase's outcome into the installed metrics registry."""
         registry.counter("manager.phases").inc()
         registry.counter("manager.expansions").inc(event.expansions)
@@ -640,7 +649,7 @@ class AdaptationManager:
         return min(self.config.max_sample_size, size)
 
     @staticmethod
-    def _new_sample_map(kind: str):
+    def _new_sample_map(kind: str) -> SampleMap:
         """The aggregate store: a dict (fastest in CPython) or the
         paper's hopscotch map (Section 3.1.3)."""
         if kind == "dict":

@@ -25,6 +25,14 @@ from repro.sim.counters import OpCounters
 from repro.succinct.for_codec import ForBlock, for_encode
 
 _BLOCK_SIZE = 256
+
+#: Precomputed ``leaf_probe:<stage>`` span names (RA004: telemetry
+#: names are literal tables, never formatted on the hot path).
+_PROBE_EVENTS = {
+    "static": "leaf_probe:static",
+    "dynamic": "leaf_probe:dynamic",
+    "tombstone": "leaf_probe:tombstone",
+}
 _HEADER_BYTES = 16
 _SLOT_BYTES = 16
 
@@ -256,7 +264,7 @@ class DualStageIndex:
             value = self._static.lookup(key)
         if span is not None:
             tracer.event("descent", bloom_hit=bloom_hit)
-            tracer.event(f"leaf_probe:{stage}", hit=value is not None)
+            tracer.event(_PROBE_EVENTS[stage], hit=value is not None)
             tracer.end(span)
         return value
 

@@ -143,6 +143,8 @@ class FaultInjector:
             registry = active_registry()
             if registry is not None:
                 registry.counter("faults.injected").inc()
+                # repro: ignore[RA004] -- per-site labels are caller-supplied
+                # and only formatted when a fault actually fires (cold path).
                 registry.counter(f"faults.injected:{site}").inc()
             raise InjectedFault(site, self.matching_calls)
 

@@ -31,6 +31,10 @@ from repro.succinct.bitvector import BitVector
 # one when a node stores fewer than 256/8 = 32 labels on average.
 DENSE_FANOUT_THRESHOLD = 32.0
 
+#: Precomputed ``leaf_probe:<region>`` span names (RA004: telemetry
+#: names are literal tables, never formatted on the hot path).
+_PROBE_EVENTS = {"sparse": "leaf_probe:sparse", "dense": "leaf_probe:dense"}
+
 
 def choose_dense_cutoff(levels: TrieLevels, threshold: float = DENSE_FANOUT_THRESHOLD) -> int:
     """Default dense/sparse split: keep a level dense while its average
@@ -296,8 +300,10 @@ class FST:
             tracer.event(
                 "descent", dense_steps=dense_steps, sparse_steps=sparse_steps
             )
-            region = "sparse" if sparse_steps else "dense"
-            tracer.event(f"leaf_probe:{region}", hit=result is not None)
+            tracer.event(
+                _PROBE_EVENTS["sparse" if sparse_steps else "dense"],
+                hit=result is not None,
+            )
             tracer.end(span)
         return result
 

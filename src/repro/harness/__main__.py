@@ -167,6 +167,8 @@ def main(argv=None) -> int:
             function = EXPERIMENTS[name]
             root_span = None
             if telemetry is not None and telemetry.tracer is not None:
+                # repro: ignore[RA004] -- one root span per experiment run;
+                # names are bounded by the EXPERIMENTS registry, not per-op.
                 root_span = telemetry.tracer.start(
                     f"experiment:{name}", scale=args.scale
                 )

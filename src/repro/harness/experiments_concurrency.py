@@ -104,9 +104,10 @@ class ConcurrentAdaptiveRun:
                     target = (
                         LeafEncoding.GAPPED if leaf in hot else LeafEncoding.SUCCINCT
                     )
-                    if leaf.encoding is not target:
-                        if migrate_leaf(leaf, target, self.tree.counters):
-                            self.migrations += 1
+                    if leaf.encoding is not target and migrate_leaf(
+                        leaf, target, self.tree.counters
+                    ):
+                        self.migrations += 1
             self.epoch += 1
             self.adaptations += 1
         finally:

@@ -21,6 +21,7 @@ a thousand faults, zero damage" and have the claim hold by construction.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -267,11 +268,8 @@ def _serialization_campaign(num_keys: int, fault_quota: int, seed: int) -> Dict:
         ("fst.serialize.decode", lambda: fst_from_bytes(blob)),
     ):
         injector = FaultInjector(site=site, fail_at=1)
-        with injector:
-            try:
-                action()
-            except InjectedFault:
-                pass
+        with injector, contextlib.suppress(InjectedFault):
+            action()
         faults += injector.failures_injected
     # Truncations: every prefix cut must be rejected.
     for cut in (0, 4, 11, len(blob) // 3, len(blob) // 2, len(blob) - 1):

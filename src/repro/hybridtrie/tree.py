@@ -38,6 +38,14 @@ from repro.sim.counters import OpCounters
 TRIE_ENCODING_ORDER: Tuple[TrieEncoding, ...] = (TrieEncoding.FST, TrieEncoding.ART)
 DEFAULT_ART_LEVELS = 2
 
+#: Precomputed ``leaf_probe:<region>`` span names (RA004: telemetry
+#: names are literal tables, never formatted on the hot path).
+_PROBE_EVENTS = {
+    "none": "leaf_probe:none",
+    "fst": "leaf_probe:fst",
+    "art": "leaf_probe:art",
+}
+
 
 class HybridTrie:
     """Level-wise ART + FST with adaptive branch-wise refinement."""
@@ -164,7 +172,7 @@ class HybridTrie:
             current = child
         if span is not None:
             tracer.event("descent", art_steps=art_steps, depth=depth)
-            tracer.event(f"leaf_probe:{probe}", hit=value is not None)
+            tracer.event(_PROBE_EVENTS[probe], hit=value is not None)
             tracer.end(span, sampled=track)
         return value
 

@@ -181,6 +181,8 @@ class MetricsRegistry:
         idempotent because totals are installed, not added.
         """
         for event, count in snapshot.items():
+            # repro: ignore[RA004] -- generic republishing helper: names are
+            # <prefix>.<event> for caller-supplied snapshots, open-ended by design.
             self.counter(f"{prefix}.{event}").set_total(count)
 
     # -- introspection ---------------------------------------------------
@@ -266,7 +268,8 @@ def parse_prometheus(text: str) -> Dict[str, float]:
             continue
         if line.startswith("# TYPE "):
             parts = line.split()
-            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+            kinds = ("counter", "gauge", "histogram", "summary", "untyped")
+            if len(parts) != 4 or parts[3] not in kinds:
                 raise ValueError(f"line {lineno}: malformed TYPE comment {raw!r}")
             types[parts[2]] = parts[3]
             continue

@@ -67,7 +67,9 @@ def validate_record(record: Dict, line_number: int = 0) -> None:
     if parent_id is not None and (
         not isinstance(parent_id, int) or isinstance(parent_id, bool) or parent_id < 1
     ):
-        raise TraceSchemaError(f"{where}parent_id must be null or a positive integer, got {parent_id!r}")
+        raise TraceSchemaError(
+            f"{where}parent_id must be null or a positive integer, got {parent_id!r}"
+        )
     if parent_id == span_id:
         raise TraceSchemaError(f"{where}span {span_id} cannot be its own parent")
     name = record["name"]

@@ -36,7 +36,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="NAME",
         help="fail unless the trace contains a span with this name (repeatable)",
     )
-    parser.add_argument("--prometheus", default=None, metavar="FILE", help="exposition file to parse")
+    parser.add_argument(
+        "--prometheus", default=None, metavar="FILE", help="exposition file to parse"
+    )
     args = parser.parse_args(argv)
 
     if args.trace is None and args.prometheus is None:

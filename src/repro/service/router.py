@@ -102,6 +102,14 @@ FAMILY_FACTORIES: Dict[str, IndexFactory] = {
 #: Families whose indexes synchronize themselves (no per-shard op lock).
 THREAD_SAFE_FAMILIES = frozenset({"olc"})
 
+#: Precomputed ``service.ops.<kind>`` counter names (RA004: telemetry
+#: names are literal tables, never formatted on the hot path).
+_OPS_COUNTERS = {
+    "read": "service.ops.read",
+    "write": "service.ops.write",
+    "scan": "service.ops.scan",
+}
+
 
 @dataclass(frozen=True)
 class _RoutingTable:
@@ -508,7 +516,11 @@ class ShardRouter:
             # Validates adjacency and raises on hash partitions.
             new_partitioner = table.partitioner.merge(left_id)
             left, right = table.shards[left_id], table.shards[left_id + 1]
-            with left.write_gate, left._guard(), right.write_gate, right._guard():
+            # Gates before op locks on both shards: write_gate ranks above
+            # op_lock in the lock hierarchy, and writers acquire gate then
+            # op lock per shard, so interleaving gate/op across shards here
+            # inverts the order (RA001).
+            with left.write_gate, right.write_gate, left._guard(), right._guard():
                 fault_point("service.merge.collect")
                 pairs = left.items() + right.items()
                 fault_point("service.merge.build")
@@ -625,7 +637,7 @@ class ShardRouter:
         registry = active_registry()
         if registry is None:
             return
-        registry.counter(f"service.ops.{kind}").inc(amount)
+        registry.counter(_OPS_COUNTERS[kind]).inc(amount)
         registry.gauge("service.shards").set(self.num_shards)
         registry.gauge("service.imbalance").set(self.imbalance())
 

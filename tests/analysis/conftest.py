@@ -1,0 +1,15 @@
+"""Shared pytest fixtures for the static-analysis suite tests."""
+
+import pytest
+
+from tests.analysis.helpers import FIXTURES, REPO_ROOT
+
+
+@pytest.fixture
+def fixtures_dir():
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root():
+    return REPO_ROOT

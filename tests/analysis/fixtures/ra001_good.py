@@ -1,0 +1,29 @@
+"""RA001 silent fixture: the sanctioned locking protocol, end to end."""
+
+
+class GoodRouter:
+    def ordered_locks(self, shard):
+        with self._admin_lock:
+            with shard.write_gate:
+                with shard._guard():
+                    table = self._table
+                    shard.put(1, 1)
+
+    def blocking_outside_locks(self, task):
+        future = self._pool.submit(task)
+        with self._admin_lock:
+            self._generation += 1
+        return future
+
+    def captured_snapshot(self, key):
+        table = self._table
+        shard = table.shards[table.partitioner.shard_of(key)]
+        return shard.get(key)
+
+    def revalidated_write(self, shard, shard_id, key, value):
+        with shard.write_gate:
+            table = self._table
+            if table.partitioner.shard_of(key) != shard_id:
+                return False
+            shard.put(key, value)
+            return True

@@ -1,0 +1,28 @@
+"""RA002 firing fixture: impurities on and below a hot lookup root."""
+
+import logging
+import time
+from datetime import datetime
+
+logger = logging.getLogger(__name__)
+
+
+def lookup(tree, key):
+    started = time.perf_counter()
+    print("probing", key)
+    logger.debug("probe %s started=%s", key, started)
+    try:
+        value = _descend(tree, key)
+    except Exception:
+        value = None
+    stamp = datetime.now()
+    return value, stamp
+
+
+def _descend(tree, key):
+    # Only hot because lookup() calls it: flagged "(hot via ...lookup)".
+    deadline = time.time()
+    node = tree.root
+    while node is not None and node.deadline < deadline:
+        node = node.child_for(key)
+    return node

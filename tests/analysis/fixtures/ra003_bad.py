@@ -1,0 +1,19 @@
+"""RA003 firing fixture: a migration that dirties published state."""
+
+
+class BadMigrator:
+    def merge(self, pending):
+        fault_point("merge.collect")
+        self.entries.append(pending[0])
+        self.sealed = True
+        built = sorted(pending)
+        fault_point("merge.swap")
+        self.entries = built
+        fault_point("merge.cleanup")
+        return built
+
+    def rebuild(self, name, items):
+        fault_point("rebuild:" + name)
+        staged = tuple(items)
+        fault_point("rebuild.swap")
+        self.items = staged

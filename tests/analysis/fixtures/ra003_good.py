@@ -1,0 +1,19 @@
+"""RA003 silent fixture: a clean build-aside + swap migration."""
+
+
+class GoodMigrator:
+    def merge(self, pending):
+        fault_point("merge.collect")
+        self.counters.add("merge_started")
+        built = sorted(pending)
+        staged = {"items": built}
+        staged["sealed"] = True
+        fault_point("merge.build")
+        fault_point("merge.swap")
+        self.items = built
+        return staged
+
+    def not_a_migration(self, pending):
+        # No .swap fault point: ordinary mutation is out of scope.
+        self.entries.extend(pending)
+        return len(self.entries)

@@ -1,0 +1,8 @@
+"""RA004 firing fixture: dynamic and off-schema telemetry names."""
+
+
+def publish(tracer, registry, kind, shard_id):
+    tracer.span(f"probe:{kind}")
+    registry.counter("ops." + kind).inc()
+    registry.gauge("Service Imbalance!").set(1.0)
+    registry.histogram("ops.{}".format(shard_id), ()).record(1)

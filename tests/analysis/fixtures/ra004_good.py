@@ -1,0 +1,15 @@
+"""RA004 silent fixture: literal name tables and schema-clean names."""
+
+_PROBE_EVENTS = {
+    "static": "leaf_probe:static",
+    "dynamic": "leaf_probe:dynamic",
+}
+
+
+def publish(tracer, registry, stage, names):
+    tracer.event(_PROBE_EVENTS[stage], hit=True)
+    registry.counter("service.ops.read").inc()
+    name = names[0]
+    registry.gauge(name).set(2.0)
+    with tracer.span("merge.publish>flush"):
+        registry.counter("service.ops.write").inc(2)

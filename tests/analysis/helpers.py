@@ -1,0 +1,22 @@
+"""Non-fixture helpers shared by the analysis tests."""
+
+from pathlib import Path
+
+from repro.analysis.loader import load_module
+from repro.analysis.project import Project
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def fixture_project(*names):
+    """A :class:`Project` over the named fixture files."""
+    return Project([load_module(FIXTURES / name) for name in names])
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+def messages(findings):
+    return [finding.message for finding in findings]

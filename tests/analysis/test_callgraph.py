@@ -1,0 +1,76 @@
+"""The lightweight call graph: resolution shapes and reachability."""
+
+from repro.analysis.loader import load_module
+from repro.analysis.project import Project, attribute_chain
+
+import ast
+
+
+def _project(tmp_path, **sources):
+    modules = []
+    for name, source in sources.items():
+        path = tmp_path / f"{name}.py"
+        path.write_text(source)
+        modules.append(load_module(path))
+    return Project(modules)
+
+
+class TestAttributeChain:
+    def test_dotted_chain(self):
+        node = ast.parse("a.b.c", mode="eval").body
+        assert attribute_chain(node) == ["a", "b", "c"]
+
+    def test_non_name_root_is_none(self):
+        node = ast.parse("f().b", mode="eval").body
+        assert attribute_chain(node) is None
+
+
+class TestResolution:
+    def test_local_name_call(self, tmp_path):
+        project = _project(
+            tmp_path, mod="def helper():\n    pass\n\ndef entry():\n    helper()\n"
+        )
+        assert project.callees("mod.entry") == {"mod.helper"}
+
+    def test_self_method_call(self, tmp_path):
+        project = _project(
+            tmp_path,
+            mod=(
+                "class C:\n"
+                "    def probe(self):\n"
+                "        return self.decode()\n"
+                "    def decode(self):\n"
+                "        return 1\n"
+            ),
+        )
+        assert project.callees("mod.C.probe") == {"mod.C.decode"}
+
+    def test_dynamic_dispatch_stays_unresolved(self, tmp_path):
+        project = _project(
+            tmp_path, mod="def entry(index):\n    return index.lookup(1)\n"
+        )
+        assert project.callees("mod.entry") == set()
+
+    def test_reachability_maps_back_to_root(self, tmp_path):
+        project = _project(
+            tmp_path,
+            mod=(
+                "def leaf():\n    pass\n\n"
+                "def middle():\n    leaf()\n\n"
+                "def root():\n    middle()\n"
+            ),
+        )
+        reached = project.reachable_from(["mod.root"])
+        assert reached == {
+            "mod.root": "mod.root",
+            "mod.middle": "mod.root",
+            "mod.leaf": "mod.root",
+        }
+
+    def test_recursion_terminates(self, tmp_path):
+        project = _project(
+            tmp_path,
+            mod="def ping():\n    pong()\n\ndef pong():\n    ping()\n",
+        )
+        reached = project.reachable_from(["mod.ping"])
+        assert set(reached) == {"mod.ping", "mod.pong"}

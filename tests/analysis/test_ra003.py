@@ -1,0 +1,39 @@
+"""RA003 migration discipline: build-aside purity around the swap."""
+
+from repro.analysis.rules.ra003_migration import MigrationDisciplineRule
+
+from tests.analysis.helpers import fixture_project, messages
+
+
+def _run(fixture):
+    project = fixture_project(fixture)
+    return sorted(MigrationDisciplineRule().run(project))
+
+
+class TestFiringFixture:
+    def test_pre_swap_mutations_fire(self):
+        texts = messages(_run("ra003_bad.py"))
+        assert any("in-place append() on published self.entries" in t for t in texts)
+        assert any("assignment to published self.sealed" in t for t in texts)
+
+    def test_fault_point_after_publish_fires(self):
+        texts = messages(_run("ra003_bad.py"))
+        assert any("fault_point after the publish assignment" in t for t in texts)
+
+    def test_dynamic_fault_label_fires(self):
+        texts = messages(_run("ra003_bad.py"))
+        assert any("label must be a string literal" in t for t in texts)
+
+    def test_finding_count_is_exact(self):
+        assert len(_run("ra003_bad.py")) == 4
+
+
+class TestSilentFixture:
+    def test_clean_migration_passes(self):
+        assert _run("ra003_good.py") == []
+
+    def test_functions_without_swap_are_out_of_scope(self):
+        # ra003_good.not_a_migration mutates self freely: no .swap marker,
+        # no findings.
+        findings = _run("ra003_good.py")
+        assert all("not_a_migration" not in f.symbol for f in findings)

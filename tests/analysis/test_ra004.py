@@ -1,0 +1,54 @@
+"""RA004 telemetry hygiene: dynamic names and the schema pattern."""
+
+from repro.analysis.rules.ra004_telemetry import (
+    DEFAULT_NAME_PATTERN,
+    TelemetryHygieneRule,
+    schema_name_pattern,
+)
+
+from tests.analysis.helpers import REPO_ROOT, fixture_project, messages
+
+
+def _run(fixture, schema_path=None):
+    project = fixture_project(fixture)
+    rule = TelemetryHygieneRule(schema_path=schema_path)
+    return sorted(rule.run(project))
+
+
+class TestFiringFixture:
+    def test_all_dynamic_shapes_fire(self):
+        texts = messages(_run("ra004_bad.py"))
+        dynamic = [t for t in texts if "dynamically formatted name" in t]
+        assert len(dynamic) == 3  # f-string, concat, .format()
+
+    def test_off_schema_literal_fires(self):
+        texts = messages(_run("ra004_bad.py"))
+        assert any("does not match the trace-schema pattern" in t for t in texts)
+
+    def test_finding_count_is_exact(self):
+        assert len(_run("ra004_bad.py")) == 4
+
+
+class TestSilentFixture:
+    def test_name_tables_and_literals_pass(self):
+        assert _run("ra004_good.py") == []
+
+
+class TestSchemaPattern:
+    def test_pattern_loads_from_the_real_schema(self):
+        schema = REPO_ROOT / "docs" / "trace_schema.json"
+        pattern = schema_name_pattern(schema)
+        assert pattern == DEFAULT_NAME_PATTERN
+
+    def test_missing_schema_falls_back(self, tmp_path):
+        assert schema_name_pattern(tmp_path / "nope.json") == DEFAULT_NAME_PATTERN
+        assert schema_name_pattern(None) == DEFAULT_NAME_PATTERN
+
+    def test_custom_schema_overrides_pattern(self, tmp_path):
+        schema = tmp_path / "schema.json"
+        schema.write_text('{"properties": {"name": {"pattern": "^x-"}}}')
+        rule = TelemetryHygieneRule(schema_path=schema)
+        project = fixture_project("ra004_good.py")
+        texts = messages(sorted(rule.run(project)))
+        # Under the stricter pattern the previously-clean literals fail.
+        assert any("does not match the trace-schema pattern" in t for t in texts)

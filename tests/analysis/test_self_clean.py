@@ -1,0 +1,91 @@
+"""The suite on its own tree: clean today, and still sharp.
+
+Two guarantees:
+
+* the real ``src/repro`` tree analyzes clean (anything true the rules
+  surface gets fixed or justified at the PR that introduces it);
+* the rules have not gone blunt — deleting the PR-4 writer-revalidation
+  block from a copy of the router makes RA001 report the lost-write
+  race again.
+"""
+
+import ast
+
+from repro.analysis import analyze_paths
+from repro.analysis.loader import load_module
+from repro.analysis.project import Project
+from repro.analysis.rules.ra001_locks import LockDisciplineRule
+from repro.analysis.rules.ra004_telemetry import TelemetryHygieneRule
+
+from tests.analysis.helpers import REPO_ROOT
+
+ROUTER = REPO_ROOT / "src" / "repro" / "service" / "router.py"
+TRACE_SCHEMA = REPO_ROOT / "docs" / "trace_schema.json"
+
+
+def _default_rules():
+    from repro.analysis.core import build_rules
+
+    rules = build_rules()
+    return [
+        TelemetryHygieneRule(TRACE_SCHEMA)
+        if isinstance(rule, TelemetryHygieneRule)
+        else rule
+        for rule in rules
+    ]
+
+
+class TestRealTree:
+    def test_src_repro_analyzes_clean(self):
+        findings, suppressed = analyze_paths(
+            [REPO_ROOT / "src" / "repro"], rules=_default_rules()
+        )
+        assert findings == [], "\n".join(
+            f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
+        )
+        # The justified suppressions in the tree are counted, not hidden.
+        assert len(suppressed) >= 1
+
+    def test_every_tree_suppression_is_justified(self):
+        from repro.analysis.loader import load_paths
+
+        for module in load_paths([REPO_ROOT / "src" / "repro"]):
+            for suppression in module.suppressions:
+                assert suppression.justified, (
+                    f"{module.path}:{suppression.line} lacks a justification"
+                )
+
+
+def _strip_revalidation(source: str) -> str:
+    """Rewrite ``_write_group`` to write under the gate without re-reading
+    ``self._table`` — exactly the pre-PR-4 lost-write shape."""
+    tree = ast.parse(source)
+    mutated = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "_write_group":
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.With):
+                    rendered = ast.unparse(inner.items[0].context_expr)
+                    if rendered == "shard.write_gate":
+                        inner.body = ast.parse("shard.put_many(group)").body
+                        mutated = True
+    if not mutated:
+        raise AssertionError("router._write_group gate block not found")
+    return ast.unparse(ast.fix_missing_locations(tree))
+
+
+class TestMutationRegression:
+    def test_deleting_revalidation_makes_ra001_fire(self, tmp_path):
+        mutated = tmp_path / "router_mutated.py"
+        mutated.write_text(_strip_revalidation(ROUTER.read_text()))
+        project = Project([load_module(mutated)])
+        rule = LockDisciplineRule(modules=("*",))
+        findings = [f for f in rule.run(project) if "lost-write race" in f.message]
+        assert findings, "RA001 no longer detects the PR-4 lost-write shape"
+        assert any(f.symbol.endswith("ShardRouter._write_group") for f in findings)
+
+    def test_pristine_router_has_no_lost_write_finding(self):
+        project = Project([load_module(ROUTER)])
+        rule = LockDisciplineRule(modules=("*",))
+        findings = [f for f in rule.run(project) if "lost-write race" in f.message]
+        assert findings == []

@@ -52,9 +52,8 @@ class TestFaultAtEveryPoint:
         tree = make_tree()
         leaf = next(iter(tree.leaves()))
         pairs_before = leaf.to_pairs()
-        with FaultInjector(fail_at=fail_at) as injector:
-            with pytest.raises(InjectedFault):
-                migrate_leaf(leaf, target)
+        with FaultInjector(fail_at=fail_at) as injector, pytest.raises(InjectedFault):
+            migrate_leaf(leaf, target)
         assert injector.failures_injected == 1
         assert leaf.encoding is LeafEncoding.SUCCINCT  # swap never happened
         assert leaf.to_pairs() == pairs_before
@@ -65,9 +64,8 @@ class TestFaultAtEveryPoint:
     def test_migration_succeeds_after_the_fault_clears(self, fail_at):
         tree = make_tree()
         leaf = next(iter(tree.leaves()))
-        with FaultInjector(fail_at=fail_at):
-            with pytest.raises(InjectedFault):
-                migrate_leaf(leaf, LeafEncoding.GAPPED)
+        with FaultInjector(fail_at=fail_at), pytest.raises(InjectedFault):
+            migrate_leaf(leaf, LeafEncoding.GAPPED)
         before = leaf.size_bytes()
         assert migrate_leaf(leaf, LeafEncoding.GAPPED)  # no injector now
         tree.note_leaf_resized(leaf.size_bytes() - before)
@@ -92,8 +90,7 @@ class TestAdaptiveTreeUnderFaults:
         tree = make_tree()
         for fail_at in (1, 2, 3):
             leaf = list(tree.leaves())[fail_at]
-            with FaultInjector(fail_at=fail_at):
-                with pytest.raises(InjectedFault):
-                    migrate_leaf(leaf, LeafEncoding.GAPPED)
+            with FaultInjector(fail_at=fail_at), pytest.raises(InjectedFault):
+                migrate_leaf(leaf, LeafEncoding.GAPPED)
         # _leaf_bytes is checked against a recount inside violations_of.
         assert violations_of(tree) == []

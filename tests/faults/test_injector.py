@@ -48,9 +48,8 @@ class TestFailAtNth:
     def test_fail_at_is_one_indexed(self):
         with pytest.raises(ValueError):
             FaultInjector(fail_at=0)
-        with FaultInjector(fail_at=1):
-            with pytest.raises(InjectedFault):
-                fault_point("first")
+        with FaultInjector(fail_at=1), pytest.raises(InjectedFault):
+            fault_point("first")
 
 
 class TestSiteFilter:

@@ -130,17 +130,19 @@ class TestCorruptionDetection:
 class TestSerializationFaultPoints:
     def test_encode_fault_leaves_fst_usable(self):
         fst = FST(int_pairs(40))
-        with FaultInjector(site="fst.serialize.encode", fail_at=1):
-            with pytest.raises(InjectedFault):
-                fst_to_bytes(fst)
+        with FaultInjector(site="fst.serialize.encode", fail_at=1), pytest.raises(
+            InjectedFault
+        ):
+            fst_to_bytes(fst)
         blob = fst_to_bytes(fst)  # unharmed: serializes fine afterwards
         assert fst_from_bytes(blob).num_keys == fst.num_keys
 
     def test_decode_fault_propagates(self):
         blob = fst_to_bytes(FST(int_pairs(40)))
-        with FaultInjector(site="fst.serialize.decode", fail_at=1):
-            with pytest.raises(InjectedFault):
-                fst_from_bytes(blob)
+        with FaultInjector(site="fst.serialize.decode", fail_at=1), pytest.raises(
+            InjectedFault
+        ):
+            fst_from_bytes(blob)
         assert fst_from_bytes(blob).num_keys == 40
 
 

@@ -73,9 +73,8 @@ class TestExpandFaults:
         trie = make_trie()
         branch = branches_of(trie)[0]
         branches_before = trie.num_branches
-        with FaultInjector(fail_at=fail_at) as injector:
-            with pytest.raises(InjectedFault):
-                trie.expand_branch(branch)
+        with FaultInjector(fail_at=fail_at) as injector, pytest.raises(InjectedFault):
+            trie.expand_branch(branch)
         assert injector.failures_injected == 1
         assert not branch.expanded  # swap never happened
         assert trie.num_branches == branches_before
@@ -86,9 +85,8 @@ class TestExpandFaults:
     def test_expansion_succeeds_after_the_fault_clears(self, fail_at):
         trie = make_trie()
         branch = branches_of(trie)[0]
-        with FaultInjector(fail_at=fail_at):
-            with pytest.raises(InjectedFault):
-                trie.expand_branch(branch)
+        with FaultInjector(fail_at=fail_at), pytest.raises(InjectedFault):
+            trie.expand_branch(branch)
         assert trie.expand_branch(branch)
         assert branch.expanded
         assert violations_of(trie) == []
@@ -102,9 +100,8 @@ class TestCompactFaults:
         branch = branches_of(trie)[0]
         assert trie.expand_branch(branch)
         branches_before = trie.num_branches
-        with FaultInjector(fail_at=fail_at) as injector:
-            with pytest.raises(InjectedFault):
-                trie.compact_branch(branch)
+        with FaultInjector(fail_at=fail_at) as injector, pytest.raises(InjectedFault):
+            trie.compact_branch(branch)
         assert injector.failures_injected == 1
         assert branch.expanded  # still expanded: nothing was detached
         assert trie.num_branches == branches_before
@@ -116,9 +113,8 @@ class TestCompactFaults:
         trie = make_trie()
         branch = branches_of(trie)[0]
         assert trie.expand_branch(branch)
-        with FaultInjector(fail_at=fail_at):
-            with pytest.raises(InjectedFault):
-                trie.compact_branch(branch)
+        with FaultInjector(fail_at=fail_at), pytest.raises(InjectedFault):
+            trie.compact_branch(branch)
         assert trie.compact_branch(branch)
         assert not branch.expanded
         assert violations_of(trie) == []
@@ -133,9 +129,10 @@ class TestCompactFaults:
         )
         assert trie.expand_branch(inner)
         branches_before = trie.num_branches
-        with FaultInjector(site="trie.compact.swap", fail_at=1):
-            with pytest.raises(InjectedFault):
-                trie.compact_branch(outer)
+        with FaultInjector(site="trie.compact.swap", fail_at=1), pytest.raises(
+            InjectedFault
+        ):
+            trie.compact_branch(outer)
         assert outer.expanded and inner.expanded
         assert not inner.detached
         assert trie.num_branches == branches_before

@@ -123,9 +123,8 @@ class TestCorePublishers:
 
     def test_fault_injector_counts_raises(self):
         with Telemetry() as telemetry:
-            with FaultInjector(site="obs.test", fail_at=1):
-                with pytest.raises(InjectedFault):
-                    fault_point("obs.test")
+            with FaultInjector(site="obs.test", fail_at=1), pytest.raises(InjectedFault):
+                fault_point("obs.test")
             counters = telemetry.registry.snapshot()["counters"]
             assert counters["faults.injected"] == 1
             assert counters["faults.injected:obs.test"] == 1

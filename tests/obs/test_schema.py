@@ -87,9 +87,10 @@ class TestValidateTrace:
 class TestValidateTraceFile:
     def test_real_trace_validates_against_checked_in_schema(self, tmp_path):
         path = tmp_path / "trace.jsonl"
-        with Telemetry(tracer=Tracer(JsonlTraceSink(path), op_sample_every=1)) as t:
-            with t.tracer.span("adaptation_phase"):
-                t.tracer.event("migration:gapped->succinct", unit=1)
+        with Telemetry(tracer=Tracer(JsonlTraceSink(path), op_sample_every=1)) as t, (
+            t.tracer.span("adaptation_phase")
+        ):
+            t.tracer.event("migration:gapped->succinct", unit=1)
         names = validate_trace_file(path)
         assert names == {"adaptation_phase": 1, "migration:gapped->succinct": 1}
 

@@ -1,5 +1,6 @@
 """Online shard split/merge: build-aside+swap, faults, concurrency."""
 
+import contextlib
 import random
 import threading
 
@@ -19,6 +20,32 @@ def int_pairs(count=1500):
 
 def contents(router):
     return router.scan(-(10**12), 10**6)
+
+
+class _RecordingLock:
+    """RLock stand-in that logs every acquisition under a label."""
+
+    def __init__(self, label, log):
+        self._lock = threading.RLock()
+        self._label = label
+        self._log = log
+
+    def acquire(self, *args, **kwargs):
+        acquired = self._lock.acquire(*args, **kwargs)
+        if acquired:
+            self._log.append(self._label)
+        return acquired
+
+    def release(self):
+        self._lock.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
 
 
 class TestSplit:
@@ -50,9 +77,8 @@ class TestSplit:
     def test_split_rejects_hash_partitioning(self):
         with ShardRouter.build(
             int_pairs(200), num_shards=2, partitioning="hash"
-        ) as router:
-            with pytest.raises(PartitionError):
-                router.split_shard(0)
+        ) as router, pytest.raises(PartitionError):
+            router.split_shard(0)
 
     def test_split_rejects_bad_ids_and_tiny_shards(self):
         with ShardRouter.build(
@@ -89,12 +115,37 @@ class TestMerge:
             assert router.table.partitioner.boundaries == before
             assert contents(router) == pairs
 
+    def test_merge_acquires_both_gates_before_any_op_lock(self):
+        """Lock hierarchy regression (RA001): gates rank above op locks.
+
+        ``merge_shards`` used to interleave ``gate, op, gate, op`` across
+        the two shards, inverting the gate->op order writers rely on and
+        opening a deadlock window against a writer holding the right
+        shard's gate.  Both write gates must be acquired before either
+        operation lock.
+        """
+        pairs = int_pairs(400)
+        with ShardRouter.build(
+            pairs, family="adaptive", num_shards=2, partitioning="range"
+        ) as router:
+            log = []
+            left, right = router.table.shards
+            for label, shard in (("left", left), ("right", right)):
+                shard.write_gate = _RecordingLock(f"{label}.gate", log)
+                shard.op_lock = _RecordingLock(f"{label}.op", log)
+            router.merge_shards(0)
+            gate_positions = [i for i, name in enumerate(log) if name.endswith(".gate")]
+            op_positions = [i for i, name in enumerate(log) if name.endswith(".op")]
+            assert gate_positions, "merge never took the write gates"
+            assert op_positions, "merge never took the op locks"
+            assert max(gate_positions) < min(op_positions)
+            assert contents(router) == pairs
+
     def test_merge_rejects_last_shard(self):
         with ShardRouter.build(
             int_pairs(100), num_shards=2, partitioning="range"
-        ) as router:
-            with pytest.raises(PartitionError):
-                router.merge_shards(1)
+        ) as router, pytest.raises(PartitionError):
+            router.merge_shards(1)
 
 
 class TestFaultInjectedSplitMerge:
@@ -118,9 +169,8 @@ class TestFaultInjectedSplitMerge:
     def test_fault_during_merge_loses_nothing(self, site):
         pairs = int_pairs(600)
         with ShardRouter.build(pairs, num_shards=3, partitioning="range") as router:
-            with FaultInjector(site=site, fail_at=1):
-                with pytest.raises(InjectedFault):
-                    router.merge_shards(0)
+            with FaultInjector(site=site, fail_at=1), pytest.raises(InjectedFault):
+                router.merge_shards(0)
             assert router.num_shards == 3
             assert router.merges == 0
             assert contents(router) == pairs
@@ -133,13 +183,11 @@ class TestFaultInjectedSplitMerge:
         with ShardRouter.build(pairs, num_shards=2, partitioning="range") as router:
             with FaultInjector(site="service.*", rate=0.4, seed=99) as injector:
                 for round_number in range(30):
-                    try:
+                    with contextlib.suppress(InjectedFault, PartitionError):
                         if rng.random() < 0.5 and router.num_shards > 1:
                             router.merge_shards(rng.randrange(router.num_shards - 1))
                         else:
                             router.split_shard(rng.randrange(router.num_shards))
-                    except (InjectedFault, PartitionError):
-                        pass
                     key = rng.randrange(0, 1000) * 2
                     assert router.get(key) == expected.get(key)
             assert injector.failures_injected > 0
