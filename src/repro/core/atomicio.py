@@ -1,0 +1,94 @@
+"""Atomic, durable file publication — build-aside+swap for the disk.
+
+Every durable artifact in this codebase (FST blobs, WAL segments,
+snapshots, manifests) is published with the on-disk analogue of the
+PR-1 build-aside+swap discipline:
+
+1. the full content is written to a *temporary* file in the destination
+   directory (same filesystem, so the rename below is atomic),
+2. the temporary file is flushed and ``fsync``\\ ed,
+3. one ``os.replace`` publishes it under the final name, and
+4. the parent directory is ``fsync``\\ ed so the *name* is durable too.
+
+A crash anywhere in the sequence leaves either the old file or the
+complete new file — never a torn one.  Callers thread a
+:func:`~repro.faults.injector.fault_point` between steps 2 and 3 (the
+swap point), which is why the write and the publish are separate
+helpers here::
+
+    tmp = write_aside(final, blob)
+    try:
+        fault_point("durability.snapshot.swap")
+        publish_aside(tmp, final)
+    except BaseException:
+        discard_aside(tmp)
+        raise
+
+:func:`write_aside` guarantees the temporary file is removed on every
+error path, so a failed write can never leak a partial file.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["discard_aside", "fsync_dir", "publish_aside", "write_aside"]
+
+
+def fsync_dir(directory: Path) -> None:
+    """``fsync`` a directory so a just-published name survives a crash."""
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_aside(final_path: Path, data: bytes, durable: bool = True) -> Path:
+    """Write ``data`` to a temp file next to ``final_path``; return its path.
+
+    The temporary file lives in ``final_path``'s directory (same
+    filesystem, so :func:`publish_aside` is one atomic rename) and is
+    unlinked on *every* error path — a failed write never leaks a
+    partial file.  With ``durable`` the content is ``fsync``\\ ed before
+    returning.
+    """
+    directory = final_path.parent
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=final_path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+    except BaseException:
+        discard_aside(tmp)
+        raise
+    return tmp
+
+
+def publish_aside(tmp: Path, final_path: Path, durable: bool = True) -> None:
+    """Atomically publish ``tmp`` under ``final_path`` (replace + dir fsync).
+
+    On failure the temporary file is removed, so an aborted publish
+    leaves only the old state behind.
+    """
+    try:
+        os.replace(tmp, final_path)
+    except BaseException:
+        discard_aside(tmp)
+        raise
+    if durable:
+        fsync_dir(final_path.parent)
+
+
+def discard_aside(tmp: Path) -> None:
+    """Best-effort removal of an unpublished temporary file."""
+    with contextlib.suppress(OSError):
+        tmp.unlink()

@@ -11,7 +11,10 @@ modes:
 * **fail-at-nth-call** — ``fail_at=n`` arms the n-th matching call
   (1-indexed), reproducing one exact crash point;
 * **fail-by-site** — ``site="trie.expand.swap"`` restricts any mode to
-  one site (or a prefix with a trailing ``*``);
+  one site (or a prefix with a trailing ``*``); a sequence of patterns
+  arms every site matching *any* of them, which is how the durability
+  crash campaign targets a whole write path
+  (``site=("durability.wal.append", "service.split.*")``);
 * **failure-rate** — ``rate=p`` fails each matching call with
   probability ``p`` from a seeded PRNG, for randomized campaigns.
 
@@ -23,7 +26,7 @@ injection points of an operation before parametrizing over them.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.obs.runtime import active_registry
 
@@ -68,7 +71,7 @@ class FaultInjector:
     def __init__(
         self,
         *,
-        site: Optional[str] = None,
+        site: Union[str, Sequence[str], None] = None,
         fail_at: Optional[int] = None,
         rate: float = 0.0,
         seed: int = 0,
@@ -81,6 +84,15 @@ class FaultInjector:
         if max_failures is not None and max_failures < 0:
             raise ValueError(f"max_failures must be >= 0, got {max_failures}")
         self.site = site
+        #: The site filter, normalized to a tuple of patterns (empty =
+        #: match everything).  Kept separate from ``site`` so ``repr``
+        #: and introspection show what the caller actually passed.
+        self._site_patterns: Tuple[str, ...] = (
+            (site,) if isinstance(site, str) else tuple(site) if site is not None else ()
+        )
+        for pattern in self._site_patterns:
+            if not pattern:
+                raise ValueError("site patterns must be non-empty strings")
         self.fail_at = fail_at
         self.rate = rate
         self.max_failures = max_failures
@@ -117,12 +129,20 @@ class FaultInjector:
     # The decision
     # ------------------------------------------------------------------
     def matches(self, site: str) -> bool:
-        """True when ``site`` passes this injector's site filter."""
-        if self.site is None:
+        """True when ``site`` passes this injector's site filter.
+
+        With several patterns, matching *any* of them arms the site;
+        each pattern is an exact name or a trailing-``*`` prefix.
+        """
+        if not self._site_patterns:
             return True
-        if self.site.endswith("*"):
-            return site.startswith(self.site[:-1])
-        return site == self.site
+        for pattern in self._site_patterns:
+            if pattern.endswith("*"):
+                if site.startswith(pattern[:-1]):
+                    return True
+            elif site == pattern:
+                return True
+        return False
 
     def check(self, site: str) -> None:
         """Count the crossing of ``site``; raise when armed for it."""

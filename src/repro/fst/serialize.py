@@ -29,7 +29,8 @@ from __future__ import annotations
 import struct
 import zlib
 from array import array
-from typing import List, Tuple
+from pathlib import Path
+from typing import List, Tuple, Union
 
 from repro.faults.injector import fault_point
 from repro.fst.trie import FST
@@ -121,6 +122,39 @@ def fst_to_bytes(fst: FST) -> bytes:
     )
     crc = zlib.crc32(body, zlib.crc32(_HEADER.pack(MAGIC, 0, *fields))) & 0xFFFFFFFF
     return _HEADER.pack(MAGIC, crc, *fields) + body
+
+
+def fst_to_file(fst: FST, path: Union[str, Path]) -> None:
+    """Serialize ``fst`` to ``path`` with crash-safe temp-file hygiene.
+
+    The blob is written to a ``tempfile`` alongside the destination,
+    fsynced, published with one ``os.replace``, and the parent
+    directory is fsynced so the name survives a crash — the
+    :mod:`repro.core.atomicio` discipline.  The temporary file is
+    removed on every error path (including a fault injected at the
+    ``fst.serialize.swap`` point), so a failed write can never leak a
+    partial file or clobber a previous good one.
+    """
+    from repro.core.atomicio import discard_aside, publish_aside, write_aside
+
+    final = Path(path)
+    blob = fst_to_bytes(fst)
+    tmp = write_aside(final, blob)
+    try:
+        fault_point("fst.serialize.swap")
+        publish_aside(tmp, final)
+    except BaseException:
+        discard_aside(tmp)
+        raise
+
+
+def fst_from_file(path: Union[str, Path]) -> FST:
+    """Load an FST published by :func:`fst_to_file`.
+
+    Validation is exactly :func:`fst_from_bytes`'s: the checksum and
+    every bounds check run before any structure is assembled.
+    """
+    return fst_from_bytes(Path(path).read_bytes())
 
 
 def fst_from_bytes(blob: bytes) -> FST:

@@ -26,6 +26,19 @@ the pair, so re-routed pairs are retried against the fresh table.
 One global :class:`~repro.core.budget.BudgetArbiter` divides the
 service-wide memory budget across the per-shard adaptation managers and
 is rebalanced after every split/merge.
+
+With a :class:`~repro.durability.manager.DurabilityManager` attached,
+the router is **crash-durable**: every shard carries a per-shard WAL
+(appended before acknowledgment — see
+:mod:`repro.service.shard`), :meth:`checkpoint` publishes snapshots
+and truncates logs, and :meth:`recover` rebuilds the whole service
+from disk.  Split/merge then *re-keys* durability too: replacement
+shards get fresh logs under the next routing epoch, the CRC-wrapped
+manifest is republished as the durable commit point **before** the
+in-memory table swap, and an abort at the swap fault point rolls the
+manifest back while the write gates are still held — so the durable
+and in-memory routing epochs can never diverge across an
+acknowledgment.
 """
 
 from __future__ import annotations
@@ -47,6 +60,13 @@ from typing import (
 )
 
 from repro.core.budget import BudgetArbiter, MemoryBudget
+from repro.durability.log import DurableLog
+from repro.durability.manager import (
+    DurabilityManager,
+    Manifest,
+    build_partitioner,
+    partitioner_spec,
+)
 from repro.faults.injector import fault_point
 from repro.obs.runtime import active_registry
 from repro.service.partition import (
@@ -129,12 +149,20 @@ class ShardRouter:
         index_factory: IndexFactory,
         max_workers: int = _DEFAULT_MAX_WORKERS,
         budget: Optional[MemoryBudget] = None,
+        durability: Optional[DurabilityManager] = None,
+        epoch: int = 0,
     ) -> None:
         if partitioner.num_shards != len(shards):
             raise PartitionError(
                 f"partitioner routes to {partitioner.num_shards} shards "
                 f"but {len(shards)} were provided"
             )
+        if durability is not None:
+            for shard in shards:
+                if shard.durable_log is None:
+                    raise ValueError(
+                        "a durable router requires every shard to carry a DurableLog"
+                    )
         self._table = _RoutingTable(partitioner, tuple(shards))
         self._index_factory = index_factory
         self._max_workers = max_workers
@@ -145,6 +173,13 @@ class ShardRouter:
         self._inflight_lock = threading.Lock()
         self.splits = 0
         self.merges = 0
+        self.checkpoints = 0
+        #: Durable backing, when attached; ``_epoch`` tracks the routing
+        #: epoch the manifest currently names (bumped by split/merge).
+        self._durability = durability
+        self._epoch = epoch
+        #: Summary of the last :meth:`recover` that produced this router.
+        self.last_recovery: Optional[Dict[str, Any]] = None
         self.arbiter = BudgetArbiter(budget or MemoryBudget.unbounded())
         self._register_shards()
 
@@ -161,13 +196,18 @@ class ShardRouter:
         max_workers: int = _DEFAULT_MAX_WORKERS,
         budget: Optional[MemoryBudget] = None,
         index_factory: Optional[IndexFactory] = None,
+        durability: Optional[DurabilityManager] = None,
     ) -> "ShardRouter":
         """Bulk-load a router from sorted unique pairs.
 
         ``family`` picks a factory from :data:`FAMILY_FACTORIES` unless
         an explicit ``index_factory`` is given; ``partitioning`` is
         ``"hash"`` or ``"range"`` (range boundaries are chosen
-        equi-depth from the loaded keys).
+        equi-depth from the loaded keys).  With ``durability``, every
+        shard gets a fresh epoch-0 log (base snapshot of its loaded
+        pairs) and the routing manifest is published before the router
+        is handed out — a crash mid-bootstrap leaves either no manifest
+        (re-bootstrap from the same pairs) or a complete one.
         """
         if index_factory is None:
             if family not in FAMILY_FACTORIES:
@@ -191,27 +231,118 @@ class ShardRouter:
         for pair in pairs:
             groups[partitioner.shard_of(pair[0])].append(pair)
         thread_safe = family in THREAD_SAFE_FAMILIES
-        shards = [
-            Shard(shard_id, index_factory(group), thread_safe=thread_safe)
-            for shard_id, group in enumerate(groups)
-        ]
+        shards = []
+        for shard_id, group in enumerate(groups):
+            log: Optional[DurableLog] = None
+            if durability is not None:
+                log = durability.create_log(
+                    DurabilityManager.log_id(0, shard_id), group
+                )
+            shards.append(
+                Shard(
+                    shard_id,
+                    index_factory(group),
+                    thread_safe=thread_safe,
+                    durable_log=log,
+                )
+            )
+        if durability is not None:
+            durability.publish_manifest(
+                Manifest(
+                    epoch=0,
+                    partitioner=partitioner_spec(partitioner),
+                    shards=[DurabilityManager.log_id(0, i) for i in range(num_shards)],
+                )
+            )
         return cls(
             shards,
             partitioner,
             index_factory,
             max_workers=max_workers,
             budget=budget,
+            durability=durability,
+            epoch=0,
         )
+
+    @classmethod
+    def recover(
+        cls,
+        durability: DurabilityManager,
+        family: str = "olc",
+        max_workers: int = _DEFAULT_MAX_WORKERS,
+        budget: Optional[MemoryBudget] = None,
+        index_factory: Optional[IndexFactory] = None,
+    ) -> "ShardRouter":
+        """Rebuild a durable router from its on-disk state after a crash.
+
+        Reads the routing manifest (the durable commit point), sweeps
+        files no epoch reaches, recovers every named log — newest valid
+        snapshot plus WAL-tail replay, torn final record tolerated —
+        and bulk-loads each shard's family from the recovered pair set.
+        ``last_recovery`` on the returned router summarizes what was
+        replayed, skipped, and swept.
+        """
+        if index_factory is None:
+            if family not in FAMILY_FACTORIES:
+                raise ValueError(
+                    f"unknown family {family!r}; expected one of "
+                    f"{sorted(FAMILY_FACTORIES)}"
+                )
+            index_factory = FAMILY_FACTORIES[family]
+        manifest = durability.read_manifest()
+        orphans_removed = durability.cleanup_orphans(manifest)
+        partitioner = build_partitioner(manifest.partitioner)
+        thread_safe = family in THREAD_SAFE_FAMILIES
+        shards = []
+        frames_replayed = 0
+        snapshots_skipped = 0
+        torn_bytes = 0
+        for position, log_id in enumerate(manifest.shards):
+            log, result = durability.recover_log(log_id)
+            pairs = sorted(result.state.items())
+            shards.append(
+                Shard(
+                    position,
+                    index_factory(pairs),
+                    thread_safe=thread_safe,
+                    durable_log=log,
+                )
+            )
+            frames_replayed += result.frames_replayed
+            snapshots_skipped += result.snapshots_skipped
+            torn_bytes += result.torn_bytes
+        router = cls(
+            shards,
+            partitioner,
+            index_factory,
+            max_workers=max_workers,
+            budget=budget,
+            durability=durability,
+            epoch=manifest.epoch,
+        )
+        router.last_recovery = {
+            "epoch": manifest.epoch,
+            "num_shards": len(shards),
+            "frames_replayed": frames_replayed,
+            "snapshots_skipped": snapshots_skipped,
+            "torn_bytes": torn_bytes,
+            "orphans_removed": orphans_removed,
+        }
+        return router
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the executor (idempotent)."""
+        """Shut down the executor and release log handles (idempotent)."""
         with self._executor_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        table = self._table
+        for shard in table.shards:
+            if shard.durable_log is not None:
+                shard.durable_log.close()
 
     def __enter__(self) -> "ShardRouter":
         return self
@@ -481,23 +612,38 @@ class ShardRouter:
                 new_partitioner = table.partitioner.split(shard_id, split_key)
                 fault_point("service.split.build")
                 cut = bisect_left(pairs, (split_key,))
+                new_logs = self._build_logs(shard_id, [pairs[:cut], pairs[cut:]])
                 left = Shard(
                     shard_id,
                     self._index_factory(pairs[:cut]),
                     thread_safe=shard.thread_safe,
+                    durable_log=new_logs[0] if new_logs else None,
                 )
                 right = Shard(
                     shard_id + 1,
                     self._index_factory(pairs[cut:]),
                     thread_safe=shard.thread_safe,
+                    durable_log=new_logs[1] if new_logs else None,
                 )
-                fault_point("service.split.swap")
                 shards = (
                     table.shards[:shard_id]
                     + (left, right)
                     + table.shards[shard_id + 1 :]
                 )
-                self._install(new_partitioner, shards)
+                # Durable commit point: the new manifest (new epoch, new
+                # log ids) is published before the in-memory swap, while
+                # the gate still blocks every acknowledgment.  A real
+                # crash after this line recovers into the new epoch; an
+                # in-process abort at the swap fault point below rolls
+                # the manifest back before any writer can proceed.
+                undo = self._publish_epoch(table, new_partitioner, shards)
+                try:
+                    fault_point("service.split.swap")
+                    self._install(new_partitioner, shards)
+                except BaseException:
+                    self._unpublish_epoch(undo, new_logs)
+                    raise
+                self._retire_logs([shard])
             self.splits += 1
             self._publish_admin_metrics("service.splits")
             return split_key
@@ -524,20 +670,150 @@ class ShardRouter:
                 fault_point("service.merge.collect")
                 pairs = left.items() + right.items()
                 fault_point("service.merge.build")
+                new_logs = self._build_logs(left_id, [pairs])
                 merged = Shard(
                     left_id,
                     self._index_factory(pairs),
                     thread_safe=left.thread_safe,
+                    durable_log=new_logs[0] if new_logs else None,
                 )
-                fault_point("service.merge.swap")
                 shards = (
                     table.shards[:left_id]
                     + (merged,)
                     + table.shards[left_id + 2 :]
                 )
-                self._install(new_partitioner, shards)
+                # Same durable commit protocol as split_shard: manifest
+                # first (gates held), swap second, manifest rollback on
+                # an in-process abort at the swap point.
+                undo = self._publish_epoch(table, new_partitioner, shards)
+                try:
+                    fault_point("service.merge.swap")
+                    self._install(new_partitioner, shards)
+                except BaseException:
+                    self._unpublish_epoch(undo, new_logs)
+                    raise
+                self._retire_logs([left, right])
             self.merges += 1
             self._publish_admin_metrics("service.merges")
+
+    # ------------------------------------------------------------------
+    # Durability admin (checkpointing + epoch re-keying)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot every durable shard and truncate its WAL.
+
+        Runs under ``_admin_lock`` (serialized with split/merge); each
+        shard is frozen just long enough to collect its pairs at a
+        known LSN — shards are checkpointed one at a time, so writers
+        on other shards keep flowing.  Returns a per-shard summary.
+        """
+        if self._durability is None:
+            raise RuntimeError("checkpoint() requires a durable router")
+        summaries: List[Dict[str, Any]] = []
+        with self._admin_lock:
+            table = self._table
+            for position, shard in enumerate(table.shards):
+                log = shard.durable_log
+                if log is None:
+                    continue
+                with shard.write_gate, shard._guard():
+                    pairs = shard.items()
+                    lsn = log.checkpoint(pairs)
+                summaries.append(
+                    {
+                        "position": position,
+                        "log_id": log.log_id,
+                        "lsn": lsn,
+                        "num_keys": len(pairs),
+                        "wal_bytes": log.wal_size_bytes(),
+                    }
+                )
+            self.checkpoints += 1
+            self._publish_admin_metrics("service.checkpoints")
+        return {"epoch": self._epoch, "shards": summaries}
+
+    def _build_logs(
+        self, position: int, groups: Sequence[List[Pair]]
+    ) -> Optional[List[DurableLog]]:
+        """Fresh next-epoch logs for replacement shards at ``position``.
+
+        Each log is born with a base snapshot of its group, so the new
+        epoch is self-contained the instant its manifest publishes.
+        Returns None on a non-durable router.
+        """
+        if self._durability is None:
+            return None
+        epoch = self._epoch + 1
+        return [
+            self._durability.create_log(
+                DurabilityManager.log_id(epoch, position + offset), group
+            )
+            for offset, group in enumerate(groups)
+        ]
+
+    @staticmethod
+    def _log_ids(shards: Sequence[Shard]) -> List[str]:
+        ids: List[str] = []
+        for shard in shards:
+            log = shard.durable_log
+            if log is None:
+                raise ValueError("durable router has a shard without a log")
+            ids.append(log.log_id)
+        return ids
+
+    def _publish_epoch(
+        self,
+        table: _RoutingTable,
+        new_partitioner: Partitioner,
+        new_shards: Sequence[Shard],
+    ) -> Optional[Manifest]:
+        """Durably commit the next routing epoch; returns the undo manifest.
+
+        Callers hold the affected write gates, so no acknowledgment can
+        land between this publish and either the in-memory swap or the
+        rollback in :meth:`_unpublish_epoch`.
+        """
+        if self._durability is None:
+            return None
+        undo = Manifest(
+            epoch=self._epoch,
+            partitioner=partitioner_spec(table.partitioner),
+            shards=self._log_ids(table.shards),
+        )
+        self._durability.publish_manifest(
+            Manifest(
+                epoch=self._epoch + 1,
+                partitioner=partitioner_spec(new_partitioner),
+                shards=self._log_ids(new_shards),
+            )
+        )
+        self._epoch += 1
+        return undo
+
+    def _unpublish_epoch(
+        self, undo: Optional[Manifest], new_logs: Optional[List[DurableLog]]
+    ) -> None:
+        """Roll the durable epoch back after an aborted swap.
+
+        The undo republish runs with fault injection disabled: the
+        abort path must not itself be killable by the injector, or the
+        manifest and the (still-old) in-memory table would diverge.
+        """
+        if self._durability is None or undo is None:
+            return
+        self._durability.publish_manifest(undo, allow_fault=False)
+        self._epoch = undo.epoch
+        if new_logs:
+            for log in new_logs:
+                log.delete_files()
+
+    def _retire_logs(self, shards: Sequence[Shard]) -> None:
+        """Seal and destroy the logs of shards a committed swap replaced."""
+        for shard in shards:
+            log = shard.durable_log
+            if log is not None:
+                log.seal()
+                log.delete_files()
 
     def _install(self, partitioner: Partitioner, shards: Tuple[Shard, ...]) -> None:
         # Never mutate shard objects here: they are shared with the
@@ -606,6 +882,9 @@ class ShardRouter:
             "imbalance": round(self.imbalance(), 4),
             "splits": self.splits,
             "merges": self.merges,
+            "durable": self._durability is not None,
+            "epoch": self._epoch,
+            "checkpoints": self.checkpoints,
             "queue_depth": self.queue_depth,
             "budget": self.arbiter.describe(),
             "shards": [

@@ -16,15 +16,37 @@ router acquires it around each write batch, and split/merge holds it
 (plus the operation lock, when present) for the duration of a
 build-aside+swap — which is how a rebalance can promise zero lost keys
 without stopping reads on OLC shards.
+
+A shard may also carry a :class:`~repro.durability.log.DurableLog`.
+Writes then follow write-ahead order: the record is appended (and,
+under the ``"batch"`` sync policy, fsynced) *before* the in-memory
+index is touched, so an acknowledgment implies the write survives a
+crash.  The ``durability.wal.apply`` fault point sits between the
+durable append and the in-memory apply — a crash there leaves an
+unacknowledged record on disk, which recovery replays (harmless: the
+caller never saw an ack, and replay is idempotent).
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import nullcontext
-from typing import Any, ContextManager, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ContextManager,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.faults.injector import fault_point
 from repro.service.partition import Key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.durability.log import DurableLog
 
 Pair = Tuple[Key, int]
 
@@ -41,6 +63,7 @@ class Shard:
         shard_id: int,
         index: Any,
         thread_safe: bool = False,
+        durable_log: Optional["DurableLog"] = None,
     ) -> None:
         #: The position this shard was built for.  Purely informational:
         #: the router derives routing positions from the table index, so
@@ -48,6 +71,10 @@ class Shard:
         self.shard_id = shard_id
         self.index = index
         self.thread_safe = thread_safe
+        #: When set, every write is appended here *before* it touches
+        #: the index — the write-ahead discipline that makes an ack
+        #: crash-durable.
+        self.durable_log = durable_log
         #: Serializes every operation on non-thread-safe families.
         self.op_lock: Optional[threading.RLock] = (
             None if thread_safe else threading.RLock()
@@ -119,17 +146,29 @@ class Shard:
         return hasattr(self.index, "insert")
 
     def put(self, key: Key, value: int) -> None:
-        """Upsert one pair."""
+        """Upsert one pair (write-ahead logged when the shard is durable)."""
         with self._guard():
             self._note_ops(1)
+            if self.durable_log is not None:
+                self.durable_log.append_put(key, value)
+                fault_point("durability.wal.apply")
             self.index.insert(key, value)
 
     def put_many(self, pairs: Sequence[Pair]) -> None:
-        """Upsert a batch, through the family's ``insert_many`` if any."""
+        """Upsert a batch, through the family's ``insert_many`` if any.
+
+        On a durable shard the whole batch lands in the WAL as one
+        group commit (one write, one fsync) before any pair touches the
+        index — the ``put_many`` path is exactly where group commit
+        amortizes the durability cost.
+        """
         if not pairs:
             return
         with self._guard():
             self._note_ops(len(pairs))
+            if self.durable_log is not None:
+                self.durable_log.append_put_many(pairs)
+                fault_point("durability.wal.apply")
             insert_many = getattr(self.index, "insert_many", None)
             if insert_many is not None:
                 insert_many(list(pairs))
@@ -142,6 +181,9 @@ class Shard:
         """Remove ``key``; False when it was absent."""
         with self._guard():
             self._note_ops(1)
+            if self.durable_log is not None:
+                self.durable_log.append_delete(key)
+                fault_point("durability.wal.apply")
             return bool(self.index.delete(key))
 
     # ------------------------------------------------------------------
@@ -183,6 +225,7 @@ class Shard:
             "shard_id": self.shard_id,
             "family": getattr(self.index, "stats_family", type(self.index).__name__),
             "thread_safe": self.thread_safe,
+            "durable": self.durable_log.stats() if self.durable_log is not None else None,
             "num_keys": self.num_keys,
             "size_bytes": self.size_bytes(),
             "ops": self.ops,

@@ -1,0 +1,26 @@
+"""RA003 firing fixture: a durability-style publish that dirties state.
+
+Models the WAL-truncation / snapshot-write shape (write aside, fault
+point at the swap, publish) but mutates published ``self`` state before
+the swap — exactly what the discipline forbids on durability paths.
+"""
+
+
+class BadSnapshotStore:
+    def write(self, pairs, lsn):
+        self.generations.append(lsn)  # published state dirtied pre-swap
+        blob = bytes(len(pairs))
+        tmp = write_aside(self.path, blob)
+        fault_point("durability.snapshot.swap")
+        publish_aside(tmp, self.path)
+        return tmp
+
+
+class BadTruncator:
+    def truncate_upto(self, cutoff):
+        self.next_lsn = cutoff + 1  # assignment to published self pre-swap
+        kept = [cutoff]
+        tmp = write_aside(self.path, bytes(kept))
+        fault_point("durability.wal.truncate.swap")
+        publish_aside(tmp, self.path)
+        return len(kept)

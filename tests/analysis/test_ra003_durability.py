@@ -1,0 +1,47 @@
+"""RA003 over the durability layer's real swap sites.
+
+The durability package introduces four publish points that RA003's
+migration discipline must police (snapshot swap, manifest swap, WAL
+truncation aside-publish, FST file publish).  These tests pin that the
+shipped implementations are clean and that the rule still fires on a
+durability-shaped violation.
+"""
+
+from repro.analysis.loader import load_module
+from repro.analysis.project import Project
+from repro.analysis.rules.ra003_migration import MigrationDisciplineRule
+
+from tests.analysis.helpers import REPO_ROOT, fixture_project, messages
+
+DURABILITY_SOURCES = [
+    "src/repro/durability/wal.py",
+    "src/repro/durability/snapshot.py",
+    "src/repro/durability/manager.py",
+    "src/repro/durability/log.py",
+    "src/repro/fst/serialize.py",
+    "src/repro/service/router.py",
+]
+
+
+def _real_project():
+    return Project(
+        [load_module(REPO_ROOT / source) for source in DURABILITY_SOURCES]
+    )
+
+
+class TestShippedDurabilityCodeIsClean:
+    def test_no_ra003_findings_on_durability_sources(self):
+        findings = list(MigrationDisciplineRule().run(_real_project()))
+        assert findings == []
+
+
+class TestDurabilityShapedViolationsFire:
+    def test_pre_swap_mutations_fire(self):
+        project = fixture_project("ra003_durability_bad.py")
+        texts = messages(MigrationDisciplineRule().run(project))
+        assert any(
+            "append() on published self.generations" in text for text in texts
+        )
+        assert any(
+            "assignment to published self.next_lsn" in text for text in texts
+        )

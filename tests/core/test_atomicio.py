@@ -1,0 +1,59 @@
+"""Tests for the build-aside+swap file publication helpers."""
+
+import pytest
+
+from repro.core.atomicio import discard_aside, fsync_dir, publish_aside, write_aside
+
+
+class TestWriteAside:
+    def test_temp_lives_next_to_final(self, tmp_path):
+        final = tmp_path / "blob.bin"
+        tmp = write_aside(final, b"payload")
+        assert tmp.parent == tmp_path
+        assert tmp.name.startswith("blob.bin.")
+        assert tmp.suffix == ".tmp"
+        assert tmp.read_bytes() == b"payload"
+        assert not final.exists()
+        discard_aside(tmp)
+
+    def test_non_durable_write_skips_fsync(self, tmp_path):
+        tmp = write_aside(tmp_path / "x", b"d", durable=False)
+        assert tmp.read_bytes() == b"d"
+        discard_aside(tmp)
+
+
+class TestPublishAside:
+    def test_publish_replaces_existing_file(self, tmp_path):
+        final = tmp_path / "blob.bin"
+        final.write_bytes(b"old")
+        tmp = write_aside(final, b"new")
+        publish_aside(tmp, final)
+        assert final.read_bytes() == b"new"
+        assert not tmp.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_publish_removes_temp(self, tmp_path):
+        final = tmp_path / "dir-in-the-way"
+        final.mkdir()
+        (final / "occupant").write_bytes(b"x")  # non-empty dir: replace fails
+        tmp = write_aside(tmp_path / "blob.bin", b"data")
+        with pytest.raises(OSError):
+            publish_aside(tmp, final)
+        assert not tmp.exists()
+
+
+class TestDiscardAside:
+    def test_discard_is_idempotent(self, tmp_path):
+        tmp = write_aside(tmp_path / "blob", b"x")
+        discard_aside(tmp)
+        discard_aside(tmp)  # already gone: must not raise
+        assert not tmp.exists()
+
+
+class TestFsyncDir:
+    def test_fsync_dir_accepts_a_directory(self, tmp_path):
+        fsync_dir(tmp_path)  # smoke: no exception
+
+    def test_fsync_missing_dir_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            fsync_dir(tmp_path / "absent")

@@ -129,3 +129,32 @@ class TestBookkeeping:
 
     def test_injected_fault_is_runtime_error(self):
         assert issubclass(InjectedFault, RuntimeError)
+
+
+class TestMultiSiteFilter:
+    def test_sequence_of_patterns_is_an_or(self):
+        injector = FaultInjector(site=("wal.append", "snapshot.*"))
+        assert injector.matches("wal.append")
+        assert injector.matches("snapshot.swap")
+        assert injector.matches("snapshot.write")
+        assert not injector.matches("wal.truncate")
+
+    def test_mixed_exact_and_prefix_injection(self):
+        sites = ("durability.wal.append", "service.split.*")
+        with FaultInjector(site=sites, rate=1.0, max_failures=2) as injector:
+            with pytest.raises(InjectedFault):
+                fault_point("durability.wal.append")
+            fault_point("durability.wal.apply")  # not matched
+            with pytest.raises(InjectedFault):
+                fault_point("service.split.swap")
+        assert injector.failures_by_site == {
+            "durability.wal.append": 1,
+            "service.split.swap": 1,
+        }
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(site=("ok", ""))
+
+    def test_empty_sequence_matches_everything(self):
+        assert FaultInjector(site=()).matches("anything.at.all")

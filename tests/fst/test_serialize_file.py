@@ -1,0 +1,60 @@
+"""Tests for file-level FST serialization (atomic publish + hygiene)."""
+
+import pytest
+
+from repro.faults import FaultInjector, InjectedFault
+from repro.fst import FST
+from repro.fst.serialize import fst_from_file, fst_to_file
+
+
+def make_fst(n=200):
+    pairs = [(index.to_bytes(4, "big"), index) for index in range(n)]
+    return FST(pairs), pairs
+
+
+class TestFileRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        fst, pairs = make_fst()
+        path = tmp_path / "index.fst"
+        fst_to_file(fst, path)
+        loaded = fst_from_file(path)
+        assert loaded.num_keys == fst.num_keys
+        for key, value in pairs[::13]:
+            assert loaded.lookup(key) == value
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_accepts_str_path(self, tmp_path):
+        fst, _ = make_fst(10)
+        path = tmp_path / "index.fst"
+        fst_to_file(fst, str(path))
+        assert fst_from_file(str(path)).num_keys == 10
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        first, _ = make_fst(10)
+        second, _ = make_fst(25)
+        path = tmp_path / "index.fst"
+        fst_to_file(first, path)
+        fst_to_file(second, path)
+        assert fst_from_file(path).num_keys == 25
+
+
+class TestSwapFaultHygiene:
+    def test_fault_leaves_old_file_and_no_temp(self, tmp_path):
+        first, _ = make_fst(10)
+        second, _ = make_fst(25)
+        path = tmp_path / "index.fst"
+        fst_to_file(first, path)
+        with FaultInjector(site="fst.serialize.swap", fail_at=1):
+            with pytest.raises(InjectedFault):
+                fst_to_file(second, path)
+        assert fst_from_file(path).num_keys == 10  # old file intact
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_fault_on_fresh_write_leaves_nothing(self, tmp_path):
+        fst, _ = make_fst(10)
+        path = tmp_path / "index.fst"
+        with FaultInjector(site="fst.serialize.swap", fail_at=1):
+            with pytest.raises(InjectedFault):
+                fst_to_file(fst, path)
+        assert not path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
