@@ -36,6 +36,7 @@ from repro.durability.wal import (
     Frame,
     LogSealedError,
     TailInfo,
+    WalPoisonedError,
     WriteAheadLog,
     read_frames,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "RecoveryResult",
     "SnapshotStore",
     "TailInfo",
+    "WalPoisonedError",
     "WriteAheadLog",
     "build_partitioner",
     "decode_key",

@@ -218,6 +218,7 @@ class DurableLog:
             "log_id": self.log_id,
             "last_lsn": self.wal.last_lsn,
             "sealed": self.wal.sealed,
+            "poisoned": self.wal.poisoned,
             "wal_bytes": self.wal.size_bytes(),
             "snapshot_lsns": self.snapshots.list_lsns(),
             "sync": self.wal.sync,

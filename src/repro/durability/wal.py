@@ -27,6 +27,15 @@ crash is *skipped and counted*, never raised, because with fsync-aware
 acknowledgment only unacknowledged records can be torn.  Recovery
 truncates the file back to the valid prefix before appending again.
 
+**Poisoning**: an append that fails part-way (an injected tear, or a
+real partial ``write()``/``fsync`` error) may leave garbage mid-file.
+Because :func:`read_frames` stops at the first bad frame, any frame
+appended *after* that garbage would be unreachable on replay — an
+acknowledged-then-lost write.  So the first append failure poisons the
+log: every later :meth:`~WriteAheadLog.append_batch` (and checkpoint
+truncation) raises :class:`WalPoisonedError` until recovery re-opens
+the file, which drops the torn tail first.
+
 For fault campaigns, a log built with a ``tear_rng`` simulates the
 mid-write crash honestly: when the ``durability.wal.append`` point
 fires, a random *prefix* of the encoded batch is written before the
@@ -76,6 +85,7 @@ _COUNTERS = {
     "truncations": "durability.wal.truncations",
     "torn_tails": "durability.wal.torn_tails",
     "torn_bytes": "durability.wal.torn_bytes",
+    "poisoned": "durability.wal.poisoned",
 }
 
 #: One WAL record: ``(op, key, value)`` — value ignored for deletes.
@@ -84,6 +94,16 @@ Record = Tuple[int, Key, Optional[int]]
 
 class LogSealedError(RuntimeError):
     """An append reached a log sealed by a shard split/merge."""
+
+
+class WalPoisonedError(RuntimeError):
+    """An append reached a log fenced off by an earlier append failure.
+
+    The file may hold garbage after its last intact frame, and
+    :func:`read_frames` would silently drop anything appended past that
+    garbage — so the log refuses every durable operation until it is
+    re-opened through recovery (which truncates the torn tail first).
+    """
 
 
 @dataclass(frozen=True)
@@ -219,6 +239,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._next_lsn = next_lsn
         self._sealed = False
+        self._poisoned: Optional[str] = None
         self._tear_rng = tear_rng
         if create or not path.exists():
             handle = open(path, "wb")
@@ -242,6 +263,11 @@ class WriteAheadLog:
     def sealed(self) -> bool:
         """True once a split/merge has fenced this log off."""
         return self._sealed
+
+    @property
+    def poisoned(self) -> Optional[str]:
+        """Why a failed append fenced this log off (None when healthy)."""
+        return self._poisoned
 
     def size_bytes(self) -> int:
         """Current on-disk size of the log file."""
@@ -268,6 +294,7 @@ class WriteAheadLog:
         with self._lock:
             if self._sealed:
                 raise LogSealedError(f"log {self.path.name} is sealed (shard was re-keyed)")
+            self._check_poisoned()
             first = self._next_lsn
             parts = []
             lsn = first
@@ -278,14 +305,22 @@ class WriteAheadLog:
             try:
                 fault_point("durability.wal.append")
             except InjectedFault:
+                # The simulated kill: a random prefix of the batch lands
+                # before the fault propagates.  Whatever actually hit the
+                # file, the log must be fenced — see _poison below.
+                self._poison("injected append fault (possible torn write)")
                 if self._tear_rng is not None:
                     self._handle.write(blob[: self._tear_rng.randrange(len(blob))])
                     self._handle.flush()
                 raise
-            self._handle.write(blob)
-            self._handle.flush()
-            if self.sync == "batch":
-                os.fsync(self._handle.fileno())
+            try:
+                self._handle.write(blob)
+                self._handle.flush()
+                if self.sync == "batch":
+                    os.fsync(self._handle.fileno())
+            except BaseException as error:
+                self._poison(f"append failed mid-write: {error!r}")
+                raise
             self._next_lsn = lsn
         registry = active_registry()
         if registry is not None:
@@ -295,6 +330,29 @@ class WriteAheadLog:
             if self.sync == "batch":
                 registry.counter(_COUNTERS["fsyncs"]).inc()
         return first, lsn - 1
+
+    def _poison(self, reason: str) -> None:
+        """Fence the log after a failed append (caller holds the lock).
+
+        ``_next_lsn`` was not advanced, so the failed records were never
+        acknowledged; what must never happen is a *later* acknowledged
+        append landing after the garbage this failure may have left,
+        where replay cannot reach it.  Only re-opening through recovery
+        (a fresh instance, torn tail dropped) lifts the fence.
+        """
+        if self._poisoned is not None:
+            return
+        self._poisoned = reason
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(_COUNTERS["poisoned"]).inc()
+
+    def _check_poisoned(self) -> None:
+        if self._poisoned is not None:
+            raise WalPoisonedError(
+                f"log {self.path.name} is poisoned ({self._poisoned}); "
+                "re-open it via recovery before appending"
+            )
 
     # ------------------------------------------------------------------
     # Truncation (checkpoint support)
@@ -310,6 +368,7 @@ class WriteAheadLog:
         from repro.core.atomicio import discard_aside, publish_aside, write_aside
 
         with self._lock:
+            self._check_poisoned()
             self._handle.flush()
             frames, _tail = read_frames(self.path)
             kept = [frame for frame in frames if frame.lsn > cutoff_lsn]
@@ -323,6 +382,14 @@ class WriteAheadLog:
                 publish_aside(tmp, self.path, durable=self.sync == "batch")
             except BaseException:
                 discard_aside(tmp)
+                # The fault point precedes the close() above, so the old
+                # handle is usually still open: release it before
+                # reopening or every aborted truncation leaks a
+                # descriptor (close() is idempotent when it did run).
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
                 self._handle = open(self.path, "ab")
                 raise
             self._handle = open(self.path, "ab")
@@ -337,8 +404,19 @@ class WriteAheadLog:
             return
         with self._lock:
             self._handle.flush()
-            os.truncate(self.path, max(tail.valid_bytes, _FILE_HEADER.size))
             self._handle.close()
+            if tail.valid_bytes < _FILE_HEADER.size:
+                # The crash landed inside the 8-byte file header;
+                # os.truncate would zero-PAD up to header size, leaving
+                # invalid magic that makes every later read_frames
+                # raise.  Rewrite a fresh empty log instead.
+                with open(self.path, "wb") as handle:
+                    handle.write(_FILE_HEADER.pack(WAL_MAGIC, WAL_VERSION))
+                    handle.flush()
+                    if self.sync == "batch":
+                        os.fsync(handle.fileno())
+            else:
+                os.truncate(self.path, tail.valid_bytes)
             self._handle = open(self.path, "ab")
         registry = active_registry()
         if registry is not None:

@@ -44,10 +44,15 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.durability import FAULT_SITES, DurabilityManager
+from repro.durability import FAULT_SITES, DurabilityManager, WalPoisonedError
 from repro.faults.injector import FaultInjector, InjectedFault
 from repro.service.partition import PartitionError
 from repro.service.router import ShardRouter
+
+#: What kills a campaign thread: the armed fault itself, or the fence a
+#: sibling's torn append left on a shared shard's WAL.  Either way the
+#: op was never acknowledged, so its keys become in-flight uncertainty.
+_CRASH_ERRORS = (InjectedFault, WalPoisonedError)
 
 #: The sites the campaign cycles through, one armed per round.  The
 #: trailing broad patterns shake out interleavings a single-site arm
@@ -119,7 +124,7 @@ def _run_writer(
         version += len(batch)
         try:
             router.put_many(batch)
-        except InjectedFault:
+        except _CRASH_ERRORS:
             for key, value in batch:
                 outcome.uncertain.setdefault(key, set()).add(value)
             outcome.crashed = True
@@ -130,7 +135,7 @@ def _run_writer(
             key = rng.randrange(key_lo, key_hi)
             try:
                 router.delete(key)
-            except InjectedFault:
+            except _CRASH_ERRORS:
                 outcome.uncertain_deletes.add(key)
                 outcome.crashed = True
                 return
@@ -150,7 +155,7 @@ def _run_admin(router: ShardRouter, rng: random.Random, outcome: _WriterOutcome)
                 sizes = [shard.num_keys for shard in table.shards]
                 target = max(range(len(sizes)), key=sizes.__getitem__)
                 router.split_shard(target)
-    except InjectedFault:
+    except _CRASH_ERRORS:
         outcome.crashed = True
     except PartitionError:
         # Too few keys / no interior split key this round; not a crash.

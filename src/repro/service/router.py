@@ -635,8 +635,14 @@ class ShardRouter:
                 # the gate still blocks every acknowledgment.  A real
                 # crash after this line recovers into the new epoch; an
                 # in-process abort at the swap fault point below rolls
-                # the manifest back before any writer can proceed.
-                undo = self._publish_epoch(table, new_partitioner, shards)
+                # the manifest back before any writer can proceed.  If
+                # the publish itself fails the old manifest still rules,
+                # so only the freshly built logs need destroying.
+                try:
+                    undo = self._publish_epoch(table, new_partitioner, shards)
+                except BaseException:
+                    self._delete_logs(new_logs)
+                    raise
                 try:
                     fault_point("service.split.swap")
                     self._install(new_partitioner, shards)
@@ -684,8 +690,13 @@ class ShardRouter:
                 )
                 # Same durable commit protocol as split_shard: manifest
                 # first (gates held), swap second, manifest rollback on
-                # an in-process abort at the swap point.
-                undo = self._publish_epoch(table, new_partitioner, shards)
+                # an in-process abort at the swap point, new-log cleanup
+                # when the publish itself fails.
+                try:
+                    undo = self._publish_epoch(table, new_partitioner, shards)
+                except BaseException:
+                    self._delete_logs(new_logs)
+                    raise
                 try:
                     fault_point("service.merge.swap")
                     self._install(new_partitioner, shards)
@@ -803,8 +814,13 @@ class ShardRouter:
             return
         self._durability.publish_manifest(undo, allow_fault=False)
         self._epoch = undo.epoch
-        if new_logs:
-            for log in new_logs:
+        self._delete_logs(new_logs)
+
+    @staticmethod
+    def _delete_logs(logs: Optional[List[DurableLog]]) -> None:
+        """Destroy next-epoch logs that no published manifest reaches."""
+        if logs:
+            for log in logs:
                 log.delete_files()
 
     def _retire_logs(self, shards: Sequence[Shard]) -> None:

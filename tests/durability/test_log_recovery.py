@@ -111,6 +111,34 @@ class TestTornFinalFrame:
         assert extras <= set(range(50, 80))
         assert all(result.state[key] == key for key in extras)
 
+    def test_no_acknowledgment_lands_after_a_torn_append(self, dirs):
+        # The fenced-WAL contract: once an append tears, a concurrent
+        # writer must NOT be able to ack to the same log — its frames
+        # would sit after mid-file garbage, where replay cannot reach
+        # them, silently losing an acknowledged write on recovery.
+        from repro.durability import WalPoisonedError
+
+        wal_dir, snap_dir = dirs
+        log = DurableLog.create(
+            "log-a", wal_dir, snap_dir, [(1, 10)], sync="none",
+            tear_rng=random.Random(7),
+        )
+        log.append_put(2, 20)  # acked
+        with FaultInjector(site="durability.wal.append", fail_at=1):
+            with pytest.raises(InjectedFault):
+                log.append_put_many([(key, key) for key in range(50, 80)])
+        # The would-be lost ack: raises instead of acknowledging.
+        with pytest.raises(WalPoisonedError):
+            log.append_put(3, 30)
+        log.close()
+        recovered, result = DurableLog.recover("log-a", *dirs, sync="none")
+        # Acked state intact, the fenced write absent (never acked),
+        # and the re-opened log accepts appends again.
+        assert result.state[1] == 10 and result.state[2] == 20
+        assert 3 not in result.state
+        recovered.append_put(3, 30)
+        recovered.close()
+
 
 class TestCorruptSnapshotFallback:
     def test_falls_back_and_replays_longer_tail(self, dirs):

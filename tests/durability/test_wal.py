@@ -9,6 +9,7 @@ from repro.durability.wal import (
     OP_DELETE,
     OP_PUT,
     LogSealedError,
+    WalPoisonedError,
     WriteAheadLog,
     encode_frame,
     read_frames,
@@ -106,6 +107,21 @@ class TestTornTail:
         with pytest.raises(CorruptSerializationError):
             read_frames(wal_path)
 
+    def test_tear_inside_file_header_rewrites_fresh_log(self, wal_path):
+        # A crash between file creation and the header write leaves
+        # fewer than 8 bytes; zero-padding to header size would
+        # fabricate bad magic, so drop_torn_tail must rebuild the file.
+        wal_path.write_bytes(b"RW")
+        frames, tail = read_frames(wal_path)
+        assert frames == [] and tail.torn and tail.valid_bytes == 0
+        wal = WriteAheadLog(wal_path, sync="none", next_lsn=1)
+        wal.drop_torn_tail(tail)
+        wal.append_batch([(OP_PUT, 1, 1)])
+        wal.close()
+        frames, tail = read_frames(wal_path)
+        assert [(f.lsn, f.key) for f in frames] == [(1, 1)]
+        assert not tail.torn
+
     def test_drop_torn_tail_restores_appendability(self, wal_path):
         wal = WriteAheadLog(wal_path, sync="none", create=True)
         wal.append_batch([(OP_PUT, 1, 1), (OP_PUT, 2, 2)])
@@ -147,6 +163,31 @@ class TestTruncation:
         wal.append_batch([(OP_PUT, 9, 9)])  # handle still usable
         wal.close()
 
+    def test_aborted_truncation_does_not_leak_descriptors(self, wal_path):
+        import os
+
+        def open_fds_for(path):
+            fd_dir = "/proc/self/fd"
+            count = 0
+            for name in os.listdir(fd_dir):
+                try:
+                    if os.readlink(f"{fd_dir}/{name}") == str(path):
+                        count += 1
+                except OSError:
+                    continue
+            return count
+
+        wal = WriteAheadLog(wal_path, sync="none", create=True)
+        wal.append_batch([(OP_PUT, key, key) for key in range(4)])
+        baseline = open_fds_for(wal_path)
+        for attempt in range(1, 4):
+            with FaultInjector(site="durability.wal.truncate", fail_at=1):
+                with pytest.raises(InjectedFault):
+                    wal.truncate_upto(2)
+            assert open_fds_for(wal_path) == baseline
+        wal.append_batch([(OP_PUT, 9, 9)])
+        wal.close()
+
 
 class TestSealAndFaults:
     def test_sealed_log_refuses_appends(self, wal_path):
@@ -164,6 +205,47 @@ class TestSealAndFaults:
         wal.close()
         frames, tail = read_frames(wal_path)
         assert frames == [] and not tail.torn
+
+    def test_failed_append_poisons_the_log(self, wal_path):
+        # After a torn append the file may hold mid-file garbage that
+        # read_frames stops at; acknowledging anything appended past it
+        # would be a lost write on recovery, so the log must fence.
+        wal = WriteAheadLog(
+            wal_path, sync="none", create=True, tear_rng=random.Random(3)
+        )
+        wal.append_batch([(OP_PUT, 1, 1)])
+        with Telemetry() as telemetry:
+            with FaultInjector(site="durability.wal.append", fail_at=1):
+                with pytest.raises(InjectedFault):
+                    wal.append_batch([(OP_PUT, key, key) for key in range(2, 30)])
+            assert telemetry.registry.counter("durability.wal.poisoned").value == 1
+        assert wal.poisoned is not None
+        with pytest.raises(WalPoisonedError):
+            wal.append_batch([(OP_PUT, 99, 99)])
+        with pytest.raises(WalPoisonedError):
+            wal.truncate_upto(1)
+        wal.close()
+        # Recovery path: drop the torn tail and re-open a fresh instance.
+        frames, tail = read_frames(wal_path)
+        recovered = WriteAheadLog(
+            wal_path, sync="none", next_lsn=(frames[-1].lsn if frames else 0) + 1
+        )
+        recovered.drop_torn_tail(tail)
+        recovered.append_batch([(OP_PUT, 99, 99)])  # fence lifted
+        recovered.close()
+        frames, tail = read_frames(wal_path)
+        assert frames[-1].key == 99 and not tail.torn
+
+    def test_poisoning_without_tear_rng_still_fences(self, wal_path):
+        # Production shape: a failed write() cannot prove how much of
+        # the batch landed, so even a faulted-before-write append fences.
+        wal = WriteAheadLog(wal_path, sync="none", create=True)
+        with FaultInjector(site="durability.wal.append", fail_at=1):
+            with pytest.raises(InjectedFault):
+                wal.append_batch([(OP_PUT, 1, 1)])
+        with pytest.raises(WalPoisonedError):
+            wal.append_batch([(OP_PUT, 2, 2)])
+        wal.close()
 
     def test_tear_rng_writes_partial_prefix_on_fault(self, wal_path):
         wal = WriteAheadLog(

@@ -180,11 +180,27 @@ class TestEpochReKeying:
         recovered.close()
 
     def test_aborted_manifest_publish_keeps_old_epoch_serving(self, tmp_path):
-        router = make_router(tmp_path, num_keys=100)
+        durability = make_durability(tmp_path)
+        pairs = [(key, key * 10) for key in range(100)]
+        router = ShardRouter.build(
+            pairs,
+            family="olc",
+            num_shards=2,
+            partitioning="range",
+            max_workers=0,
+            durability=durability,
+        )
         with FaultInjector(site="durability.manifest.swap", fail_at=1):
             with pytest.raises(InjectedFault):
                 router.split_shard(0)
         assert router.num_shards == 2
+        # The next-epoch logs built aside for the failed publish must not
+        # linger on disk: no manifest reaches them, so they would leak
+        # until a recovery orphan sweep (or collide with a reused id).
+        for position in range(3):
+            epoch1_id = DurabilityManager.log_id(1, position)
+            assert not (durability.wal_dir / f"{epoch1_id}.wal").exists()
+            assert not list(durability.snap_dir.glob(f"{epoch1_id}.*"))
         router.put(901, 9)
         before = state_of(router)
         router.close()
