@@ -15,7 +15,7 @@ with ``n_c``/``n_u`` compressed/uncompressed node counts and ``m_c``/
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional
 
 
 def estimate_expandable_k(
@@ -101,6 +101,221 @@ class MemoryBudget:
         if limit == float("inf"):
             return 0.0
         return used_bytes / limit
+
+
+class TokenBucket:
+    """A rate limiter over a caller-supplied clock.
+
+    The bucket holds up to ``burst`` tokens and refills at ``rate``
+    tokens per second of *caller time*: every call passes ``now`` (any
+    monotonically non-decreasing float — ``loop.time()`` in the asyncio
+    front end, a virtual clock in tests), so the core stays free of
+    wall-clock reads and the refill arithmetic is exactly testable.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self.updated:
+            self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+            self.updated = now
+
+    def try_take(self, amount: float, now: float) -> bool:
+        """Consume ``amount`` tokens at time ``now``; False when broke."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self._refill(now)
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def available(self, now: float) -> float:
+        """Tokens that would be available at time ``now``."""
+        self._refill(now)
+        return self.tokens
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (None fields are unlimited).
+
+    ``ops_per_sec`` caps the sustained operation rate through a
+    :class:`TokenBucket` whose burst is ``burst_ops`` (default: one
+    second's worth of tokens); ``max_inflight`` bounds the number of
+    concurrently admitted requests — the *bounded queue* that replaces
+    unbounded buffering: when it is full the front end answers with a
+    backpressure response instead of parking the request.
+    """
+
+    ops_per_sec: Optional[float] = None
+    burst_ops: Optional[float] = None
+    max_inflight: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ops_per_sec is not None and self.ops_per_sec <= 0:
+            raise ValueError(f"ops_per_sec must be positive, got {self.ops_per_sec}")
+        if self.burst_ops is not None and self.burst_ops <= 0:
+            raise ValueError(f"burst_ops must be positive, got {self.burst_ops}")
+        if self.burst_ops is not None and self.ops_per_sec is None:
+            raise ValueError("burst_ops requires ops_per_sec")
+        if self.max_inflight is not None and self.max_inflight <= 0:
+            raise ValueError(f"max_inflight must be positive, got {self.max_inflight}")
+
+    @classmethod
+    def unlimited(cls) -> "TenantQuota":
+        """A quota that admits everything."""
+        return cls()
+
+    def bucket(self) -> Optional[TokenBucket]:
+        """A fresh token bucket for this quota (None when unlimited)."""
+        if self.ops_per_sec is None:
+            return None
+        burst = self.burst_ops if self.burst_ops is not None else self.ops_per_sec
+        return TokenBucket(self.ops_per_sec, burst)
+
+
+#: Admission decisions, in the shape backpressure responses want.
+ADMIT_OK = "ok"
+SHED_THROTTLED = "throttled"      # ops/sec token bucket is empty
+SHED_OVERLOADED = "overloaded"    # bounded inflight queue is full
+
+
+class _TenantState:
+    __slots__ = ("quota", "bucket", "inflight", "admitted", "throttled", "overloaded")
+
+    def __init__(self, quota: TenantQuota) -> None:
+        self.quota = quota
+        self.bucket = quota.bucket()
+        self.inflight = 0
+        self.admitted = 0
+        self.throttled = 0
+        self.overloaded = 0
+
+
+class ResourceArbiter:
+    """The :class:`BudgetArbiter` generalized across tenants.
+
+    One arbiter per served process, arbitrating two resources:
+
+    * **memory** — the inherited behaviour: every registered index
+      structure is a member of an internal :class:`BudgetArbiter`, and
+      :meth:`rebalance` carves the global :class:`MemoryBudget` into
+      per-member budgets installed into the adaptation managers.
+      Members are named ``<tenant>/<shard>``, so one tenant's shard
+      group grows and shrinks together.
+    * **admission** — per-tenant ops/sec token buckets plus a bounded
+      inflight count (:class:`TenantQuota`).  :meth:`admit` is the
+      single entry point the network front end calls per request; a
+      non-``ok`` decision becomes a backpressure *response*, never an
+      unbounded queue entry.
+
+    Thread/task safety: admission state is touched from one asyncio
+    event loop in practice; counters are plain ints, and memory
+    rebalance is as idempotent as the PR-4 arbiter it wraps.
+    """
+
+    def __init__(
+        self,
+        budget: Optional[MemoryBudget] = None,
+        default_quota: Optional[TenantQuota] = None,
+        floor_bytes: int = 64 * 1024,
+    ) -> None:
+        self.memory = BudgetArbiter(budget or MemoryBudget.unbounded(), floor_bytes)
+        self.default_quota = default_quota or TenantQuota.unlimited()
+        self._tenants: Dict[str, _TenantState] = {}
+
+    # ------------------------------------------------------------------
+    # Tenant membership
+    # ------------------------------------------------------------------
+    def register_tenant(self, name: str, quota: Optional[TenantQuota] = None) -> None:
+        """Add (or re-quota) one tenant."""
+        self._tenants[name] = _TenantState(quota or self.default_quota)
+
+    def unregister_tenant(self, name: str) -> None:
+        """Drop one tenant and its memory members."""
+        self._tenants.pop(name, None)
+        prefix = f"{name}/"
+        for member in [m for m in self.memory._members if m.startswith(prefix)]:
+            self.memory.unregister(member)
+
+    def tenants(self) -> List[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def register_memory_member(self, tenant: str, shard: str, index: Any) -> None:
+        """Attach one index structure to ``tenant``'s memory share."""
+        if tenant not in self._tenants:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        self.memory.register(f"{tenant}/{shard}", index)
+
+    def rebalance(self) -> Dict[str, MemoryBudget]:
+        """Re-carve the global memory budget across every member."""
+        return self.memory.rebalance()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str, ops: float = 1.0, now: float = 0.0) -> str:
+        """Admit or shed one request costing ``ops`` operations.
+
+        Returns :data:`ADMIT_OK`, :data:`SHED_THROTTLED` (rate), or
+        :data:`SHED_OVERLOADED` (inflight bound).  An admitted request
+        holds one inflight slot until :meth:`release`.  Unknown tenants
+        raise ``KeyError`` — the front end maps that to its own
+        unknown-tenant response.
+        """
+        state = self._tenants[tenant]
+        quota = state.quota
+        if quota.max_inflight is not None and state.inflight >= quota.max_inflight:
+            state.overloaded += 1
+            return SHED_OVERLOADED
+        if state.bucket is not None and not state.bucket.try_take(ops, now):
+            state.throttled += 1
+            return SHED_THROTTLED
+        state.inflight += 1
+        state.admitted += 1
+        return ADMIT_OK
+
+    def release(self, tenant: str) -> None:
+        """Return the inflight slot held by one admitted request."""
+        state = self._tenants.get(tenant)
+        if state is not None and state.inflight > 0:
+            state.inflight -= 1
+
+    def inflight(self, tenant: str) -> int:
+        """Currently admitted, unreleased requests for ``tenant``."""
+        return self._tenants[tenant].inflight
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """One JSON-safe summary of quotas, sheds, and the memory carve."""
+        return {
+            "memory": self.memory.describe(),
+            "tenants": {
+                name: {
+                    "ops_per_sec": state.quota.ops_per_sec,
+                    "max_inflight": state.quota.max_inflight,
+                    "inflight": state.inflight,
+                    "admitted": state.admitted,
+                    "throttled": state.throttled,
+                    "overloaded": state.overloaded,
+                }
+                for name, state in sorted(self._tenants.items())
+            },
+        }
 
 
 def _member_keys(index: Any) -> int:

@@ -30,6 +30,7 @@ from repro.harness.experiments_micro import (
     experiment_table2,
     experiment_table4,
 )
+from repro.harness.experiments_net import experiment_net_bench
 from repro.harness.experiments_service import experiment_service_bench
 from repro.harness.experiments_trie import (
     build_trie_variants,
@@ -61,6 +62,7 @@ __all__ = [
     "experiment_fig18",
     "experiment_fig19",
     "experiment_fig20",
+    "experiment_net_bench",
     "experiment_service_bench",
     "experiment_table1",
     "experiment_table2",

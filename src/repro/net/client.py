@@ -1,0 +1,215 @@
+"""Asyncio client for the repro.net protocol.
+
+One :class:`NetClient` multiplexes any number of concurrent requests
+over a single TCP connection: requests carry a client-assigned
+``req_id``, a background reader task resolves the matching future as
+each response frame arrives, so callers just ``await`` — and many
+callers awaiting at once is exactly the concurrency the server-side
+coalescer feeds on.
+
+Two calling styles:
+
+* :meth:`request` — returns the raw :class:`~repro.net.protocol
+  .Response` whatever its status (the load generator uses this to
+  count backpressure sheds without exception overhead);
+* :meth:`get` / :meth:`put` / :meth:`delete` / :meth:`scan` /
+  :meth:`ping` / :meth:`stats` — typed conveniences that raise
+  :class:`BackpressureError` on a shed and :class:`RequestError` on
+  any other non-OK status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.durability.codec import Key
+from repro.net.protocol import (
+    OP_DELETE,
+    OP_GET,
+    OP_PING,
+    OP_PUT,
+    OP_SCAN,
+    OP_STATS,
+    ProtocolError,
+    Request,
+    Response,
+    decode_response,
+    encode_frame,
+    encode_request,
+    read_frame,
+)
+
+
+class NetError(RuntimeError):
+    """Base class for client-visible request failures."""
+
+
+class RequestError(NetError):
+    """The server answered with a non-OK, non-backpressure status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"status 0x{status:02x}: {message}")
+        self.status = status
+
+
+class BackpressureError(NetError):
+    """The server shed this request (throttled or overloaded)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"shed ({message})")
+        self.status = status
+
+
+class ConnectionClosedError(NetError):
+    """The connection died with requests still in flight."""
+
+
+class NetClient:
+    """One multiplexed protocol connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._req_ids = count(1)
+        self._pending: Dict[int, Tuple[int, "asyncio.Future[Response]"]] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "NetClient":
+        """Open a connection to a :class:`~repro.net.server.NetServer`."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection; in-flight requests fail cleanly."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError, Exception):
+            await self._reader_task
+        self._writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._writer.wait_closed()
+        self._fail_pending(ConnectionClosedError("client closed"))
+
+    async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Multiplexing
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                body = await read_frame(self._reader)
+                if body is None:
+                    break
+                # The req_id prefix is enough to find the waiter; the
+                # payload shape needs the original opcode.
+                req_id = int.from_bytes(body[:8], "little") if len(body) >= 8 else -1
+                waiter = self._pending.pop(req_id, None)
+                if waiter is None:
+                    continue
+                op, future = waiter
+                try:
+                    response = decode_response(body, op=op)
+                except ProtocolError as error:
+                    if not future.done():
+                        future.set_exception(error)
+                    break
+                if not future.done():
+                    future.set_result(response)
+        except (ProtocolError, ConnectionError, OSError) as error:
+            self._fail_pending(ConnectionClosedError(str(error)))
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._fail_pending(ConnectionClosedError("connection closed"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for _, future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def request(
+        self,
+        op: int,
+        tenant: str,
+        key: Optional[Key] = None,
+        value: Optional[int] = None,
+        num: int = 0,
+    ) -> Response:
+        """Send one request and await its response (any status)."""
+        if self._closed:
+            raise ConnectionClosedError("client closed")
+        req_id = next(self._req_ids)
+        frame = encode_frame(
+            encode_request(
+                Request(req_id=req_id, op=op, tenant=tenant, key=key, value=value, count=num)
+            )
+        )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Response]" = loop.create_future()
+        self._pending[req_id] = (op, future)
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(req_id, None)
+            raise ConnectionClosedError(str(error)) from error
+        return await future
+
+    # ------------------------------------------------------------------
+    # Typed conveniences
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check(response: Response) -> Response:
+        if response.ok:
+            return response
+        if response.shed:
+            raise BackpressureError(response.status, response.message)
+        raise RequestError(response.status, response.message)
+
+    async def get(self, tenant: str, key: Key) -> Optional[int]:
+        """The value under ``key`` in ``tenant``'s namespace, or None."""
+        response = self._check(await self.request(OP_GET, tenant, key=key))
+        return response.value if response.found else None
+
+    async def put(self, tenant: str, key: Key, value: int) -> None:
+        """Upsert one pair (ack implies the write reached the group)."""
+        self._check(await self.request(OP_PUT, tenant, key=key, value=value))
+
+    async def delete(self, tenant: str, key: Key) -> bool:
+        """Remove ``key``; False when it was absent."""
+        response = self._check(await self.request(OP_DELETE, tenant, key=key))
+        return response.removed
+
+    async def scan(self, tenant: str, start_key: Key, num: int) -> List[Tuple[Key, int]]:
+        """Up to ``num`` ordered pairs from ``start_key``."""
+        response = self._check(
+            await self.request(OP_SCAN, tenant, key=start_key, num=num)
+        )
+        return response.pairs or []
+
+    async def ping(self) -> None:
+        """Round-trip a no-op frame."""
+        self._check(await self.request(OP_PING, ""))
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's directory/arbiter stats snapshot."""
+        response = self._check(await self.request(OP_STATS, ""))
+        return dict(json.loads(response.payload.decode("utf-8")))

@@ -1,0 +1,370 @@
+"""The asyncio TCP front end: framing, admission, coalescing, backpressure.
+
+One :class:`NetServer` owns a :class:`~repro.net.tenancy.TenantDirectory`
+(tenant -> shard group), a :class:`~repro.net.coalescer.Coalescer`, and
+the directory's :class:`~repro.core.budget.ResourceArbiter`.  Per
+connection, a read loop decodes frames and spawns one task per request,
+so many requests from one connection are in flight concurrently —
+that pipelining is what gives the coalescer batches to merge.
+
+The request path, in order:
+
+1. **decode** — a framing or body error (:class:`ProtocolError`)
+   closes the connection; a protocol peer that ships garbage cannot
+   wedge the reader, because every read is exact-length and
+   CRC-checked before any field is trusted.
+2. **admission** — the arbiter answers ``ok`` / ``throttled`` /
+   ``overloaded`` from the tenant's token bucket and bounded inflight
+   count.  Sheds become *responses* (:data:`STATUS_THROTTLED` /
+   :data:`STATUS_OVERLOADED`) written immediately: bounded queues with
+   backpressure, never unbounded buffering.
+3. **dispatch** — GET/PUT flow through the coalescer into the shard
+   group's batch paths; SCAN/DELETE/STATS run as single executor
+   calls; PING answers inline.
+4. **respond** — per-connection writes serialize on a lock; request
+   latency (loop time, admission through response write) lands in the
+   ``net.request_seconds`` histogram with latency-scaled buckets.
+
+Every counter/gauge name is a literal in a module table (RA004).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Any, Optional
+
+from repro.core.budget import ADMIT_OK, SHED_THROTTLED
+from repro.net.coalescer import Coalescer
+from repro.net.protocol import (
+    OP_DELETE,
+    OP_GET,
+    OP_PING,
+    OP_PUT,
+    OP_SCAN,
+    OP_STATS,
+    STATUS_BAD_REQUEST,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SERVER_ERROR,
+    STATUS_THROTTLED,
+    STATUS_UNKNOWN_TENANT,
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    encode_frame,
+    encode_response,
+    read_frame,
+)
+from repro.net.tenancy import TenantDirectory
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.runtime import active_registry
+
+#: RA004: literal instrument names for the serving path.
+_COUNTERS = {
+    "connections": "net.connections.opened",
+    "disconnects": "net.connections.closed",
+    "protocol_errors": "net.protocol_errors",
+    "requests": "net.requests",
+    "responses": "net.responses",
+    "shed_throttled": "net.shed.throttled",
+    "shed_overloaded": "net.shed.overloaded",
+    "unknown_tenant": "net.unknown_tenant",
+    "server_errors": "net.server_errors",
+}
+_GAUGES = {
+    "inflight": "net.inflight",
+}
+_LATENCY_HISTOGRAM = "net.request_seconds"
+_SERVICE_HISTOGRAM = "net.service_seconds"
+
+#: Ops charged against the tenant token bucket per request kind; a scan
+#: is priced by the rows it may return, amortized to its batch shape.
+_SCAN_OP_WEIGHT = 0.05
+
+
+class NetServer:
+    """A TCP index server over one tenant directory."""
+
+    def __init__(
+        self,
+        directory: TenantDirectory,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 128,
+        max_delay: float = 0.001,
+        admission: bool = True,
+    ) -> None:
+        self.directory = directory
+        self.host = host
+        self.port = port
+        self.admission = admission
+        self.coalescer = Coalescer(max_batch=max_batch, max_delay=max_delay)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: "set[asyncio.Task[None]]" = set()
+        self.connections = 0
+        self.requests = 0
+        self.responses = 0
+        self.sheds = 0
+        self.protocol_errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and begin accepting connections; ``self.port`` is real."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel per-connection tasks, release pools."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        self.coalescer.close()
+
+    async def __aenter__(self) -> "NetServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(_COUNTERS["connections"]).inc()
+        write_lock = asyncio.Lock()
+        request_tasks: "set[asyncio.Task[None]]" = set()
+        try:
+            while True:
+                try:
+                    body = await read_frame(reader)
+                except ProtocolError:
+                    self.protocol_errors += 1
+                    if registry is not None:
+                        registry.counter(_COUNTERS["protocol_errors"]).inc()
+                    break
+                if body is None:
+                    break
+                try:
+                    request = decode_request(body)
+                except ProtocolError:
+                    self.protocol_errors += 1
+                    if registry is not None:
+                        registry.counter(_COUNTERS["protocol_errors"]).inc()
+                    break
+                task = asyncio.create_task(
+                    self._serve_request(request, writer, write_lock)
+                )
+                request_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+        except asyncio.CancelledError:
+            # Server shutdown: this is a top-level connection task, so
+            # absorbing the cancellation here just closes the socket
+            # quietly instead of spraying tracebacks from the streams
+            # machinery.
+            pass
+        finally:
+            for task in list(request_tasks):
+                task.cancel()
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, ConnectionError, OSError):
+                await writer.wait_closed()
+            if conn_task is not None:
+                self._conn_tasks.discard(conn_task)
+            if registry is not None:
+                registry.counter(_COUNTERS["disconnects"]).inc()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def _serve_request(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self.requests += 1
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(_COUNTERS["requests"]).inc()
+        if request.op == OP_PING:
+            await self._write(
+                writer, write_lock, Response(request.req_id, STATUS_OK), OP_PING
+            )
+            self._observe(registry, loop.time() - started)
+            return
+        if request.op == OP_STATS:
+            # Tenant-less introspection: bypasses admission on purpose so
+            # an operator can still see the arbiter while tenants shed.
+            try:
+                stats = await self.coalescer.run_single(self.directory.stats)
+                payload = json.dumps(stats, sort_keys=True).encode("utf-8")
+                response = Response(request.req_id, STATUS_OK, payload=payload)
+            except Exception as error:  # noqa: BLE001 - one response per failure
+                if registry is not None:
+                    registry.counter(_COUNTERS["server_errors"]).inc()
+                response = Response(
+                    request.req_id,
+                    STATUS_SERVER_ERROR,
+                    message=f"{type(error).__name__}: {error}",
+                )
+            await self._write(writer, write_lock, response, OP_STATS)
+            self._observe(registry, loop.time() - started)
+            return
+        if request.tenant not in self.directory:
+            if registry is not None:
+                registry.counter(_COUNTERS["unknown_tenant"]).inc()
+            await self._write(
+                writer,
+                write_lock,
+                Response(
+                    request.req_id,
+                    STATUS_UNKNOWN_TENANT,
+                    message=f"unknown tenant {request.tenant!r}",
+                ),
+                request.op,
+            )
+            return
+        arbiter = self.directory.arbiter
+        admitted = False
+        if self.admission:
+            cost = 1.0
+            if request.op == OP_SCAN:
+                cost = max(1.0, request.count * _SCAN_OP_WEIGHT)
+            decision = arbiter.admit(request.tenant, ops=cost, now=loop.time())
+            if decision != ADMIT_OK:
+                self.sheds += 1
+                if registry is not None:
+                    if decision == SHED_THROTTLED:
+                        registry.counter(_COUNTERS["shed_throttled"]).inc()
+                    else:
+                        registry.counter(_COUNTERS["shed_overloaded"]).inc()
+                status = (
+                    STATUS_THROTTLED
+                    if decision == SHED_THROTTLED
+                    else STATUS_OVERLOADED
+                )
+                await self._write(
+                    writer,
+                    write_lock,
+                    Response(request.req_id, status, message=decision),
+                    request.op,
+                )
+                return
+            admitted = True
+        try:
+            response = await self._dispatch(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - one response per failure
+            if registry is not None:
+                registry.counter(_COUNTERS["server_errors"]).inc()
+            response = Response(
+                request.req_id,
+                STATUS_SERVER_ERROR,
+                message=f"{type(error).__name__}: {error}",
+            )
+        finally:
+            if admitted:
+                arbiter.release(request.tenant)
+                if registry is not None:
+                    registry.gauge(_GAUGES["inflight"]).set(
+                        sum(arbiter.inflight(t) for t in arbiter.tenants())
+                    )
+        service_elapsed = loop.time() - started
+        await self._write(writer, write_lock, response, request.op)
+        self._observe(registry, loop.time() - started, service_elapsed)
+
+    async def _dispatch(self, request: Request) -> Response:
+        """Execute one admitted request against its tenant's shard group."""
+        router = self.directory.router_for(request.tenant)
+        if request.op == OP_GET:
+            assert request.key is not None
+            value = await self.coalescer.get(router, request.key)
+            return Response(
+                request.req_id, STATUS_OK, found=value is not None, value=value
+            )
+        if request.op == OP_PUT:
+            assert request.key is not None and request.value is not None
+            await self.coalescer.put(router, (request.key, request.value))
+            return Response(request.req_id, STATUS_OK)
+        if request.op == OP_DELETE:
+            key = request.key
+            assert key is not None
+
+            def delete_call() -> bool:
+                return router.delete(key)
+
+            removed = await self.coalescer.run_single(delete_call)
+            return Response(request.req_id, STATUS_OK, removed=bool(removed))
+        if request.op == OP_SCAN:
+            start_key = request.key
+            count = request.count
+            assert start_key is not None
+
+            def scan_call() -> Any:
+                return router.scan(start_key, count)
+
+            pairs = await self.coalescer.run_single(scan_call)
+            return Response(request.req_id, STATUS_OK, pairs=list(pairs))
+        return Response(
+            request.req_id, STATUS_BAD_REQUEST, message=f"unhandled opcode {request.op}"
+        )
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: Response,
+        op: int,
+    ) -> None:
+        frame = encode_frame(encode_response(response, op))
+        try:
+            async with write_lock:
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            return
+
+    def _observe(
+        self,
+        registry: Any,
+        elapsed: float,
+        service_elapsed: Optional[float] = None,
+    ) -> None:
+        self.responses += 1
+        if registry is None:
+            return
+        registry.counter(_COUNTERS["responses"]).inc()
+        registry.histogram(_LATENCY_HISTOGRAM, LATENCY_BUCKETS).record(elapsed)
+        if service_elapsed is not None:
+            registry.histogram(_SERVICE_HISTOGRAM, LATENCY_BUCKETS).record(
+                service_elapsed
+            )

@@ -38,6 +38,7 @@ taxonomy, and the overhead budget.
 from repro.obs.jsonable import jsonable_key, to_jsonable
 from repro.obs.metrics import (
     COST_NS_BUCKETS,
+    LATENCY_BUCKETS,
     RATIO_BUCKETS,
     SIZE_BUCKETS,
     Counter,
@@ -59,6 +60,7 @@ from repro.obs.tracing import Span, Tracer, TraceSink
 
 __all__ = [
     "COST_NS_BUCKETS",
+    "LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

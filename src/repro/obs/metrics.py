@@ -38,6 +38,15 @@ COST_NS_BUCKETS: Tuple[float, ...] = (
     250_000, 1_000_000, 10_000_000, 100_000_000,
 )
 RATIO_BUCKETS: Tuple[float, ...] = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+# Wall-clock request latencies in *seconds*, log-spaced from 50us to 10s.
+# The size/cost boundaries above would collapse every networked tail into
+# one bucket; these are the default for every ``net.*`` and service
+# op-latency histogram, so p99/p999 interpolation has resolution where
+# asyncio round-trips actually land.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class Counter:
@@ -128,6 +137,45 @@ class Histogram:
     def mean(self) -> float:
         """Average observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate, interpolated within its bucket.
+
+        The rank ``q * count`` is located in the cumulative bucket
+        counts and mapped back to a value by linear interpolation
+        between the bucket's lower and upper boundary (the first
+        bucket's lower edge is 0.0, or ``boundaries[0]`` when that is
+        negative).  Observations that landed in the +Inf bucket are
+        clamped to the last finite boundary — the estimate can only
+        under-report past the configured range, never invent values.
+        Returns 0.0 on an empty histogram (the :attr:`mean` convention).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        lower = min(0.0, self.boundaries[0])
+        for upper, bucket in zip(self.boundaries, self.bucket_counts):
+            if bucket and running + bucket >= target:
+                fraction = (target - running) / bucket
+                return lower + (upper - lower) * fraction
+            running += bucket
+            lower = upper
+        return self.boundaries[-1]
+
+    def summary(self) -> Dict[str, float]:
+        """Count, sum, mean, and the tail quantiles as one plain dict."""
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
 
 
 class MetricsRegistry:

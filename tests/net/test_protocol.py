@@ -1,0 +1,250 @@
+"""Wire codec: round trips and the corruption contract.
+
+The contract under test: every byte sequence either decodes to exactly
+what was encoded, or raises :class:`ProtocolError` — never another
+exception type, never a hang, never a half-decoded frame.  Truncation,
+single-bit flips, and oversized declared lengths are each exercised
+explicitly, plus a Hypothesis fuzz loop over arbitrary bodies.
+"""
+
+import asyncio
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    MAX_SCAN_COUNT,
+    OP_DELETE,
+    OP_GET,
+    OP_PING,
+    OP_PUT,
+    OP_SCAN,
+    OP_STATS,
+    STATUS_OK,
+    STATUS_THROTTLED,
+    STATUS_UNKNOWN_TENANT,
+    ProtocolError,
+    Request,
+    Response,
+    decode_frame,
+    decode_request,
+    decode_response,
+    encode_frame,
+    encode_request,
+    encode_response,
+    read_frame,
+)
+
+KEYS = st.one_of(
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.binary(max_size=48),
+)
+VALUES = st.integers(min_value=-(2**63), max_value=2**63)
+REQ_IDS = st.integers(min_value=0, max_value=2**64 - 1)
+TENANTS = st.text(max_size=40).filter(lambda t: len(t.encode("utf-8")) <= 255)
+
+
+@st.composite
+def requests(draw):
+    op = draw(st.sampled_from([OP_GET, OP_PUT, OP_DELETE, OP_SCAN, OP_PING, OP_STATS]))
+    key = draw(KEYS) if op in (OP_GET, OP_PUT, OP_DELETE, OP_SCAN) else None
+    value = draw(VALUES) if op == OP_PUT else None
+    count = draw(st.integers(1, MAX_SCAN_COUNT)) if op == OP_SCAN else 0
+    return Request(
+        req_id=draw(REQ_IDS),
+        op=op,
+        tenant=draw(TENANTS),
+        key=key,
+        value=value,
+        count=count,
+    )
+
+
+class TestRequestRoundtrip:
+    @settings(max_examples=200, deadline=None)
+    @given(requests())
+    def test_roundtrip(self, request):
+        body = encode_request(request)
+        frame = encode_frame(body)
+        decoded_body, consumed = decode_frame(frame)
+        assert consumed == len(frame)
+        assert decoded_body == body
+        assert decode_request(decoded_body) == request
+
+    def test_tenant_too_long(self):
+        with pytest.raises(ProtocolError):
+            encode_request(Request(1, OP_GET, "x" * 256, key=1))
+
+    def test_scan_count_bounds(self):
+        for count in (0, MAX_SCAN_COUNT + 1):
+            with pytest.raises(ProtocolError):
+                encode_request(Request(1, OP_SCAN, "t", key=1, count=count))
+
+
+class TestResponseRoundtrip:
+    @settings(max_examples=100, deadline=None)
+    @given(REQ_IDS, KEYS, VALUES)
+    def test_get_hit(self, req_id, _key, value):
+        response = Response(req_id, STATUS_OK, found=True, value=value)
+        assert decode_response(encode_response(response, OP_GET), OP_GET) == response
+
+    @settings(max_examples=50, deadline=None)
+    @given(REQ_IDS)
+    def test_get_miss_vs_put_ack(self, req_id):
+        miss = encode_response(Response(req_id, STATUS_OK, found=False), OP_GET)
+        ack = encode_response(Response(req_id, STATUS_OK), OP_PUT)
+        assert miss != ack  # a GET miss is not a PUT ack on the wire
+        decoded = decode_response(miss, OP_GET)
+        assert decoded.found is False and decoded.ok
+        assert decode_response(ack, OP_PUT).ok
+
+    @settings(max_examples=100, deadline=None)
+    @given(REQ_IDS, st.lists(st.tuples(KEYS, VALUES), max_size=20))
+    def test_scan(self, req_id, pairs):
+        response = Response(req_id, STATUS_OK, pairs=list(pairs))
+        decoded = decode_response(encode_response(response, OP_SCAN), OP_SCAN)
+        assert decoded.pairs == list(pairs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(REQ_IDS, st.booleans())
+    def test_delete(self, req_id, removed):
+        response = Response(req_id, STATUS_OK, removed=removed)
+        decoded = decode_response(encode_response(response, OP_DELETE), OP_DELETE)
+        assert decoded.removed is removed
+
+    @settings(max_examples=50, deadline=None)
+    @given(REQ_IDS, st.binary(max_size=200))
+    def test_stats_payload(self, req_id, payload):
+        response = Response(req_id, STATUS_OK, payload=payload)
+        decoded = decode_response(encode_response(response, OP_STATS), OP_STATS)
+        assert decoded.payload == payload
+
+    @settings(max_examples=50, deadline=None)
+    @given(REQ_IDS, st.text(max_size=100))
+    def test_error_statuses_carry_messages(self, req_id, message):
+        for status in (STATUS_THROTTLED, STATUS_UNKNOWN_TENANT):
+            response = Response(req_id, status, message=message)
+            decoded = decode_response(encode_response(response, OP_GET), OP_GET)
+            assert decoded.status == status
+            assert decoded.message == message
+            assert not decoded.ok
+
+
+def _read_one(data: bytes):
+    """Feed ``data`` then EOF into a fresh StreamReader, read one frame."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(run())
+
+
+class TestCorruption:
+    def _frame(self):
+        request = Request(7, OP_PUT, "tenant-a", key=12345, value=-99)
+        return encode_frame(encode_request(request))
+
+    def test_clean_eof_returns_none(self):
+        assert _read_one(b"") is None
+
+    def test_whole_frame_reads(self):
+        frame = self._frame()
+        body = _read_one(frame)
+        assert decode_request(body).key == 12345
+
+    def test_every_truncation_errors(self):
+        frame = self._frame()
+        for cut in range(1, len(frame)):
+            with pytest.raises(ProtocolError):
+                _read_one(frame[:cut])
+            # sans-io decoder: truncation is "incomplete", never a crash
+            result = decode_frame(frame[:cut])
+            assert result is None
+
+    def test_every_bit_flip_errors(self):
+        frame = self._frame()
+        for position in range(len(frame)):
+            for bit in range(8):
+                corrupt = bytearray(frame)
+                corrupt[position] ^= 1 << bit
+                with pytest.raises(ProtocolError):
+                    body = _read_one(bytes(corrupt))
+                    if body is None:  # length flip swallowed the frame
+                        raise ProtocolError("frame vanished")
+                    decode_request(body)
+
+    def test_oversized_declared_length(self):
+        header = struct.pack("<II", MAX_FRAME_BYTES + 1, 0)
+        with pytest.raises(ProtocolError):
+            _read_one(header)
+        with pytest.raises(ProtocolError):
+            decode_frame(header + b"\x00" * 16)
+        with pytest.raises(ProtocolError):
+            encode_frame(b"\x00" * (MAX_FRAME_BYTES + 1))
+
+    def test_decoders_never_hang_on_huge_declared_lengths(self):
+        # A body whose *inner* lengths lie must error, not allocate.
+        prefix = struct.pack("<QBB", 1, OP_GET, 4) + b"abcd"
+        lying_key = bytes((0x01,)) + struct.pack("<I", 2**31) + b"xx"
+        with pytest.raises(ProtocolError):
+            decode_request(prefix + lying_key)
+
+
+class TestFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=300))
+    def test_arbitrary_request_bodies(self, body):
+        try:
+            decoded = decode_request(body)
+        except ProtocolError:
+            return
+        # Anything that decodes must survive a canonical re-encode cycle
+        # (byte-identity is not required: int keys may arrive non-minimal).
+        assert decode_request(encode_request(decoded)) == decoded
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.binary(max_size=300),
+        st.sampled_from([None, OP_GET, OP_PUT, OP_DELETE, OP_SCAN, OP_PING, OP_STATS]),
+    )
+    def test_arbitrary_response_bodies(self, body, op):
+        try:
+            decode_response(body, op=op)
+        except ProtocolError:
+            pass
+
+    def test_mutation_fuzz_loop(self):
+        """Random mutations of valid frames: ProtocolError or clean decode."""
+        rng = random.Random(0xC0FFEE)
+        seeds = [
+            encode_frame(encode_request(Request(1, OP_GET, "t", key=5))),
+            encode_frame(encode_request(Request(2, OP_PUT, "t", key=b"k", value=9))),
+            encode_frame(encode_request(Request(3, OP_SCAN, "u", key=0, count=10))),
+            encode_frame(encode_response(Response(4, STATUS_OK, found=True, value=1), OP_GET)),
+        ]
+        for _ in range(2000):
+            frame = bytearray(rng.choice(seeds))
+            for _ in range(rng.randint(1, 4)):
+                mutation = rng.randrange(3)
+                if mutation == 0 and len(frame) > 1:
+                    del frame[rng.randrange(len(frame))]
+                elif mutation == 1:
+                    frame.insert(rng.randrange(len(frame) + 1), rng.randrange(256))
+                else:
+                    frame[rng.randrange(len(frame))] ^= 1 << rng.randrange(8)
+            try:
+                result = decode_frame(bytes(frame))
+                if result is None:
+                    continue
+                body, _ = result
+                decode_request(body)
+                decode_response(body)
+            except ProtocolError:
+                continue

@@ -1,0 +1,98 @@
+"""Tenant directory: shard groups, arbiter wiring, memory carve."""
+
+import pytest
+
+from repro.core.budget import MemoryBudget, TenantQuota
+from repro.net.tenancy import TenantDirectory, TenantSpec, demo_directory
+
+
+class TestTenantSpec:
+    def test_rejects_empty_and_oversized_names(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="")
+        with pytest.raises(ValueError):
+            TenantSpec(name="x" * 256)
+        TenantSpec(name="x" * 255)  # boundary is fine
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", num_shards=0)
+
+
+class TestTenantDirectory:
+    def test_requires_tenants_and_unique_names(self):
+        with pytest.raises(ValueError):
+            TenantDirectory([])
+        with pytest.raises(ValueError):
+            TenantDirectory([TenantSpec(name="a"), TenantSpec(name="a")])
+
+    def test_groups_are_private(self):
+        with demo_directory(["a", "b"], keys_per_tenant=100) as directory:
+            router_a = directory.router_for("a")
+            router_b = directory.router_for("b")
+            assert router_a is not router_b
+            router_a.put(999_999, 1)
+            assert router_a.get(999_999) == 1
+            assert router_b.get(999_999) is None
+
+    def test_per_tenant_shard_counts(self):
+        specs = [
+            TenantSpec(name="hot", num_shards=4),
+            TenantSpec(name="cold", num_shards=1),
+        ]
+        with TenantDirectory(specs) as directory:
+            assert directory.router_for("hot").num_shards == 4
+            assert directory.router_for("cold").num_shards == 1
+            assert directory.num_shards == 5
+
+    def test_arbiter_has_every_tenant_and_shard_member(self):
+        with demo_directory(["a", "b"], keys_per_tenant=50, num_shards=2) as directory:
+            assert directory.arbiter.tenants() == ["a", "b"]
+            members = set(directory.arbiter.rebalance())
+            assert members == {"a/shard-0", "a/shard-1", "b/shard-0", "b/shard-1"}
+
+    def test_memory_budget_carves_across_tenants(self):
+        budget = MemoryBudget.absolute(1 << 20)
+        with demo_directory(
+            ["a", "b"], keys_per_tenant=100, budget=budget
+        ) as directory:
+            carve = directory.arbiter.describe()["memory"]
+            assert carve["absolute_bytes"] == 1 << 20
+            allocations = directory.arbiter.rebalance()
+            # Equal key counts -> (near-)equal carve across all 4 shards.
+            shares = [b.absolute_bytes for b in allocations.values()]
+            assert len(shares) == 4
+            # Hash partitioning skews per-shard key counts slightly; the
+            # carve tracks keys, so shares are near-equal, not exact.
+            assert max(shares) < 1.5 * min(shares)
+            assert sum(shares) <= 1 << 20
+
+    def test_quota_installed_from_spec(self):
+        quota = TenantQuota(ops_per_sec=10.0, max_inflight=3)
+        with demo_directory(["a"], keys_per_tenant=10, quota=quota) as directory:
+            assert directory.arbiter.admit("a", now=0.0) == "ok"
+            stats = directory.stats()
+            assert stats["tenants"]["a"]["num_keys"] == 10
+
+    def test_unknown_tenant_raises(self):
+        with demo_directory(["a"], keys_per_tenant=10) as directory:
+            with pytest.raises(KeyError):
+                directory.router_for("ghost")
+            assert "ghost" not in directory
+            assert "a" in directory
+
+    def test_stats_is_json_shaped(self):
+        import json
+
+        with demo_directory(["a"], keys_per_tenant=25) as directory:
+            blob = json.dumps(directory.stats())
+            assert "arbiter" in blob
+
+
+class TestDemoDirectory:
+    def test_even_keys_loaded_odd_keys_miss(self):
+        with demo_directory(["a"], keys_per_tenant=100) as directory:
+            router = directory.router_for("a")
+            assert router.get(10) == 11
+            assert router.get(11) is None
+            assert len(router) == 100

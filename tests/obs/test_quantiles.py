@@ -1,0 +1,93 @@
+"""Histogram.quantile / summary and the latency boundary set."""
+
+import pytest
+
+from repro.obs.metrics import LATENCY_BUCKETS, SIZE_BUCKETS, Histogram
+
+
+def test_latency_buckets_strictly_increase_and_cover_tails():
+    assert all(a < b for a, b in zip(LATENCY_BUCKETS, LATENCY_BUCKETS[1:]))
+    assert LATENCY_BUCKETS[0] <= 0.0001  # sub-100us resolution
+    assert LATENCY_BUCKETS[-1] >= 10.0   # queueing-collapse territory
+
+
+def test_quantile_empty_histogram_is_zero():
+    h = Histogram("t", SIZE_BUCKETS)
+    assert h.quantile(0.5) == 0.0
+    assert h.summary()["p99"] == 0.0
+
+
+def test_quantile_rejects_out_of_range():
+    h = Histogram("t", SIZE_BUCKETS)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_quantile_interpolates_within_bucket():
+    # 100 observations, all in the (4, 8] bucket: ranks interpolate
+    # linearly between the bucket's edges.
+    h = Histogram("t", (2.0, 4.0, 8.0, 16.0))
+    for _ in range(100):
+        h.record(5.0)
+    assert h.quantile(0.0) == pytest.approx(4.0)
+    assert h.quantile(0.5) == pytest.approx(6.0)
+    assert h.quantile(1.0) == pytest.approx(8.0)
+
+
+def test_quantile_spans_buckets_by_rank():
+    h = Histogram("t", (1.0, 2.0, 4.0))
+    for _ in range(50):
+        h.record(0.5)   # (0, 1]
+    for _ in range(50):
+        h.record(3.0)   # (2, 4]
+    # Median rank 50 sits exactly at the top of the first bucket.
+    assert h.quantile(0.5) == pytest.approx(1.0)
+    # Rank 75 is halfway through the (2, 4] bucket.
+    assert h.quantile(0.75) == pytest.approx(3.0)
+
+
+def test_quantile_first_bucket_interpolates_from_zero():
+    h = Histogram("t", (10.0, 20.0))
+    for _ in range(10):
+        h.record(7.0)
+    assert h.quantile(0.5) == pytest.approx(5.0)
+
+
+def test_quantile_negative_first_boundary_sets_lower_edge():
+    h = Histogram("t", (-10.0, 0.0, 10.0))
+    for _ in range(10):
+        h.record(-5.0)
+    # All mass in the (-10, 0] bucket: median interpolates to -5.
+    assert h.quantile(0.5) == pytest.approx(-5.0)
+
+
+def test_quantile_overflow_bucket_clamps_to_last_boundary():
+    h = Histogram("t", (1.0, 2.0))
+    for _ in range(10):
+        h.record(100.0)  # all in +Inf
+    assert h.quantile(0.99) == 2.0
+    assert h.summary()["p999"] == 2.0
+
+
+def test_quantile_matches_exact_quantiles_on_dense_boundaries():
+    # With one boundary per integer, interpolation error is < 1 unit.
+    bounds = tuple(float(v) for v in range(1, 1001))
+    h = Histogram("t", bounds)
+    values = [float((i * 37) % 1000) for i in range(10_000)]
+    for v in values:
+        h.record(v)
+    values.sort()
+    for q in (0.5, 0.9, 0.99, 0.999):
+        exact = values[min(len(values) - 1, int(q * len(values)))]
+        assert abs(h.quantile(q) - exact) <= 1.5
+
+
+def test_summary_shape():
+    h = Histogram("t", LATENCY_BUCKETS)
+    h.record(0.003)
+    s = h.summary()
+    assert set(s) == {"count", "sum", "mean", "p50", "p90", "p99", "p999"}
+    assert s["count"] == 1.0
+    assert 0.0025 <= s["p50"] <= 0.005
