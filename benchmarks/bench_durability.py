@@ -53,6 +53,7 @@ import pytest
 
 from repro.durability import DurabilityManager
 from repro.harness.experiments_durability import experiment_crash_campaign
+from repro.obs.slo import evaluate_checks, parse_check
 from repro.service.router import ShardRouter
 
 DEFAULT_KEYS = 40_000
@@ -279,7 +280,19 @@ def main(argv=None) -> int:
         metavar="N",
         help="also run the crash-recovery fault campaign with N injected crashes",
     )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="objective over the crash-campaign summary, e.g. "
+        "'lost_writes==0' or 'frames_replayed>0' (repeatable; fails the "
+        "run on violation)",
+    )
     args = parser.parse_args(argv)
+    slo_checks = [parse_check(expression) for expression in args.slo]
+    if slo_checks and args.crash_campaign <= 0:
+        parser.error("--slo requires --crash-campaign N")
     payload = run_durability_bench(num_keys=args.keys, batch_size=args.batch_size)
     print(format_report(payload))
     check_headline(payload)
@@ -309,6 +322,18 @@ def main(argv=None) -> int:
         if summary["lost_writes"] or summary["phantom_writes"]:
             print("REGRESSION: crash campaign lost or fabricated writes")
             return 1
+        if slo_checks:
+            values = {
+                key: float(value)
+                for key, value in summary.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            }
+            violations = evaluate_checks(values, slo_checks)
+            for violation in violations:
+                print(f"REGRESSION: {violation}")
+            if violations:
+                return 1
+            print(f"slo ok: {len(slo_checks)} campaign check(s) passed")
     if not args.no_write:
         args.out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.out}")

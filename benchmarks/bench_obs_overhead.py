@@ -1,8 +1,25 @@
-"""Observability overhead suite (PR 3).
+"""Observability overhead suite (PR 3, extended with the PR 8 net leg).
 
 Proves the telemetry layer's zero-cost-when-disabled claim on the PR 2
 perf-suite hot paths (single-key lookups on every index family) and
 writes the machine-readable ``BENCH_PR3.json`` at the repo root.
+
+``--net`` runs the PR 8 distributed-tracing leg instead and writes
+``BENCH_PR8.json``: closed-loop GETs through the full network path
+(client -> server -> coalescer -> router -> shard) at 0%, 1%, and 100%
+head-based trace sampling.  Like the PR 3 headline, the enforced bound
+is deterministic: the per-request price of tracing is modeled from
+directly-timed components — the disabled gate (``active_tracer()``
+read, times the number of instrumented gates a request crosses) and the
+full span choreography of one traced request — divided by the measured
+untraced request time.  Both the disabled share and the 1%-sampled
+share must stay <= 5%; the measured ops/sec of the three legs are
+reported as evidence, not gated (loopback wall clock is too noisy for a
+5% claim)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --net
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --net --check BENCH_PR8.json --tolerance 0.5
 
 With no :class:`~repro.obs.runtime.Telemetry` installed, each
 instrumented lookup pays exactly one module-global read plus an
@@ -41,6 +58,7 @@ or through pytest (reduced scale)::
 """
 
 import argparse
+import asyncio
 import json
 import random
 import time
@@ -55,6 +73,9 @@ from repro.bptree.tree import BPlusTree
 from repro.dualstage.index import DualStageIndex, StaticEncoding
 from repro.fst.trie import FST
 from repro.hybridtrie.tree import HybridTrie
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.net.tenancy import demo_directory
 from repro.obs import MetricsRegistry, Telemetry, active, active_tracer
 
 DEFAULT_KEYS = 4_000
@@ -62,6 +83,20 @@ OVERHEAD_BOUND = 0.05          # disabled-telemetry gate share per lookup
 TRACE_SAMPLE_EVERY = 64        # op-span sampling in the traced mode
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_FILE = REPO_ROOT / "BENCH_PR3.json"
+NET_RESULT_FILE = REPO_ROOT / "BENCH_PR8.json"
+
+#: (leg key, client trace_sample_every) — 0 disables trace origination.
+NET_SAMPLING_LEGS = (
+    ("untraced", 0),
+    ("sampled_1pct", 100),
+    ("sampled_100pct", 1),
+)
+
+#: Disabled-telemetry probes one GET crosses end to end: the client's
+#: origination gate, the server span gate, the coalescer's enqueue and
+#: flush gates, the router's route-span and pool-adoption gates, the
+#: shard op gate, and the WAL append gate.
+NET_GATE_READS = 8
 
 
 def _best_of(runs, func):
@@ -253,6 +288,207 @@ def check_against_baseline(payload, baseline, tolerance):
     return failures
 
 
+# ----------------------------------------------------------------------
+# PR 8: distributed tracing over the net path
+# ----------------------------------------------------------------------
+def measure_span_choreography_ns(iterations=4_000, runs=3):
+    """Full span cost of ONE traced request, timed directly.
+
+    Replays the exact per-request span choreography the net path
+    performs when a request is sampled — client root, server span with
+    admission event, coalescer batch span, adopted route/shard/WAL stack
+    spans, and the index op span with its descent/probe events — into an
+    in-memory sink.  This deliberately over-counts (the batch span is
+    amortized across a real batch), so the modeled shares are upper
+    bounds.
+    """
+    with Telemetry.with_memory_trace(op_sample_every=1):
+        tracer = active_tracer()
+        assert tracer is not None
+
+        def choreograph():
+            for index in range(iterations):
+                root = tracer.start_remote("net.client.request", trace_id=index + 1)
+                server = tracer.start_remote(
+                    "net.server.request",
+                    trace_id=index + 1,
+                    remote_parent_id=root.span_id,
+                    op="GET",
+                )
+                tracer.child_event("net.admission", server, decision="admit")
+                batch = tracer.start_child("net.coalesce.batch", server, size=1)
+                with tracer.adopt(batch):
+                    route = tracer.start("service.route", op="get", fanout=1)
+                    shard = tracer.start("service.shard_op", op="get")
+                    op = tracer.op_start("lookup", family="bench")
+                    tracer.event("descent", height=3)
+                    tracer.event("leaf_probe:plain", count=1)
+                    if op is not None:
+                        tracer.end(op)
+                    wal = tracer.start("durability.wal.append", records=1)
+                    tracer.end(wal)
+                    tracer.end(shard)
+                    tracer.end(route)
+                tracer.finish(batch)
+                tracer.finish(server, status=0)
+                tracer.finish(root, status=0)
+
+        best = _best_of(runs, choreograph)
+    return best / iterations * 1e9
+
+
+async def _measure_net_ops_per_sec(trace_sample_every, num_keys, duration, concurrency):
+    """Closed-loop GET throughput through a real in-process NetServer."""
+    directory = demo_directory(["bench"], num_keys, num_shards=2, family="olc")
+    server = NetServer(directory, port=0)
+    await server.start()
+    counts = [0] * concurrency
+    try:
+        clients = [
+            await NetClient.connect(
+                "127.0.0.1", server.port, trace_sample_every=trace_sample_every
+            )
+            for _ in range(concurrency)
+        ]
+        try:
+            deadline = time.perf_counter() + duration
+            key_space = num_keys * 2
+
+            async def worker(slot, client):
+                rng = random.Random(0xD15C0 + slot)
+                while time.perf_counter() < deadline:
+                    await client.get("bench", rng.randrange(key_space))
+                    counts[slot] += 1
+
+            begin = time.perf_counter()
+            await asyncio.gather(
+                *(worker(slot, client) for slot, client in enumerate(clients))
+            )
+            elapsed = time.perf_counter() - begin
+        finally:
+            for client in clients:
+                await client.close()
+    finally:
+        await server.stop()
+        directory.close()
+    return sum(counts) / elapsed
+
+
+def run_net_suite(num_keys=DEFAULT_KEYS, duration=1.0, concurrency=8):
+    """The PR 8 sampled-distributed-tracing leg; BENCH_PR8.json payload.
+
+    The enforced shares are modeled from deterministic component costs
+    (see the module docstring); the three measured legs document the
+    real end-to-end throughput at each sampling rate.
+    """
+    assert active() is None, "telemetry must not be installed for the baseline"
+    gate_ns = measure_gate_ns()
+    span_ns = measure_span_choreography_ns()
+
+    legs = {}
+    for leg_key, sample_every in NET_SAMPLING_LEGS:
+        if sample_every == 0:
+            ops = asyncio.run(
+                _measure_net_ops_per_sec(0, num_keys, duration, concurrency)
+            )
+        else:
+            with Telemetry.with_memory_trace(op_sample_every=1):
+                ops = asyncio.run(
+                    _measure_net_ops_per_sec(
+                        sample_every, num_keys, duration, concurrency
+                    )
+                )
+        legs[leg_key] = {
+            "trace_sample_every": sample_every,
+            "ops_per_sec": round(ops, 1),
+        }
+
+    request_ns = 1e9 / legs["untraced"]["ops_per_sec"]
+    gates_ns = NET_GATE_READS * gate_ns
+    shares = {
+        "disabled_share": round(gates_ns / request_ns, 6),
+        "sampled_1pct_share": round((gates_ns + span_ns / 100.0) / request_ns, 6),
+        "sampled_100pct_share": round((gates_ns + span_ns) / request_ns, 6),
+    }
+    return {
+        "suite": "PR8 distributed tracing overhead",
+        "keys": num_keys,
+        "duration": duration,
+        "concurrency": concurrency,
+        "gate_ns": round(gate_ns, 2),
+        "num_gate_reads": NET_GATE_READS,
+        "span_choreography_ns": round(span_ns, 1),
+        "request_ns": round(request_ns, 1),
+        "overhead_bound": OVERHEAD_BOUND,
+        "legs": legs,
+        "headline": shares,
+    }
+
+
+def format_net_report(payload):
+    lines = [
+        f"net tracing overhead @ {payload['keys']} keys, "
+        f"{payload['concurrency']} clients  "
+        f"(request {payload['request_ns']:,.0f} ns, "
+        f"gate {payload['gate_ns']:.1f} ns x{payload['num_gate_reads']}, "
+        f"traced-span choreography {payload['span_choreography_ns']:,.0f} ns)"
+    ]
+    for leg_key, stats in payload["legs"].items():
+        lines.append(
+            f"{leg_key:16s} sample_every={stats['trace_sample_every']:>3d}  "
+            f"{stats['ops_per_sec']:>10,.0f} req/s"
+        )
+    headline = payload["headline"]
+    lines.append(
+        f"modeled shares: disabled {headline['disabled_share']:.3%}, "
+        f"1% sampled {headline['sampled_1pct_share']:.3%}, "
+        f"100% sampled {headline['sampled_100pct_share']:.3%}"
+    )
+    return "\n".join(lines)
+
+
+def check_net_headline(payload):
+    """The PR 8 acceptance gate: disabled and 1%-sampled shares <= 5%.
+
+    The 100% leg is reported but not gated — full tracing is a debug
+    mode, and its cost is the documented span choreography, not a
+    regression.
+    """
+    bound = payload.get("overhead_bound", OVERHEAD_BOUND)
+    headline = payload["headline"]
+    failures = [
+        f"{key}: modeled tracing share {headline[key]:.3%} exceeds the "
+        f"{bound:.0%} bound (gates {payload['num_gate_reads']}x"
+        f"{payload['gate_ns']:.1f} ns + sampled span work vs request "
+        f"{payload['request_ns']:,.0f} ns)"
+        for key in ("disabled_share", "sampled_1pct_share")
+        if headline[key] > bound
+    ]
+    assert not failures, "\n".join(failures)
+
+
+def check_net_against_baseline(payload, baseline, tolerance):
+    """Fail on modeled-share regressions beyond ``tolerance``.
+
+    Shares are ratios of same-machine measurements, so they travel
+    better than raw req/s; the absolute <= 5% bound is enforced
+    separately by :func:`check_net_headline`.
+    """
+    failures = []
+    for key, share in baseline.get("headline", {}).items():
+        current = payload["headline"].get(key)
+        if current is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        ceiling = share * (1.0 + tolerance)
+        if current > ceiling:
+            failures.append(
+                f"{key}: modeled share {current:.3%} rose above {ceiling:.3%} "
+                f"(baseline {share:.3%} + {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
 @pytest.mark.perf
 def test_obs_overhead_headline():
     payload = run_suite(num_keys=4_000)
@@ -260,14 +496,40 @@ def test_obs_overhead_headline():
     check_headline(payload)
 
 
+@pytest.mark.perf
+def test_net_tracing_overhead_headline():
+    payload = run_net_suite(num_keys=1_000, duration=0.3, concurrency=4)
+    print(format_net_report(payload))
+    check_net_headline(payload)
+
+
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description="Observability overhead suite (PR 3).")
+    parser = argparse.ArgumentParser(
+        description="Observability overhead suite (PR 3 families, PR 8 net leg)."
+    )
     parser.add_argument("--keys", type=int, default=DEFAULT_KEYS)
+    parser.add_argument(
+        "--net",
+        action="store_true",
+        help="run the PR 8 distributed-tracing net leg (writes BENCH_PR8.json)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        help="seconds per net sampling leg (--net only; default 1.0)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="closed-loop net clients (--net only; default 8)",
+    )
     parser.add_argument(
         "--out",
         type=Path,
-        default=RESULT_FILE,
-        help=f"result JSON path (default {RESULT_FILE})",
+        default=None,
+        help=f"result JSON path (default {RESULT_FILE}, or {NET_RESULT_FILE} with --net)",
     )
     parser.add_argument(
         "--no-write", action="store_true", help="skip writing the result JSON"
@@ -276,34 +538,47 @@ def main(argv=None) -> int:
         "--check",
         type=Path,
         default=None,
-        help="baseline JSON to compare gate shares against",
+        help="baseline JSON to compare gate/modeled shares against",
     )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
-        help="allowed relative gate-share regression vs the baseline (default 0.25)",
+        help="allowed relative share regression vs the baseline (default 0.25)",
     )
     args = parser.parse_args(argv)
-    payload = run_suite(num_keys=args.keys)
-    print(format_report(payload))
+    out = args.out if args.out is not None else (
+        NET_RESULT_FILE if args.net else RESULT_FILE
+    )
+    if args.net:
+        payload = run_net_suite(
+            num_keys=args.keys, duration=args.duration, concurrency=args.concurrency
+        )
+        print(format_net_report(payload))
+        headline_check = check_net_headline
+        baseline_check = check_net_against_baseline
+    else:
+        payload = run_suite(num_keys=args.keys)
+        print(format_report(payload))
+        headline_check = check_headline
+        baseline_check = check_against_baseline
     try:
-        check_headline(payload)
+        headline_check(payload)
     except AssertionError as exc:
         for line in str(exc).splitlines():
             print(f"HEADLINE FAILURE: {line}")
         return 1
     if args.check is not None:
         baseline = json.loads(args.check.read_text())
-        failures = check_against_baseline(payload, baseline, args.tolerance)
+        failures = baseline_check(payload, baseline, args.tolerance)
         if failures:
             for failure in failures:
                 print(f"REGRESSION: {failure}")
             return 1
-        print(f"no gate-share regressions vs {args.check} (tolerance {args.tolerance:.0%})")
+        print(f"no share regressions vs {args.check} (tolerance {args.tolerance:.0%})")
     if not args.no_write:
-        args.out.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {args.out}")
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
     return 0
 
 

@@ -35,7 +35,19 @@ from repro.analysis.project import FunctionInfo, Project
 
 #: Methods whose first argument is a telemetry name.
 TELEMETRY_METHODS = frozenset(
-    {"span", "start", "op_start", "event", "counter", "gauge", "histogram"}
+    {
+        "span",
+        "start",
+        "op_start",
+        "event",
+        "counter",
+        "gauge",
+        "histogram",
+        # Detached distributed-tracing lifecycle (asyncio server paths).
+        "start_remote",
+        "start_child",
+        "child_event",
+    }
 )
 
 #: Fallback, kept in sync with docs/trace_schema.json.

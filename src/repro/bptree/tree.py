@@ -248,12 +248,23 @@ class BPlusTree:
         keys = list(keys)
         if not keys:
             return []
+        tracer = active_tracer()
+        span = (
+            tracer.op_start("lookup_many", family=self.stats_family, count=len(keys))
+            if tracer is not None
+            else None
+        )
         if not self._is_sorted(keys):
-            return [self.lookup(key) for key in keys]
+            unsorted = [self.lookup(key) for key in keys]
+            if span is not None:
+                tracer.end(span, sorted=False)
+            return unsorted
         results: List[Optional[int]] = []
         counters_add = self.counters.add
         lookup_run = None
+        probe_event = ""
         visit_event = ""
+        descents = 0
         limit = float("-inf")  # forces the first descent
         run: List[int] = []
         run_append = run.append
@@ -262,15 +273,25 @@ class BPlusTree:
                 if run:
                     counters_add(visit_event, len(run))
                     results.extend(lookup_run(run))
+                    if span is not None:
+                        tracer.event(probe_event, count=len(run))
                     run.clear()
                 leaf, _, upper = self._descend_bounded(key)
+                descents += 1
+                if span is not None:
+                    tracer.event("descent", height=self._height)
                 limit = float("inf") if upper is None else upper
                 lookup_run = leaf.storage.lookup_run
+                probe_event = LEAF_PROBE_EVENTS[leaf.encoding]
                 visit_event = f"leaf_visit:{leaf.encoding}"
             run_append(key)
         if run:
             counters_add(visit_event, len(run))
             results.extend(lookup_run(run))
+            if span is not None:
+                tracer.event(probe_event, count=len(run))
+        if span is not None:
+            tracer.end(span, sorted=True, descents=descents)
         return results
 
     def insert_many(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:

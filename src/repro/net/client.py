@@ -30,6 +30,7 @@ from repro.durability.codec import Key
 from repro.net.protocol import (
     OP_DELETE,
     OP_GET,
+    OP_NAMES,
     OP_PING,
     OP_PUT,
     OP_SCAN,
@@ -42,6 +43,11 @@ from repro.net.protocol import (
     encode_request,
     read_frame,
 )
+from repro.obs.distributed import TraceContext, new_trace_id
+from repro.obs.runtime import active_tracer
+
+#: RA004: span-name literal for the client-side request root.
+_CLIENT_SPAN = "net.client.request"
 
 
 class NetError(RuntimeError):
@@ -69,24 +75,41 @@ class ConnectionClosedError(NetError):
 
 
 class NetClient:
-    """One multiplexed protocol connection."""
+    """One multiplexed protocol connection.
+
+    ``trace_sample_every`` controls head-based distributed-trace
+    sampling: 0 never originates a context (the default; requests are
+    byte-identical to the pre-trace protocol), 1 traces every request,
+    ``n`` every n-th.  Sampling only engages while a tracer is installed
+    (see :mod:`repro.obs.runtime`), so an untraced process pays one
+    global read per request.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        trace_sample_every: int = 0,
     ) -> None:
+        if trace_sample_every < 0:
+            raise ValueError(f"trace_sample_every must be >= 0, got {trace_sample_every}")
         self._reader = reader
         self._writer = writer
         self._req_ids = count(1)
         self._pending: Dict[int, Tuple[int, "asyncio.Future[Response]"]] = {}
         self._write_lock = asyncio.Lock()
         self._closed = False
+        self.trace_sample_every = trace_sample_every
+        self._trace_countdown = 0
         self._reader_task = asyncio.create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "NetClient":
+    async def connect(
+        cls, host: str, port: int, trace_sample_every: int = 0
+    ) -> "NetClient":
         """Open a connection to a :class:`~repro.net.server.NetServer`."""
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, trace_sample_every=trace_sample_every)
 
     async def close(self) -> None:
         """Close the connection; in-flight requests fail cleanly."""
@@ -156,22 +179,63 @@ class NetClient:
         if self._closed:
             raise ConnectionClosedError("client closed")
         req_id = next(self._req_ids)
+        loop = asyncio.get_running_loop()
+        span = None
+        trace: Optional[TraceContext] = None
+        tracer = active_tracer()
+        if tracer is not None and self.trace_sample_every > 0:
+            if self._trace_countdown > 0:
+                self._trace_countdown -= 1
+            else:
+                self._trace_countdown = self.trace_sample_every - 1
+                span = tracer.start_remote(
+                    _CLIENT_SPAN,
+                    trace_id=new_trace_id(),
+                    op=OP_NAMES.get(op, f"0x{op:02x}"),
+                    tenant=tenant,
+                )
+                trace = TraceContext(
+                    trace_id=span.trace_id or 0,
+                    parent_span_id=span.span_id,
+                    sampled=True,
+                )
+        started = loop.time()
         frame = encode_frame(
             encode_request(
-                Request(req_id=req_id, op=op, tenant=tenant, key=key, value=value, count=num)
+                Request(
+                    req_id=req_id,
+                    op=op,
+                    tenant=tenant,
+                    key=key,
+                    value=value,
+                    count=num,
+                    trace=trace,
+                )
             )
         )
-        loop = asyncio.get_running_loop()
         future: "asyncio.Future[Response]" = loop.create_future()
         self._pending[req_id] = (op, future)
         try:
             async with self._write_lock:
                 self._writer.write(frame)
                 await self._writer.drain()
-        except (ConnectionError, OSError) as error:
+            response = await future
+        except BaseException as error:
             self._pending.pop(req_id, None)
-            raise ConnectionClosedError(str(error)) from error
-        return await future
+            if span is not None and tracer is not None:
+                tracer.finish(
+                    span,
+                    elapsed_s=loop.time() - started,
+                    error=type(error).__name__,
+                )
+            if isinstance(error, (ConnectionError, OSError)):
+                raise ConnectionClosedError(str(error)) from error
+            raise
+        if span is not None and tracer is not None:
+            tracer.finish(
+                span, elapsed_s=loop.time() - started, status=response.status
+            )
+        return response
 
     # ------------------------------------------------------------------
     # Typed conveniences

@@ -30,7 +30,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import SIZE_BUCKETS
-from repro.obs.runtime import active_registry
+from repro.obs.runtime import active_registry, active_tracer
+from repro.obs.tracing import Span, Tracer
 from repro.service.router import ShardRouter
 from repro.service.shard import Pair
 from repro.service.partition import Key
@@ -43,9 +44,27 @@ _COUNTERS = {
     "size_flushes": "net.coalesce.size_flushes",
 }
 _BATCH_SIZE_HISTOGRAM = "net.coalesce.batch_size"
+#: RA004: span-name literal for one flushed batch.
+_BATCH_SPAN = "net.coalesce.batch"
 
 _GET = "get"
 _PUT = "put"
+
+#: One queued request: payload, its future, and (when the request is part
+#: of a sampled distributed trace) the server span to link/nest under.
+_Entry = Tuple[Any, "asyncio.Future[Any]", Optional[Span]]
+
+
+def _adopting(
+    tracer: Tracer, span: Span, call: Callable[[], Any]
+) -> Callable[[], Any]:
+    """Wrap ``call`` so it runs with ``span`` adopted on its thread."""
+
+    def run() -> Any:
+        with tracer.adopt(span):
+            return call()
+
+    return run
 
 
 class _Queue:
@@ -55,7 +74,7 @@ class _Queue:
 
     def __init__(self, kind: str) -> None:
         self.kind = kind
-        self.entries: List[Tuple[Any, asyncio.Future]] = []
+        self.entries: List[_Entry] = []
         self.timer: Optional[asyncio.TimerHandle] = None
 
 
@@ -107,37 +126,54 @@ class Coalescer:
     # ------------------------------------------------------------------
     # Enqueue (event-loop side)
     # ------------------------------------------------------------------
-    def get(self, router: ShardRouter, key: Key) -> "asyncio.Future[Any]":
+    def get(
+        self, router: ShardRouter, key: Key, span: Optional[Span] = None
+    ) -> "asyncio.Future[Any]":
         """Queue one GET against ``router``; resolves to the value/None."""
-        return self._enqueue(router, _GET, key)
+        return self._enqueue(router, _GET, key, span)
 
-    def put(self, router: ShardRouter, pair: Pair) -> "asyncio.Future[Any]":
+    def put(
+        self, router: ShardRouter, pair: Pair, span: Optional[Span] = None
+    ) -> "asyncio.Future[Any]":
         """Queue one PUT against ``router``; resolves to None on ack."""
-        return self._enqueue(router, _PUT, pair)
+        return self._enqueue(router, _PUT, pair, span)
 
     def run_single(
-        self, call: Callable[[], Any]
+        self, call: Callable[[], Any], span: Optional[Span] = None
     ) -> "asyncio.Future[Any]":
-        """Dispatch one uncoalesced call (scan/delete/stats) off-loop."""
+        """Dispatch one uncoalesced call (scan/delete/stats) off-loop.
+
+        When the request carries a sampled trace, ``span`` (the server
+        span) is adopted on the executor thread so the router/shard/index
+        spans the call emits nest under it.
+        """
         loop = asyncio.get_running_loop()
-        return asyncio.ensure_future(loop.run_in_executor(self._pool(), call))
+        tracer = active_tracer()
+        task = call
+        if span is not None and tracer is not None:
+            task = _adopting(tracer, span, call)
+        return asyncio.ensure_future(loop.run_in_executor(self._pool(), task))
 
     def _enqueue(
-        self, router: ShardRouter, kind: str, payload: Any
+        self,
+        router: ShardRouter,
+        kind: str,
+        payload: Any,
+        span: Optional[Span] = None,
     ) -> "asyncio.Future[Any]":
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Any]" = loop.create_future()
         if not self.enabled:
             # Per-request mode: one executor dispatch per request.
             self._routers[id(router)] = router
-            self._flush_entries(router, kind, [(payload, future)], timer=False)
+            self._flush_entries(router, kind, [(payload, future, span)], timer=False)
             return future
         slot = (id(router), kind)
         self._routers[id(router)] = router
         queue = self._queues.get(slot)
         if queue is None:
             queue = self._queues[slot] = _Queue(kind)
-        queue.entries.append((payload, future))
+        queue.entries.append((payload, future, span))
         if len(queue.entries) >= self.max_batch:
             self._flush_queue(router, queue, timer=False)
         elif queue.timer is None:
@@ -161,7 +197,7 @@ class Coalescer:
         self,
         router: ShardRouter,
         kind: str,
-        entries: List[Tuple[Any, asyncio.Future]],
+        entries: List[_Entry],
         timer: bool,
     ) -> None:
         loop = asyncio.get_running_loop()
@@ -176,27 +212,62 @@ class Coalescer:
             else:
                 registry.counter(_COUNTERS["size_flushes"]).inc()
             registry.histogram(_BATCH_SIZE_HISTOGRAM, SIZE_BUCKETS).record(len(entries))
-        payloads = [payload for payload, _ in entries]
+        payloads = [payload for payload, _, _ in entries]
+
+        # One batch span per flush, parented under the *first* traced
+        # request's server span; the other coalesced requests are linked
+        # by span id so the stitch tool can attribute the shared work to
+        # every trace that rode the batch.
+        tracer = active_tracer()
+        batch_span: Optional[Span] = None
+        if tracer is not None:
+            spans = [span for _, _, span in entries if span is not None]
+            if spans:
+                batch_span = tracer.start_child(
+                    _BATCH_SPAN,
+                    spans[0],
+                    kind=kind,
+                    size=len(entries),
+                    timer_flush=timer,
+                )
+                if len(spans) > 1:
+                    batch_span.set(
+                        link_span_ids=[s.span_id for s in spans[1:]],
+                        link_trace_ids=[s.trace_id for s in spans[1:]],
+                    )
+        started = loop.time()
 
         def call() -> Any:
+            if batch_span is not None and tracer is not None:
+                with tracer.adopt(batch_span):
+                    if kind == _GET:
+                        return router.get_many(payloads)
+                    return router.put_many(payloads)
             if kind == _GET:
                 return router.get_many(payloads)
             return router.put_many(payloads)
 
         dispatch = loop.run_in_executor(self._pool(), call)
         dispatch.add_done_callback(
-            lambda done: self._resolve(kind, entries, done)
+            lambda done: self._resolve(kind, entries, done, batch_span, started)
         )
 
-    @staticmethod
     def _resolve(
+        self,
         kind: str,
-        entries: List[Tuple[Any, asyncio.Future]],
+        entries: List[_Entry],
         done: "asyncio.Future[Any]",
+        batch_span: Optional[Span],
+        started: float,
     ) -> None:
+        if batch_span is not None:
+            tracer = active_tracer()
+            if tracer is not None:
+                elapsed = asyncio.get_running_loop().time() - started
+                tracer.finish(batch_span, elapsed_s=elapsed)
         error = done.exception() if not done.cancelled() else None
         if done.cancelled() or error is not None:
-            for _, future in entries:
+            for _, future, _ in entries:
                 if not future.done():
                     if error is not None:
                         future.set_exception(error)
@@ -205,10 +276,10 @@ class Coalescer:
             return
         if kind == _GET:
             values = done.result()
-            for (_, future), value in zip(entries, values):
+            for (_, future, _), value in zip(entries, values):
                 if not future.done():
                     future.set_result(value)
         else:
-            for _, future in entries:
+            for _, future, _ in entries:
                 if not future.done():
                     future.set_result(None)

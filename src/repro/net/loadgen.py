@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -40,6 +41,8 @@ from repro.net.protocol import (
     STATUS_THROTTLED,
 )
 from repro.obs.metrics import LATENCY_BUCKETS, Histogram
+from repro.obs.runtime import Telemetry
+from repro.obs.slo import evaluate_checks, parse_check
 from repro.workloads.distributions import zipf_indices
 
 _STATUS_PENDING = 0
@@ -65,6 +68,7 @@ class LoadgenConfig:
     seed: int = 7
     poisson: bool = True              # exponential vs uniform inter-arrivals
     drain_timeout: float = 10.0       # wait for stragglers after last send
+    trace_sample_every: int = 0       # distributed-trace sampling per client
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.duration <= 0:
@@ -77,6 +81,8 @@ class LoadgenConfig:
             raise ValueError("get_fraction must be in [0, 1]")
         if self.connections <= 0:
             raise ValueError("connections must be positive")
+        if self.trace_sample_every < 0:
+            raise ValueError("trace_sample_every must be >= 0")
 
 
 @dataclass
@@ -132,6 +138,25 @@ class LoadgenResult:
             "shed_latency": self.shed_latency.summary(),
         }
 
+    def slo_values(self) -> Dict[str, float]:
+        """The flat metric map ``--slo`` expressions evaluate against.
+
+        Latency metrics are the accepted-work distribution, in seconds.
+        """
+        latency = self.latency.summary()
+        offered = float(self.offered) if self.offered else 1.0
+        return {
+            "mean": latency["mean"],
+            "p50": latency["p50"],
+            "p90": latency["p90"],
+            "p99": latency["p99"],
+            "p999": latency["p999"],
+            "shed_fraction": self.shed_fraction,
+            "error_fraction": self.errors / offered,
+            "unanswered_fraction": self.unanswered / offered,
+            "ok_fraction": self.ok / offered,
+        }
+
 
 async def run_loadgen(
     host: str, port: int, config: LoadgenConfig
@@ -152,7 +177,10 @@ async def run_loadgen(
     tenants = list(config.tenants)
 
     clients = [
-        await NetClient.connect(host, port) for _ in range(config.connections)
+        await NetClient.connect(
+            host, port, trace_sample_every=config.trace_sample_every
+        )
+        for _ in range(config.connections)
     ]
     result = LoadgenResult(offered=n_ops)
     statuses = np.full(n_ops, _STATUS_PENDING, dtype=np.int8)
@@ -306,6 +334,48 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--shards", type=int, default=2, help="shards per tenant group")
     parser.add_argument(
+        "--family",
+        default="olc",
+        help="index family for --self-serve tenant groups (olc, adaptive, ...)",
+    )
+    parser.add_argument(
+        "--durable",
+        default=None,
+        metavar="DIR",
+        help="per-tenant WAL root for --self-serve (writes become durable "
+        "and traced requests include durability.wal.append spans)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL trace here (self-serve: client+server spans "
+        "share the file, so stitch sees complete chains)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="originate a distributed trace on every N-th request "
+        "(0 = never; only effective with --trace)",
+    )
+    parser.add_argument(
+        "--trace-ops",
+        type=int,
+        default=0,
+        metavar="N",
+        help="index-level op span sampling under --trace (0 = off)",
+    )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="fail the run (exit 1) on violation, e.g. 'p99<0.01' or "
+        "'shed_fraction<=0.05' (repeatable; see repro.obs.slo)",
+    )
+    parser.add_argument(
         "--max-batch", type=int, default=128, help="coalescing batch ceiling"
     )
     parser.add_argument(
@@ -327,7 +397,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def _amain(args: argparse.Namespace) -> Dict[str, Any]:
+async def _amain(args: argparse.Namespace) -> LoadgenResult:
     tenants = [f"t{i}" for i in range(args.tenants)]
     config = LoadgenConfig(
         rate=args.rate,
@@ -339,6 +409,7 @@ async def _amain(args: argparse.Namespace) -> Dict[str, Any]:
         get_fraction=args.get_fraction,
         connections=args.connections,
         seed=args.seed,
+        trace_sample_every=args.trace_sample if args.trace else 0,
     )
     if args.self_serve:
         from repro.core.budget import TenantQuota
@@ -351,7 +422,12 @@ async def _amain(args: argparse.Namespace) -> Dict[str, Any]:
                 ops_per_sec=args.quota_ops, max_inflight=args.max_inflight
             )
         directory = demo_directory(
-            tenants, keys_per_tenant=args.keys, num_shards=args.shards, quota=quota
+            tenants,
+            keys_per_tenant=args.keys,
+            num_shards=args.shards,
+            family=args.family,
+            quota=quota,
+            durability_root=args.durable,
         )
         try:
             async with NetServer(
@@ -368,13 +444,24 @@ async def _amain(args: argparse.Namespace) -> Dict[str, Any]:
         if args.port <= 0:
             raise SystemExit("--port is required without --self-serve")
         result = await run_loadgen(args.host, args.port, config)
-    return result.summary()
+    return result
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
-    summary = asyncio.run(_amain(args))
+    checks = [parse_check(expression) for expression in args.slo]
+    telemetry: Optional[Telemetry] = None
+    if args.trace is not None:
+        telemetry = Telemetry.with_jsonl_trace(
+            args.trace, op_sample_every=args.trace_ops
+        ).install()
+    try:
+        result = asyncio.run(_amain(args))
+    finally:
+        if telemetry is not None:
+            telemetry.uninstall()
+    summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -392,6 +479,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"p99 {latency['p99'] * 1000:.2f}ms  "
             f"p999 {latency['p999'] * 1000:.2f}ms"
         )
+    if checks:
+        violations = evaluate_checks(result.slo_values(), checks)
+        for violation in violations:
+            print(violation, file=sys.stderr)
+        if violations:
+            return 1
+        print(f"slo ok: {len(checks)} check(s) passed", file=sys.stderr)
     return 0
 
 

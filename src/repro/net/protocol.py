@@ -7,8 +7,17 @@ declared length bounds-checked before anything is unpacked:
 .. code-block:: text
 
     frame    := body_len u32 || crc32(body) u32 || body     -- 8-byte header
-    request  := req_id u64 || opcode u8 || tlen u8 || tenant utf-8 || payload
+    request  := req_id u64 || opcode u8 || tlen u8 || tenant utf-8
+                || [trace_ctx] || payload
     response := req_id u64 || status u8 || payload
+
+The opcode byte's low 7 bits name the operation; the high bit
+(:data:`OP_TRACE_FLAG`, the protocol's one version bump so far) declares
+that a 17-byte trace context — ``trace_id u64 || parent_span_id u64 ||
+flags u8`` (flags bit 0 = sampled) — follows the tenant name.  Frames
+without the bit decode exactly as before, so old clients keep working
+against new servers and vice versa; servers that predate the bit reject
+flagged frames as unknown opcodes rather than misreading the payload.
 
 Request payloads reuse the tagged key/value codec from
 :mod:`repro.durability.codec` (int or bytes keys, int values):
@@ -50,6 +59,7 @@ from repro.durability.codec import (
     encode_value,
 )
 from repro.fst.serialize import CorruptSerializationError
+from repro.obs.distributed import TraceContext
 
 #: One frame body longer than this is garbage framing, not data (4 MiB).
 MAX_FRAME_BYTES = 4 * 1024 * 1024
@@ -60,6 +70,7 @@ MAX_SCAN_COUNT = 65_536
 _FRAME_HEADER = struct.Struct("<II")
 _REQ_PREFIX = struct.Struct("<QBB")   # req_id, opcode, tenant length
 _RESP_PREFIX = struct.Struct("<QB")   # req_id, status
+_TRACE_CTX = struct.Struct("<QQB")    # trace_id, parent_span_id, flags
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 
@@ -71,7 +82,23 @@ OP_SCAN = 0x04
 OP_PING = 0x05
 OP_STATS = 0x06
 
+#: High bit of the opcode byte: a trace context follows the tenant name.
+OP_TRACE_FLAG = 0x80
+
+#: Trace-context flags byte: bit 0 = sampled; the rest must be zero.
+_TRACE_SAMPLED = 0x01
+
 OPCODES = frozenset({OP_GET, OP_PUT, OP_DELETE, OP_SCAN, OP_PING, OP_STATS})
+
+#: Human-readable opcode names (span/console attributes).
+OP_NAMES = {
+    OP_GET: "get",
+    OP_PUT: "put",
+    OP_DELETE: "delete",
+    OP_SCAN: "scan",
+    OP_PING: "ping",
+    OP_STATS: "stats",
+}
 
 # -- response statuses ---------------------------------------------------
 STATUS_OK = 0x00
@@ -115,6 +142,7 @@ class Request:
     key: Optional[Key] = None
     value: Optional[int] = None
     count: int = 0
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -208,7 +236,15 @@ def encode_request(request: Request) -> bytes:
     _require(request.op in OPCODES, f"unknown opcode 0x{request.op:02x}")
     tenant = request.tenant.encode("utf-8")
     _require(len(tenant) <= 255, f"tenant name of {len(tenant)} bytes exceeds 255")
-    parts = [_REQ_PREFIX.pack(request.req_id, request.op, len(tenant)), tenant]
+    op_byte = request.op | (OP_TRACE_FLAG if request.trace is not None else 0)
+    parts = [_REQ_PREFIX.pack(request.req_id, op_byte, len(tenant)), tenant]
+    if request.trace is not None:
+        flags = _TRACE_SAMPLED if request.trace.sampled else 0
+        parts.append(
+            _TRACE_CTX.pack(
+                request.trace.trace_id, request.trace.parent_span_id, flags
+            )
+        )
     if request.op in (OP_GET, OP_DELETE):
         assert request.key is not None
         parts.append(encode_key(request.key))
@@ -228,7 +264,9 @@ def decode_request(body: bytes) -> Request:
     """Decode one request body; raises :class:`ProtocolError` on garbage."""
     try:
         _require(len(body) >= _REQ_PREFIX.size, f"request body of {len(body)} bytes too short")
-        req_id, op, tenant_len = _REQ_PREFIX.unpack_from(body)
+        req_id, op_byte, tenant_len = _REQ_PREFIX.unpack_from(body)
+        traced = bool(op_byte & OP_TRACE_FLAG)
+        op = op_byte & ~OP_TRACE_FLAG
         _require(op in OPCODES, f"unknown opcode 0x{op:02x}")
         offset = _REQ_PREFIX.size
         _require(offset + tenant_len <= len(body), "tenant name overruns the body")
@@ -237,6 +275,18 @@ def decode_request(body: bytes) -> Request:
         except UnicodeDecodeError as error:
             raise ProtocolError(f"tenant name is not UTF-8: {error}") from error
         offset += tenant_len
+        trace: Optional[TraceContext] = None
+        if traced:
+            _require(offset + _TRACE_CTX.size <= len(body), "trace context truncated")
+            trace_id, parent_span_id, flags = _TRACE_CTX.unpack_from(body, offset)
+            offset += _TRACE_CTX.size
+            _require(trace_id != 0, "trace_id 0 is reserved")
+            _require(flags & ~_TRACE_SAMPLED == 0, f"trace flags 0x{flags:02x} invalid")
+            trace = TraceContext(
+                trace_id=trace_id,
+                parent_span_id=parent_span_id,
+                sampled=bool(flags & _TRACE_SAMPLED),
+            )
         key: Optional[Key] = None
         value: Optional[int] = None
         count = 0
@@ -252,7 +302,15 @@ def decode_request(body: bytes) -> Request:
             offset += _U32.size
             _require(0 < count <= MAX_SCAN_COUNT, f"scan count {count} invalid")
         _require(offset == len(body), f"{len(body) - offset} trailing bytes after request")
-        return Request(req_id=req_id, op=op, tenant=tenant, key=key, value=value, count=count)
+        return Request(
+            req_id=req_id,
+            op=op,
+            tenant=tenant,
+            key=key,
+            value=value,
+            count=count,
+            trace=trace,
+        )
     except CorruptSerializationError as error:
         # Key/value codec errors surface under the one protocol exception.
         raise ProtocolError(str(error)) from error

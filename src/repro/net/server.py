@@ -40,6 +40,7 @@ from repro.net.coalescer import Coalescer
 from repro.net.protocol import (
     OP_DELETE,
     OP_GET,
+    OP_NAMES,
     OP_PING,
     OP_PUT,
     OP_SCAN,
@@ -59,8 +60,11 @@ from repro.net.protocol import (
     read_frame,
 )
 from repro.net.tenancy import TenantDirectory
+from repro.obs.jsonable import to_jsonable
 from repro.obs.metrics import LATENCY_BUCKETS
-from repro.obs.runtime import active_registry
+from repro.obs.runtime import active_registry, active_tracer
+from repro.obs.slo import SloMonitor
+from repro.obs.tracing import Span, Tracer
 
 #: RA004: literal instrument names for the serving path.
 _COUNTERS = {
@@ -79,6 +83,9 @@ _GAUGES = {
 }
 _LATENCY_HISTOGRAM = "net.request_seconds"
 _SERVICE_HISTOGRAM = "net.service_seconds"
+#: RA004: span-name literals for the traced request path.
+_SERVER_SPAN = "net.server.request"
+_ADMISSION_EVENT = "net.admission"
 
 #: Ops charged against the tenant token bucket per request kind; a scan
 #: is priced by the rows it may return, amortized to its batch shape.
@@ -96,14 +103,21 @@ class NetServer:
         max_batch: int = 128,
         max_delay: float = 0.001,
         admission: bool = True,
+        slo: Optional[SloMonitor] = None,
+        slo_interval: float = 1.0,
     ) -> None:
+        if slo_interval <= 0:
+            raise ValueError(f"slo_interval must be positive, got {slo_interval}")
         self.directory = directory
         self.host = host
         self.port = port
         self.admission = admission
         self.coalescer = Coalescer(max_batch=max_batch, max_delay=max_delay)
+        self.slo = slo
+        self.slo_interval = slo_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: "set[asyncio.Task[None]]" = set()
+        self._slo_task: "Optional[asyncio.Task[None]]" = None
         self.connections = 0
         self.requests = 0
         self.responses = 0
@@ -121,9 +135,16 @@ class NetServer:
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
+        if self.slo is not None:
+            self._slo_task = asyncio.create_task(self._slo_loop())
 
     async def stop(self) -> None:
         """Stop accepting, cancel per-connection tasks, release pools."""
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._slo_task
+            self._slo_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -134,6 +155,16 @@ class NetServer:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._conn_tasks.clear()
         self.coalescer.close()
+
+    async def _slo_loop(self) -> None:
+        """Tick the SLO monitor on loop time while the server runs."""
+        assert self.slo is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.slo_interval)
+            registry = active_registry()
+            if registry is not None:
+                self.slo.observe(registry, now=loop.time())
 
     async def __aenter__(self) -> "NetServer":
         await self.start()
@@ -214,17 +245,40 @@ class NetServer:
         registry = active_registry()
         if registry is not None:
             registry.counter(_COUNTERS["requests"]).inc()
+        # Continue the client's trace: a sampled context opens a detached
+        # server span (the per-thread stack is useless here — many request
+        # tasks interleave on this one loop thread).
+        tracer = active_tracer()
+        span: Optional[Span] = None
+        if (
+            tracer is not None
+            and request.trace is not None
+            and request.trace.sampled
+        ):
+            span = tracer.start_remote(
+                _SERVER_SPAN,
+                trace_id=request.trace.trace_id,
+                remote_parent_id=request.trace.parent_span_id,
+                op=OP_NAMES.get(request.op, f"0x{request.op:02x}"),
+                tenant=request.tenant,
+            )
+
+        def finish(status: int) -> None:
+            if span is not None and tracer is not None:
+                tracer.finish(span, status=status, elapsed_s=loop.time() - started)
+
         if request.op == OP_PING:
             await self._write(
                 writer, write_lock, Response(request.req_id, STATUS_OK), OP_PING
             )
+            finish(STATUS_OK)
             self._observe(registry, loop.time() - started)
             return
         if request.op == OP_STATS:
             # Tenant-less introspection: bypasses admission on purpose so
             # an operator can still see the arbiter while tenants shed.
             try:
-                stats = await self.coalescer.run_single(self.directory.stats)
+                stats = await self.coalescer.run_single(self._stats_snapshot, span)
                 payload = json.dumps(stats, sort_keys=True).encode("utf-8")
                 response = Response(request.req_id, STATUS_OK, payload=payload)
             except Exception as error:  # noqa: BLE001 - one response per failure
@@ -236,6 +290,7 @@ class NetServer:
                     message=f"{type(error).__name__}: {error}",
                 )
             await self._write(writer, write_lock, response, OP_STATS)
+            finish(response.status)
             self._observe(registry, loop.time() - started)
             return
         if request.tenant not in self.directory:
@@ -251,6 +306,7 @@ class NetServer:
                 ),
                 request.op,
             )
+            finish(STATUS_UNKNOWN_TENANT)
             return
         arbiter = self.directory.arbiter
         admitted = False
@@ -259,6 +315,10 @@ class NetServer:
             if request.op == OP_SCAN:
                 cost = max(1.0, request.count * _SCAN_OP_WEIGHT)
             decision = arbiter.admit(request.tenant, ops=cost, now=loop.time())
+            if span is not None and tracer is not None:
+                tracer.child_event(
+                    _ADMISSION_EVENT, span, decision=decision, cost=cost
+                )
             if decision != ADMIT_OK:
                 self.sheds += 1
                 if registry is not None:
@@ -277,10 +337,11 @@ class NetServer:
                     Response(request.req_id, status, message=decision),
                     request.op,
                 )
+                finish(status)
                 return
             admitted = True
         try:
-            response = await self._dispatch(request)
+            response = await self._dispatch(request, span)
         except asyncio.CancelledError:
             raise
         except Exception as error:  # noqa: BLE001 - one response per failure
@@ -300,20 +361,23 @@ class NetServer:
                     )
         service_elapsed = loop.time() - started
         await self._write(writer, write_lock, response, request.op)
+        finish(response.status)
         self._observe(registry, loop.time() - started, service_elapsed)
 
-    async def _dispatch(self, request: Request) -> Response:
+    async def _dispatch(
+        self, request: Request, span: Optional[Span] = None
+    ) -> Response:
         """Execute one admitted request against its tenant's shard group."""
         router = self.directory.router_for(request.tenant)
         if request.op == OP_GET:
             assert request.key is not None
-            value = await self.coalescer.get(router, request.key)
+            value = await self.coalescer.get(router, request.key, span)
             return Response(
                 request.req_id, STATUS_OK, found=value is not None, value=value
             )
         if request.op == OP_PUT:
             assert request.key is not None and request.value is not None
-            await self.coalescer.put(router, (request.key, request.value))
+            await self.coalescer.put(router, (request.key, request.value), span)
             return Response(request.req_id, STATUS_OK)
         if request.op == OP_DELETE:
             key = request.key
@@ -322,7 +386,7 @@ class NetServer:
             def delete_call() -> bool:
                 return router.delete(key)
 
-            removed = await self.coalescer.run_single(delete_call)
+            removed = await self.coalescer.run_single(delete_call, span)
             return Response(request.req_id, STATUS_OK, removed=bool(removed))
         if request.op == OP_SCAN:
             start_key = request.key
@@ -332,11 +396,56 @@ class NetServer:
             def scan_call() -> Any:
                 return router.scan(start_key, count)
 
-            pairs = await self.coalescer.run_single(scan_call)
+            pairs = await self.coalescer.run_single(scan_call, span)
             return Response(request.req_id, STATUS_OK, pairs=list(pairs))
         return Response(
             request.req_id, STATUS_BAD_REQUEST, message=f"unhandled opcode {request.op}"
         )
+
+    # ------------------------------------------------------------------
+    # STATS snapshot (the ops-console payload)
+    # ------------------------------------------------------------------
+    def _stats_snapshot(self) -> "dict[str, Any]":
+        """The structured console snapshot behind the STATS opcode.
+
+        Keeps the original top-level ``tenants`` / ``arbiter`` keys (the
+        pre-console payload) and layers the ops-console sections on top:
+        server/coalescer counters, per-shard encoding mix + migrations +
+        WAL lag, latency histogram summaries, and the SLO states.  Runs
+        on the coalescer executor — never on the event loop.
+        """
+        snapshot = self.directory.stats()
+        snapshot["server"] = {
+            "admission": self.admission,
+            "connections": self.connections,
+            "requests": self.requests,
+            "responses": self.responses,
+            "sheds": self.sheds,
+            "protocol_errors": self.protocol_errors,
+        }
+        snapshot["coalescer"] = {
+            "enabled": self.coalescer.enabled,
+            "max_batch": self.coalescer.max_batch,
+            "max_delay": self.coalescer.max_delay,
+            "batches_flushed": self.coalescer.batches_flushed,
+            "requests_coalesced": self.coalescer.requests_coalesced,
+        }
+        snapshot["shards"] = {
+            tenant: self.directory.router_for(tenant).stats().get("shards", [])
+            for tenant in self.directory.tenants()
+        }
+        registry = active_registry()
+        if registry is not None:
+            snapshot["latency"] = registry.histogram_summaries("net.")
+            counters = registry.snapshot()["counters"]
+            snapshot["net_counters"] = {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("net.")
+            }
+        if self.slo is not None:
+            snapshot["slo"] = self.slo.snapshot()
+        return dict(to_jsonable(snapshot))
 
     @staticmethod
     async def _write(

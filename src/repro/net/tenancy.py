@@ -22,9 +22,11 @@ tenancy and resource policy meet.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.budget import MemoryBudget, ResourceArbiter, TenantQuota
+from repro.durability.manager import DurabilityManager
 from repro.service.router import ShardRouter
 from repro.service.shard import Pair
 
@@ -56,6 +58,7 @@ class TenantDirectory:
         budget: Optional[MemoryBudget] = None,
         default_quota: Optional[TenantQuota] = None,
         max_workers_per_group: int = 2,
+        durability_root: Optional[Union[str, Path]] = None,
     ) -> None:
         if not specs:
             raise ValueError("a tenant directory needs at least one tenant")
@@ -66,12 +69,18 @@ class TenantDirectory:
         self._groups: Dict[str, ShardRouter] = {}
         self._specs: Dict[str, TenantSpec] = {}
         for spec in specs:
+            durability = None
+            if durability_root is not None:
+                # One WAL/snapshot tree per tenant: groups recover
+                # independently and a tenant's logs never interleave.
+                durability = DurabilityManager(Path(durability_root) / spec.name)
             router = ShardRouter.build(
                 list(spec.pairs),
                 family=spec.family,
                 num_shards=spec.num_shards,
                 partitioning=spec.partitioning,
                 max_workers=max_workers_per_group,
+                durability=durability,
             )
             self._groups[spec.name] = router
             self._specs[spec.name] = spec
@@ -140,12 +149,15 @@ def demo_directory(
     family: str = "olc",
     quota: Optional[TenantQuota] = None,
     budget: Optional[MemoryBudget] = None,
+    durability_root: Optional[Union[str, Path]] = None,
 ) -> TenantDirectory:
     """A synthetic directory: each tenant preloaded with even int keys.
 
     Keys are ``0, 2, 4, ...`` so loadgen misses (odd keys) and hits
     (even keys) are both reachable; values are ``key + 1``.  Used by
     the bench, the loadgen's ``--self-serve`` mode, and the tests.
+    With ``durability_root``, every tenant group writes a per-shard WAL
+    under it (the traced e2e chain exercises this path).
     """
     specs = [
         TenantSpec(
@@ -157,4 +169,4 @@ def demo_directory(
         )
         for name in tenants
     ]
-    return TenantDirectory(specs, budget=budget)
+    return TenantDirectory(specs, budget=budget, durability_root=durability_root)

@@ -20,7 +20,15 @@ decision cost) across every index family:
   ``.describe()`` contract all six index families implement;
 * :mod:`repro.obs.jsonable` — the one JSON-coercion helper every
   exporter (including ``repro.harness.export``) shares;
-* :mod:`repro.obs.report` — the human-readable console exporter.
+* :mod:`repro.obs.report` — the human-readable console exporter;
+* :mod:`repro.obs.distributed` — trace-context propagation vocabulary
+  (trace ids, the span-name -> layer map the stitcher attributes by);
+* :mod:`repro.obs.stitch` — joins per-process JSONL traces into
+  per-request causal trees (``python -m repro.obs.stitch``);
+* :mod:`repro.obs.slo` — declarative objectives with multi-window
+  burn-rate alerting, plus one-shot SLO checks for harness CLIs;
+* :mod:`repro.obs.top` — the live ops console over the STATS opcode
+  (``python -m repro.obs.top``).
 
 Quickstart::
 
@@ -35,6 +43,13 @@ See ``docs/observability.md`` for naming conventions, the span
 taxonomy, and the overhead budget.
 """
 
+from repro.obs.distributed import (
+    MAX_TRACE_ID,
+    SPAN_LAYERS,
+    TraceContext,
+    layer_of,
+    new_trace_id,
+)
 from repro.obs.jsonable import jsonable_key, to_jsonable
 from repro.obs.metrics import (
     COST_NS_BUCKETS,
@@ -50,6 +65,16 @@ from repro.obs.metrics import (
 from repro.obs.report import render_metrics, render_telemetry, render_trace_summary
 from repro.obs.runtime import Telemetry, active, active_registry, active_tracer
 from repro.obs.schema import TraceSchemaError, validate_trace, validate_trace_file
+from repro.obs.slo import (
+    Objective,
+    SloCheck,
+    SloMonitor,
+    default_net_objectives,
+    evaluate_checks,
+    latency_objective,
+    parse_check,
+    ratio_objective,
+)
 from repro.obs.sinks import (
     InMemoryTraceSink,
     JsonlTraceSink,
@@ -61,25 +86,38 @@ from repro.obs.tracing import Span, Tracer, TraceSink
 __all__ = [
     "COST_NS_BUCKETS",
     "LATENCY_BUCKETS",
+    "MAX_TRACE_ID",
     "Counter",
     "Gauge",
     "Histogram",
     "InMemoryTraceSink",
     "JsonlTraceSink",
     "MetricsRegistry",
+    "Objective",
     "RATIO_BUCKETS",
     "SIZE_BUCKETS",
+    "SPAN_LAYERS",
+    "SloCheck",
+    "SloMonitor",
     "Span",
     "Telemetry",
     "TeeTraceSink",
+    "TraceContext",
     "TraceSchemaError",
     "TraceSink",
     "Tracer",
     "active",
     "active_registry",
     "active_tracer",
+    "default_net_objectives",
+    "evaluate_checks",
     "jsonable_key",
+    "latency_objective",
+    "layer_of",
+    "new_trace_id",
+    "parse_check",
     "parse_prometheus",
+    "ratio_objective",
     "read_jsonl_trace",
     "render_metrics",
     "render_telemetry",

@@ -1,0 +1,84 @@
+"""Distributed-trace model: context propagation across the wire.
+
+A *trace context* is the tiny fixed-size tuple that rides inside a wire
+request frame (see :mod:`repro.net.protocol`): the 64-bit trace id
+naming the whole causal tree, the span id of the sender's span (so the
+receiver can parent under it), and a sampled flag (head-based sampling:
+the client decides once, every downstream layer honors the decision).
+
+Propagation rules (documented in ``docs/observability.md``):
+
+* ``NetClient`` originates: on a sampled request it opens a
+  ``net.client.request`` root span, generates a fresh trace id, and
+  attaches ``TraceContext(trace_id, client_span_id, sampled=True)``.
+* ``NetServer`` continues: a sampled context opens a
+  ``net.server.request`` span via :meth:`Tracer.start_remote`, carrying
+  the client's span id as a ``remote_parent_id`` attribute.  Each JSONL
+  file stays self-contained (local ``parent_id`` graph is closed); the
+  stitch tool re-attaches server trees under client spans.
+* Everything below the server (coalescer batches, router fan-out, shard
+  ops, WAL appends, index descents) parents through explicit spans or
+  :meth:`Tracer.adopt`, inheriting the trace id automatically.
+
+:data:`SPAN_LAYERS` maps span names to the coarse layers the stitch
+tool's latency attribution reports (net/admission/coalesce/route/index/
+wal); :func:`layer_of` resolves a span name to its layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+MAX_TRACE_ID = (1 << 64) - 1
+
+#: (span-name prefix, layer) pairs, checked in order; first match wins.
+SPAN_LAYERS: Tuple[Tuple[str, str], ...] = (
+    ("net.client.request", "client"),
+    ("net.admission", "admission"),
+    ("net.coalesce", "coalesce"),
+    ("net.", "net"),
+    ("service.route", "route"),
+    ("service.shard_op", "shard"),
+    ("durability.", "wal"),
+    ("lookup", "index"),
+    ("descent", "index"),
+    ("leaf_probe", "index"),
+    ("insert", "index"),
+    ("delete", "index"),
+    ("scan", "index"),
+)
+
+
+def layer_of(span_name: str) -> str:
+    """Map a span name to its attribution layer (``other`` if unknown)."""
+    for prefix, layer in SPAN_LAYERS:
+        if span_name.startswith(prefix):
+            return layer
+    return "other"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated slice of a trace: what fits in a request frame."""
+
+    trace_id: int
+    parent_span_id: int
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.trace_id <= MAX_TRACE_ID:
+            raise ValueError(f"trace_id out of range: {self.trace_id}")
+        if not 0 <= self.parent_span_id <= MAX_TRACE_ID:
+            raise ValueError(f"parent_span_id out of range: {self.parent_span_id}")
+
+
+_trace_rng = random.Random()
+
+
+def new_trace_id(rng: Optional[random.Random] = None) -> int:
+    """A fresh nonzero 64-bit trace id (0 is reserved for 'absent')."""
+    source = rng if rng is not None else _trace_rng
+    value = source.getrandbits(64)
+    return value if value != 0 else 1

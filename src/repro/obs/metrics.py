@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 # Shared fixed boundaries.  Powers of two suit batch sizes and entry
 # counts; the cost buckets span the modeled-ns range the cost model
@@ -76,14 +76,25 @@ class Counter:
 
 
 class Gauge:
-    """A named value that may go up and down."""
+    """A named value that may go up and down.
 
-    __slots__ = ("name", "help", "value")
+    A gauge may carry a fixed label set (e.g. ``objective="net_get_p99"``
+    on the SLO burn-rate gauges); labeled siblings share the metric name
+    and render as separate samples in the Prometheus exposition.
+    """
 
-    def __init__(self, name: str, help: str = "") -> None:
+    __slots__ = ("name", "help", "value", "labels")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self.labels = labels
 
     def set(self, value: float) -> None:
         """Install the current value."""
@@ -145,16 +156,29 @@ class Histogram:
         counts and mapped back to a value by linear interpolation
         between the bucket's lower and upper boundary (the first
         bucket's lower edge is 0.0, or ``boundaries[0]`` when that is
-        negative).  Observations that landed in the +Inf bucket are
-        clamped to the last finite boundary — the estimate can only
-        under-report past the configured range, never invent values.
-        Returns 0.0 on an empty histogram (the :attr:`mean` convention).
+        negative).
+
+        Contract at the edges (tested in ``tests/obs/test_quantiles.py``):
+
+        * **empty histogram** — returns 0.0 for every ``q`` (the
+          :attr:`mean` convention), never raises;
+        * ``q == 0.0`` — returns the lower edge of the first occupied
+          bucket;
+        * ``q == 1.0`` with no overflow — returns the upper boundary of
+          the last occupied bucket;
+        * **rank in the +Inf overflow bucket** — returns the last finite
+          boundary, exactly (no interpolation into the unbounded bucket:
+          the estimate can only under-report past the configured range,
+          never invent values);
+        * ``q`` outside ``[0, 1]`` — raises :class:`ValueError`.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
         target = q * self.count
+        if target > self.count - self.bucket_counts[-1]:
+            return self.boundaries[-1]  # rank lands in the +Inf bucket: clamp
         running = 0
         lower = min(0.0, self.boundaries[0])
         for upper, bucket in zip(self.boundaries, self.bucket_counts):
@@ -179,28 +203,42 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create home of every named instrument."""
+    """Get-or-create home of every named instrument.
+
+    Gauges may carry labels; the gauge map is keyed by the rendered
+    sample key (``name{label="value"}``, escaped) so labeled siblings
+    coexist under one metric name.  Counters and histograms stay
+    label-free — every current producer is a plain cumulative stream.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._kinds: Dict[str, str] = {}
 
     # -- instrument access ----------------------------------------------
     def counter(self, name: str, help: str = "") -> Counter:
         """The counter named ``name`` (created on first use)."""
         instrument = self._counters.get(name)
         if instrument is None:
-            self._check_fresh(name)
+            self._check_fresh(name, "counter")
             instrument = self._counters[name] = Counter(name, help)
         return instrument
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        """The gauge named ``name`` (created on first use)."""
-        instrument = self._gauges.get(name)
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        """The gauge named ``name`` (+ label set), created on first use."""
+        label_items = tuple(sorted(labels.items())) if labels else ()
+        key = sample_key(name, label_items)
+        instrument = self._gauges.get(key)
         if instrument is None:
-            self._check_fresh(name)
-            instrument = self._gauges[name] = Gauge(name, help)
+            self._check_fresh(name, "gauge")
+            instrument = self._gauges[key] = Gauge(name, help, label_items)
         return instrument
 
     def histogram(
@@ -212,13 +250,39 @@ class MetricsRegistry:
         """The histogram named ``name`` (created on first use)."""
         instrument = self._histograms.get(name)
         if instrument is None:
-            self._check_fresh(name)
+            self._check_fresh(name, "histogram")
             instrument = self._histograms[name] = Histogram(name, boundaries, help)
         return instrument
 
-    def _check_fresh(self, name: str) -> None:
-        if name in self._counters or name in self._gauges or name in self._histograms:
+    def _check_fresh(self, name: str, kind: str) -> None:
+        existing = self._kinds.get(name)
+        if existing is not None and existing != kind:
             raise ValueError(f"instrument name {name!r} already used with another type")
+        self._kinds[name] = kind
+
+    # -- read-only peeks (no instrument creation) ------------------------
+    def get_counter(self, name: str) -> Optional[Counter]:
+        """The counter named ``name`` if it already exists, else None."""
+        return self._counters.get(name)
+
+    def get_gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[Gauge]:
+        """The gauge named ``name`` (+ label set) if it exists, else None."""
+        label_items = tuple(sorted(labels.items())) if labels else ()
+        return self._gauges.get(sample_key(name, label_items))
+
+    def get_histogram(self, name: str) -> Optional[Histogram]:
+        """The histogram named ``name`` if it already exists, else None."""
+        return self._histograms.get(name)
+
+    def histogram_summaries(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """``{name: summary}`` for every histogram under ``prefix``."""
+        return {
+            name: h.summary()
+            for name, h in sorted(self._histograms.items())
+            if name.startswith(prefix)
+        }
 
     # -- pull-style ingestion -------------------------------------------
     def ingest_counters(self, snapshot: Dict[str, int], prefix: str = "ops") -> None:
@@ -264,12 +328,22 @@ class MetricsRegistry:
             if counter.help:
                 lines.append(f"# HELP {metric} {counter.help}")
             lines.append(f"{metric} {_prom_value(counter.value)}")
-        for name, gauge in sorted(self._gauges.items()):
-            metric = _prom_name(namespace, name)
-            lines.append(f"# TYPE {metric} gauge")
-            if gauge.help:
-                lines.append(f"# HELP {metric} {gauge.help}")
-            lines.append(f"{metric} {_prom_value(gauge.value)}")
+        previous_metric = None
+        for key, gauge in sorted(self._gauges.items(), key=lambda kv: (kv[1].name, kv[0])):
+            metric = _prom_name(namespace, gauge.name)
+            if metric != previous_metric:
+                lines.append(f"# TYPE {metric} gauge")
+                if gauge.help:
+                    lines.append(f"# HELP {metric} {gauge.help}")
+                previous_metric = metric
+            if gauge.labels:
+                rendered = ",".join(
+                    f'{label}="{escape_label_value(value)}"'
+                    for label, value in gauge.labels
+                )
+                lines.append(f"{metric}{{{rendered}}} {_prom_value(gauge.value)}")
+            else:
+                lines.append(f"{metric} {_prom_value(gauge.value)}")
         for name, histogram in sorted(self._histograms.items()):
             metric = _prom_name(namespace, name)
             lines.append(f"# TYPE {metric} histogram")
@@ -285,11 +359,10 @@ class MetricsRegistry:
 
 
 _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
-_METRIC_LINE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
-)
+_SAMPLE_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*")
+_SAMPLE_VALUE = re.compile(r"^[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN)$")
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
 
 
 def _prom_name(namespace: str, name: str) -> str:
@@ -302,11 +375,92 @@ def _prom_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format (0.0.4)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def sample_key(name: str, labels: Sequence[Tuple[str, str]]) -> str:
+    """The canonical sample key: ``name`` or ``name{label="escaped"}``."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{label}="{escape_label_value(value)}"' for label, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def split_sample_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Parse a sample key back into ``(name, {label: unescaped value})``."""
+    name, labels, rest = _parse_name_and_labels(key, 0)
+    if rest:
+        raise ValueError(f"trailing text {rest!r} after sample key")
+    return name, dict(labels)
+
+
+def _parse_name_and_labels(line: str, lineno: int) -> Tuple[str, List[Tuple[str, str]], str]:
+    """Scan ``name{label="value",...}`` off the front of ``line``.
+
+    Label values are unescaped; the remainder of the line is returned
+    verbatim.  A regex cannot do this — escaped ``"`` and ``}`` inside a
+    value defeat any ``[^}]*`` label capture — so this is a character
+    scanner, and it is what makes :func:`parse_prometheus` able to
+    round-trip values containing backslashes, quotes, and newlines.
+    """
+    where = f"line {lineno}: " if lineno else ""
+    name_match = _SAMPLE_NAME.match(line)
+    if name_match is None:
+        raise ValueError(f"{where}malformed sample name in {line!r}")
+    name = name_match.group(0)
+    position = name_match.end()
+    labels: List[Tuple[str, str]] = []
+    if position < len(line) and line[position] == "{":
+        position += 1
+        try:
+            while True:
+                if line[position] == "}":
+                    position += 1
+                    break
+                label_match = _LABEL_NAME.match(line[position:])
+                if label_match is None:
+                    raise ValueError(f"{where}malformed label name at {line[position:]!r}")
+                label = label_match.group(0)
+                position += label_match.end()
+                if line[position : position + 2] != '="':
+                    raise ValueError(f"{where}label {label!r} missing quoted value")
+                position += 2
+                chars: List[str] = []
+                while True:
+                    char = line[position]
+                    if char == "\\":
+                        escaped = _ESCAPES.get(line[position + 1])
+                        if escaped is None:
+                            raise ValueError(
+                                f"{where}bad escape \\{line[position + 1]!r} "
+                                f"in label {label!r}"
+                            )
+                        chars.append(escaped)
+                        position += 2
+                    elif char == '"':
+                        position += 1
+                        break
+                    else:
+                        chars.append(char)
+                        position += 1
+                labels.append((label, "".join(chars)))
+                if line[position] == ",":
+                    position += 1
+        except IndexError:
+            raise ValueError(f"{where}unterminated label set in {line!r}") from None
+    return name, labels, line[position:]
+
+
 def parse_prometheus(text: str) -> Dict[str, float]:
     """Parse a text exposition into ``{name{labels}: value}``.
 
-    Raises :class:`ValueError` on any malformed line — this is the
-    validation the CI smoke job runs over exported snapshots.
+    Sample keys are re-rendered canonically (escaped label values, no
+    whitespace), so ``split_sample_key`` recovers the original label
+    values exactly — including ``\\``, ``"``, and newlines.  Raises
+    :class:`ValueError` on any malformed line — this is the validation
+    the CI smoke job runs over exported snapshots.
     """
     samples: Dict[str, float] = {}
     types: Dict[str, str] = {}
@@ -323,15 +477,18 @@ def parse_prometheus(text: str) -> Dict[str, float]:
             continue
         if line.startswith("#"):
             continue
-        match = _METRIC_LINE.match(line)
-        if match is None:
+        name, labels, rest = _parse_name_and_labels(line, lineno)
+        if not rest or not rest[0].isspace():
             raise ValueError(f"line {lineno}: malformed sample {raw!r}")
-        labels = match.group("labels")
-        key = match.group("name") + (f"{{{labels}}}" if labels else "")
+        value_text = rest.strip()
+        if _SAMPLE_VALUE.match(value_text) is None:
+            raise ValueError(f"line {lineno}: malformed sample value {value_text!r}")
+        key = sample_key(name, labels)
         if key in samples:
             raise ValueError(f"line {lineno}: duplicate sample {key!r}")
-        value = match.group("value")
-        samples[key] = float("inf") if value in ("Inf", "+Inf") else float(value)
+        samples[key] = (
+            float("inf") if value_text in ("Inf", "+Inf") else float(value_text)
+        )
     if not samples:
         raise ValueError("exposition contains no samples")
     return samples

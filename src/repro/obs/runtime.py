@@ -66,16 +66,26 @@ class Telemetry:
 
     # -- constructors ----------------------------------------------------
     @classmethod
-    def with_memory_trace(cls, op_sample_every: int = 0) -> "Telemetry":
+    def with_memory_trace(
+        cls, op_sample_every: int = 0, span_id_base: int = 0
+    ) -> "Telemetry":
         """Registry + tracer over an in-memory sink (tests, reports)."""
-        return cls(tracer=Tracer(InMemoryTraceSink(), op_sample_every))
+        return cls(tracer=Tracer(InMemoryTraceSink(), op_sample_every, span_id_base))
 
     @classmethod
     def with_jsonl_trace(
-        cls, path: Union[str, Path], op_sample_every: int = 0
+        cls,
+        path: Union[str, Path],
+        op_sample_every: int = 0,
+        span_id_base: int = 0,
     ) -> "Telemetry":
-        """Registry + tracer writing JSONL spans to ``path``."""
-        return cls(tracer=Tracer(JsonlTraceSink(path), op_sample_every))
+        """Registry + tracer writing JSONL spans to ``path``.
+
+        Give each process of a distributed run a distinct
+        ``span_id_base`` (e.g. ``1 << 32`` times a process index) so the
+        per-process span ids never collide when files are stitched.
+        """
+        return cls(tracer=Tracer(JsonlTraceSink(path), op_sample_every, span_id_base))
 
     # -- installation ----------------------------------------------------
     def install(self) -> "Telemetry":

@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Sequence, Union
 DEFAULT_SCHEMA_PATH = Path(__file__).resolve().parents[3] / "docs" / "trace_schema.json"
 
 _REQUIRED_FIELDS = ("span_id", "parent_id", "name", "seq_start", "seq_end", "attributes")
+_OPTIONAL_FIELDS = ("trace_id",)
+_MAX_TRACE_ID = (1 << 64) - 1
 _NAME_PATTERN = re.compile(r"^[a-z0-9_.:>-]+$")
 
 
@@ -57,7 +59,11 @@ def validate_record(record: Dict, line_number: int = 0) -> None:
     missing = [field for field in _REQUIRED_FIELDS if field not in record]
     if missing:
         raise TraceSchemaError(f"{where}missing fields {missing} in {sorted(record)}")
-    extra = [field for field in record if field not in _REQUIRED_FIELDS]
+    extra = [
+        field
+        for field in record
+        if field not in _REQUIRED_FIELDS and field not in _OPTIONAL_FIELDS
+    ]
     if extra:
         raise TraceSchemaError(f"{where}unexpected fields {extra}")
     span_id = record["span_id"]
@@ -86,6 +92,16 @@ def validate_record(record: Dict, line_number: int = 0) -> None:
         )
     if not isinstance(record["attributes"], dict):
         raise TraceSchemaError(f"{where}attributes must be an object")
+    if "trace_id" in record:
+        trace_id = record["trace_id"]
+        if (
+            not isinstance(trace_id, int)
+            or isinstance(trace_id, bool)
+            or not 1 <= trace_id <= _MAX_TRACE_ID
+        ):
+            raise TraceSchemaError(
+                f"{where}trace_id must be an integer in [1, 2**64), got {trace_id!r}"
+            )
 
 
 def validate_trace(records: Sequence[Dict]) -> Dict[str, int]:

@@ -68,7 +68,8 @@ from repro.durability.manager import (
     partitioner_spec,
 )
 from repro.faults.injector import fault_point
-from repro.obs.runtime import active_registry
+from repro.obs.runtime import active_registry, active_tracer
+from repro.obs.tracing import Span, Tracer
 from repro.service.partition import (
     HashPartitioner,
     Key,
@@ -76,11 +77,26 @@ from repro.service.partition import (
     PartitionError,
     RangePartitioner,
 )
-from repro.service.shard import Pair, Shard
+from repro.service.shard import Pair, Shard, span_if_traced
 
 IndexFactory = Callable[[List[Pair]], Any]
 
 _DEFAULT_MAX_WORKERS = 8
+
+#: RA004: span-name literal for the fan-out layer.
+_ROUTE_SPAN = "service.route"
+
+
+def _adopted(
+    tracer: Tracer, span: Span, task: Callable[[], None]
+) -> Callable[[], None]:
+    """Carry ``span`` across the executor hop so shard spans nest under it."""
+
+    def run() -> None:
+        with tracer.adopt(span):
+            task()
+
+    return run
 
 
 class ReadOnlyShardError(RuntimeError):
@@ -388,6 +404,13 @@ class ShardRouter:
             for task in tasks:
                 task()
             return
+        # A traced request's span lives on *this* thread's stack; re-adopt
+        # it on each pool thread so shard spans keep their parent.
+        tracer = active_tracer()
+        if tracer is not None:
+            parent = tracer.current()
+            if parent is not None:
+                tasks = [_adopted(tracer, parent, task) for task in tasks]
         with self._inflight_lock:
             self._inflight += len(tasks)
         registry = active_registry()
@@ -428,7 +451,8 @@ class ShardRouter:
     # ------------------------------------------------------------------
     def get(self, key: Key) -> Optional[int]:
         """The value under ``key``, or None."""
-        return self.shard_for(key).get(key)
+        with span_if_traced(_ROUTE_SPAN, op="get", fanout=1):
+            return self.shard_for(key).get(key)
 
     def get_many(self, keys: Sequence[Key]) -> List[Optional[int]]:
         """Values aligned with ``keys``; sub-batches run per shard."""
@@ -447,12 +471,15 @@ class ShardRouter:
 
             return run
 
-        self._run_per_shard(
-            [
-                reader(table.shards[shard_id], positions)
-                for shard_id, positions in groups.items()
-            ]
-        )
+        with span_if_traced(
+            _ROUTE_SPAN, op="get_many", count=len(keys), fanout=len(groups)
+        ):
+            self._run_per_shard(
+                [
+                    reader(table.shards[shard_id], positions)
+                    for shard_id, positions in groups.items()
+                ]
+            )
         self._count_ops("read", len(keys))
         return results
 
@@ -468,11 +495,14 @@ class ShardRouter:
         if table.partitioner.ordered:
             result: List[Pair] = []
             first = table.partitioner.shard_of(start_key)
-            for shard in table.shards[first:]:
-                need = count - len(result)
-                if need <= 0:
-                    break
-                result.extend(shard.scan(start_key, need))
+            with span_if_traced(
+                _ROUTE_SPAN, op="scan", count=count, fanout=len(table.shards) - first
+            ):
+                for shard in table.shards[first:]:
+                    need = count - len(result)
+                    if need <= 0:
+                        break
+                    result.extend(shard.scan(start_key, need))
             self._count_ops("scan", 1)
             return result[:count]
         per_shard: List[List[Pair]] = [[] for _ in table.shards]
@@ -483,9 +513,15 @@ class ShardRouter:
 
             return run
 
-        self._run_per_shard(
-            [scanner(position, shard) for position, shard in enumerate(table.shards)]
-        )
+        with span_if_traced(
+            _ROUTE_SPAN, op="scan", count=count, fanout=len(table.shards)
+        ):
+            self._run_per_shard(
+                [
+                    scanner(position, shard)
+                    for position, shard in enumerate(table.shards)
+                ]
+            )
         self._count_ops("scan", 1)
         merged = heapq.merge(*per_shard, key=lambda pair: pair[0])
         return list(itertools.islice(merged, count))
@@ -495,7 +531,8 @@ class ShardRouter:
     # ------------------------------------------------------------------
     def put(self, key: Key, value: int) -> None:
         """Upsert one pair."""
-        self._write_group(self.shard_for(key), [(key, value)])
+        with span_if_traced(_ROUTE_SPAN, op="put", fanout=1):
+            self._write_group(self.shard_for(key), [(key, value)])
         self._count_ops("write", 1)
 
     def put_many(self, pairs: Sequence[Pair]) -> None:
@@ -514,12 +551,15 @@ class ShardRouter:
 
             return run
 
-        self._run_per_shard(
-            [
-                writer(table.shards[shard_id], positions)
-                for shard_id, positions in groups.items()
-            ]
-        )
+        with span_if_traced(
+            _ROUTE_SPAN, op="put_many", count=len(pairs), fanout=len(groups)
+        ):
+            self._run_per_shard(
+                [
+                    writer(table.shards[shard_id], positions)
+                    for shard_id, positions in groups.items()
+                ]
+            )
         self._count_ops("write", len(pairs))
 
     def _write_group(self, shard: Shard, group: List[Pair]) -> None:
@@ -566,16 +606,17 @@ class ShardRouter:
 
     def delete(self, key: Key) -> bool:
         """Remove ``key``; False when it was absent."""
-        while True:
-            shard = self.shard_for(key)
-            self._check_writable(shard)
-            with shard.write_gate:
-                # Same revalidation as _write_group: a split/merge may
-                # have swapped the table while we waited on the gate.
-                current = self._table
-                if current.shards[current.partitioner.shard_of(key)] is shard:
-                    removed = shard.delete(key)
-                    break
+        with span_if_traced(_ROUTE_SPAN, op="delete", fanout=1):
+            while True:
+                shard = self.shard_for(key)
+                self._check_writable(shard)
+                with shard.write_gate:
+                    # Same revalidation as _write_group: a split/merge may
+                    # have swapped the table while we waited on the gate.
+                    current = self._table
+                    if current.shards[current.partitioner.shard_of(key)] is shard:
+                        removed = shard.delete(key)
+                        break
         self._count_ops("write", 1)
         return removed
 

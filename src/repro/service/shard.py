@@ -30,12 +30,14 @@ caller never saw an ack, and replay is idempotent).
 from __future__ import annotations
 
 import threading
-from contextlib import nullcontext
+import time
+from contextlib import contextmanager, nullcontext
 from typing import (
     TYPE_CHECKING,
     Any,
     ContextManager,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -43,6 +45,8 @@ from typing import (
 )
 
 from repro.faults.injector import fault_point
+from repro.obs.introspect import census_stats
+from repro.obs.runtime import active_tracer
 from repro.service.partition import Key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -53,6 +57,35 @@ Pair = Tuple[Key, int]
 #: Smallest conceivable integer key, used to seed full-content scans on
 #: families without an ``items()`` iterator (the dual-stage baseline).
 _INT_KEY_FLOOR = -(2**63)
+
+#: RA004: span-name literals for the per-shard service layer.
+_SHARD_OP_SPAN = "service.shard_op"
+_WAL_APPEND_SPAN = "durability.wal.append"
+
+
+@contextmanager
+def span_if_traced(name: str, **attributes: object) -> Iterator[None]:
+    """Open a stack span only when this thread sits under a traced request.
+
+    The distributed-trace propagation rule for the service layer: a
+    request span is :meth:`~repro.obs.tracing.Tracer.adopt`-ed onto the
+    executor thread, so ``tracer.current()`` is non-None exactly when
+    this operation belongs to a traced request.  Untraced operations pay
+    one global read and one branch; direct (non-request) callers never
+    emit service spans.  Measured ``elapsed_s`` is attached on close —
+    this is the service/durability layer, outside the RA002 wall-clock
+    fence that guards the index hot paths.
+    """
+    tracer = active_tracer()
+    if tracer is None or tracer.current() is None:
+        yield
+        return
+    started = time.perf_counter()
+    span = tracer.start(name, **attributes)
+    try:
+        yield
+    finally:
+        tracer.end(span, elapsed_s=time.perf_counter() - started)
 
 
 class Shard:
@@ -101,9 +134,10 @@ class Shard:
     # ------------------------------------------------------------------
     def get(self, key: Key) -> Optional[int]:
         """The value under ``key``, or None."""
-        with self._guard():
-            self._note_ops(1)
-            return self.index.lookup(key)
+        with span_if_traced(_SHARD_OP_SPAN, op="get", shard_id=self.shard_id):
+            with self._guard():
+                self._note_ops(1)
+                return self.index.lookup(key)
 
     def get_many(self, keys: Sequence[Key]) -> List[Optional[int]]:
         """Values aligned with ``keys`` (None for misses).
@@ -114,28 +148,34 @@ class Shard:
         """
         if not keys:
             return []
-        if self.thread_safe:
-            lookup = self.index.lookup
-            self._note_ops(len(keys))
-            return [lookup(key) for key in keys]
-        with self._guard():
-            self._note_ops(len(keys))
-            lookup_many = getattr(self.index, "lookup_many", None)
-            if lookup_many is None:
+        with span_if_traced(
+            _SHARD_OP_SPAN, op="get_many", shard_id=self.shard_id, count=len(keys)
+        ):
+            if self.thread_safe:
                 lookup = self.index.lookup
+                self._note_ops(len(keys))
                 return [lookup(key) for key in keys]
-            order = sorted(range(len(keys)), key=lambda position: keys[position])
-            sorted_values = lookup_many([keys[position] for position in order])
-            values: List[Optional[int]] = [None] * len(keys)
-            for rank, position in enumerate(order):
-                values[position] = sorted_values[rank]
-            return values
+            with self._guard():
+                self._note_ops(len(keys))
+                lookup_many = getattr(self.index, "lookup_many", None)
+                if lookup_many is None:
+                    lookup = self.index.lookup
+                    return [lookup(key) for key in keys]
+                order = sorted(range(len(keys)), key=lambda position: keys[position])
+                sorted_values = lookup_many([keys[position] for position in order])
+                values: List[Optional[int]] = [None] * len(keys)
+                for rank, position in enumerate(order):
+                    values[position] = sorted_values[rank]
+                return values
 
     def scan(self, start_key: Key, count: int) -> List[Pair]:
         """Up to ``count`` ordered pairs starting at ``start_key``."""
-        with self._guard():
-            self._note_ops(1)
-            return list(self.index.scan(start_key, count))
+        with span_if_traced(
+            _SHARD_OP_SPAN, op="scan", shard_id=self.shard_id, count=count
+        ):
+            with self._guard():
+                self._note_ops(1)
+                return list(self.index.scan(start_key, count))
 
     # ------------------------------------------------------------------
     # Writes (caller holds ``write_gate``)
@@ -147,12 +187,16 @@ class Shard:
 
     def put(self, key: Key, value: int) -> None:
         """Upsert one pair (write-ahead logged when the shard is durable)."""
-        with self._guard():
-            self._note_ops(1)
-            if self.durable_log is not None:
-                self.durable_log.append_put(key, value)
-                fault_point("durability.wal.apply")
-            self.index.insert(key, value)
+        with span_if_traced(_SHARD_OP_SPAN, op="put", shard_id=self.shard_id):
+            with self._guard():
+                self._note_ops(1)
+                if self.durable_log is not None:
+                    with span_if_traced(
+                        _WAL_APPEND_SPAN, shard_id=self.shard_id, records=1
+                    ):
+                        self.durable_log.append_put(key, value)
+                    fault_point("durability.wal.apply")
+                self.index.insert(key, value)
 
     def put_many(self, pairs: Sequence[Pair]) -> None:
         """Upsert a batch, through the family's ``insert_many`` if any.
@@ -164,27 +208,37 @@ class Shard:
         """
         if not pairs:
             return
-        with self._guard():
-            self._note_ops(len(pairs))
-            if self.durable_log is not None:
-                self.durable_log.append_put_many(pairs)
-                fault_point("durability.wal.apply")
-            insert_many = getattr(self.index, "insert_many", None)
-            if insert_many is not None:
-                insert_many(list(pairs))
-                return
-            insert = self.index.insert
-            for key, value in pairs:
-                insert(key, value)
+        with span_if_traced(
+            _SHARD_OP_SPAN, op="put_many", shard_id=self.shard_id, count=len(pairs)
+        ):
+            with self._guard():
+                self._note_ops(len(pairs))
+                if self.durable_log is not None:
+                    with span_if_traced(
+                        _WAL_APPEND_SPAN, shard_id=self.shard_id, records=len(pairs)
+                    ):
+                        self.durable_log.append_put_many(pairs)
+                    fault_point("durability.wal.apply")
+                insert_many = getattr(self.index, "insert_many", None)
+                if insert_many is not None:
+                    insert_many(list(pairs))
+                    return
+                insert = self.index.insert
+                for key, value in pairs:
+                    insert(key, value)
 
     def delete(self, key: Key) -> bool:
         """Remove ``key``; False when it was absent."""
-        with self._guard():
-            self._note_ops(1)
-            if self.durable_log is not None:
-                self.durable_log.append_delete(key)
-                fault_point("durability.wal.apply")
-            return bool(self.index.delete(key))
+        with span_if_traced(_SHARD_OP_SPAN, op="delete", shard_id=self.shard_id):
+            with self._guard():
+                self._note_ops(1)
+                if self.durable_log is not None:
+                    with span_if_traced(
+                        _WAL_APPEND_SPAN, shard_id=self.shard_id, records=1
+                    ):
+                        self.durable_log.append_delete(key)
+                    fault_point("durability.wal.apply")
+                return bool(self.index.delete(key))
 
     # ------------------------------------------------------------------
     # Snapshots and introspection
@@ -218,6 +272,31 @@ class Shard:
         """The index's structural counter events (for the cost model)."""
         return dict(self.index.counters.snapshot())
 
+    def encoding_census(self) -> Dict[str, Any]:
+        """The index's node/leaf encoding mix, whatever the family calls it.
+
+        Empty for families without heterogeneous encodings (plain
+        hashmap, OLC tree) — the ops console renders that as a single
+        implicit encoding.
+        """
+        for probe in ("leaf_encoding_census", "encoding_census", "node_census"):
+            census = getattr(self.index, probe, None)
+            if census is not None:
+                return dict(census_stats(census()))
+        return {}
+
+    def wal_lag(self) -> Optional[int]:
+        """Records appended since the last snapshot (None when not durable).
+
+        The ops console's per-shard durability lag: how much WAL replay
+        a crash right now would cost this shard.
+        """
+        if self.durable_log is None:
+            return None
+        snapshot_lsns = self.durable_log.snapshots.list_lsns()
+        floor = max(snapshot_lsns) if snapshot_lsns else 0
+        return max(0, self.durable_log.wal.last_lsn - floor)
+
     def stats(self) -> Dict[str, Any]:
         """One JSON-safe summary of this shard."""
         manager = getattr(self.index, "manager", None)
@@ -226,9 +305,11 @@ class Shard:
             "family": getattr(self.index, "stats_family", type(self.index).__name__),
             "thread_safe": self.thread_safe,
             "durable": self.durable_log.stats() if self.durable_log is not None else None,
+            "wal_lag": self.wal_lag(),
             "num_keys": self.num_keys,
             "size_bytes": self.size_bytes(),
             "ops": self.ops,
+            "encoding_census": self.encoding_census(),
             "adaptation_phases": (
                 manager.counters.adaptation_phases if manager is not None else 0
             ),

@@ -1,0 +1,140 @@
+"""Distributed-tracing vocabulary and the detached span lifecycle."""
+
+import random
+
+import pytest
+
+from repro.obs.distributed import (
+    MAX_TRACE_ID,
+    SPAN_LAYERS,
+    TraceContext,
+    layer_of,
+    new_trace_id,
+)
+from repro.obs.sinks import InMemoryTraceSink
+from repro.obs.tracing import Tracer
+
+
+def make_tracer(span_id_base=0, op_sample_every=0):
+    sink = InMemoryTraceSink()
+    return Tracer(sink, op_sample_every=op_sample_every, span_id_base=span_id_base), sink
+
+
+class TestLayerMap:
+    def test_every_net_span_name_maps_off_other(self):
+        for name in (
+            "net.client.request",
+            "net.server.request",
+            "net.admission",
+            "net.coalesce.batch",
+            "service.route",
+            "service.shard_op",
+            "durability.wal.append",
+            "lookup",
+            "lookup_many",
+            "insert",
+            "descent",
+            "leaf_probe:succinct",
+        ):
+            assert layer_of(name) != "other", name
+
+    def test_longest_prefix_wins(self):
+        # net.admission must not be swallowed by the generic net. prefix.
+        assert layer_of("net.admission") == "admission"
+        assert layer_of("net.client.request") == "client"
+        assert layer_of("net.server.request") == "net"
+
+    def test_unknown_names_fall_through_to_other(self):
+        assert layer_of("totally.novel.span") == "other"
+
+    def test_layer_table_is_prefix_ordered(self):
+        # A longer prefix listed after a shorter one it extends would be
+        # unreachable; the table must be ordered longest-match-first.
+        for index, (prefix, _layer) in enumerate(SPAN_LAYERS):
+            for earlier, _ in SPAN_LAYERS[:index]:
+                assert not prefix.startswith(earlier), (
+                    f"{prefix!r} is shadowed by earlier prefix {earlier!r}"
+                )
+
+
+class TestTraceContext:
+    def test_fields_round_trip(self):
+        context = TraceContext(trace_id=42, parent_span_id=7, sampled=True)
+        assert context.trace_id == 42
+        assert context.parent_span_id == 7
+        assert context.sampled
+
+    def test_trace_id_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=0, parent_span_id=1, sampled=True)
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=MAX_TRACE_ID + 1, parent_span_id=1, sampled=True)
+
+    def test_new_trace_id_in_range_and_seedable(self):
+        rng = random.Random(7)
+        ids = {new_trace_id(rng) for _ in range(100)}
+        assert len(ids) == 100
+        assert all(1 <= trace_id <= MAX_TRACE_ID for trace_id in ids)
+        replay = random.Random(7)
+        assert {new_trace_id(replay) for _ in range(100)} == ids
+
+
+class TestDetachedSpans:
+    def test_start_remote_is_a_local_root_with_remote_link(self):
+        tracer, sink = make_tracer()
+        span = tracer.start_remote("net.server.request", trace_id=9, remote_parent_id=3)
+        tracer.finish(span, status=0)
+        (record,) = sink.records
+        assert record["parent_id"] is None
+        assert record["trace_id"] == 9
+        assert record["attributes"]["remote_parent_id"] == 3
+        assert record["attributes"]["status"] == 0
+
+    def test_start_child_parents_explicitly_without_stack(self):
+        tracer, sink = make_tracer()
+        parent = tracer.start_remote("net.server.request", trace_id=9)
+        child = tracer.start_child("net.coalesce.batch", parent, size=2)
+        assert tracer.current() is None  # detached spans never touch the stack
+        tracer.finish(child)
+        tracer.finish(parent)
+        batch, server = sink.records
+        assert batch["parent_id"] == server["span_id"]
+        assert batch["trace_id"] == 9
+
+    def test_child_event_is_instantaneous(self):
+        tracer, sink = make_tracer()
+        parent = tracer.start_remote("net.server.request", trace_id=9)
+        tracer.child_event("net.admission", parent, decision="admit")
+        tracer.finish(parent)
+        admission = sink.records[0]
+        assert admission["seq_start"] == admission["seq_end"]
+        assert admission["parent_id"] == parent.span_id
+
+    def test_adopt_bridges_stack_spans_under_detached_parent(self):
+        tracer, sink = make_tracer()
+        parent = tracer.start_remote("net.server.request", trace_id=9)
+        with tracer.adopt(parent):
+            assert tracer.current() is parent
+            inner = tracer.start("service.route")
+            tracer.end(inner)
+        # Leaving adopt() must NOT emit the adopted span: its owner
+        # finishes it after the response is written.
+        assert [record["name"] for record in sink.records] == ["service.route"]
+        assert sink.records[0]["parent_id"] == parent.span_id
+        assert sink.records[0]["trace_id"] == 9
+        tracer.finish(parent)
+        assert sink.records[-1]["name"] == "net.server.request"
+
+    def test_span_id_base_separates_processes(self):
+        client, client_sink = make_tracer(span_id_base=0)
+        server, server_sink = make_tracer(span_id_base=1 << 32)
+        root = client.start_remote("net.client.request", trace_id=5)
+        remote = server.start_remote(
+            "net.server.request", trace_id=5, remote_parent_id=root.span_id
+        )
+        server.finish(remote)
+        client.finish(root)
+        client_ids = {record["span_id"] for record in client_sink.records}
+        server_ids = {record["span_id"] for record in server_sink.records}
+        assert not client_ids & server_ids
+        assert min(server_ids) > 1 << 32

@@ -9,8 +9,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     iter_instrument_names,
     parse_prometheus,
+    sample_key,
+    split_sample_key,
 )
 
 
@@ -144,3 +147,50 @@ class TestPrometheus:
     def test_parser_rejects_empty(self):
         with pytest.raises(ValueError, match="no samples"):
             parse_prometheus("# TYPE repro_x counter\n")
+
+
+class TestLabelEscaping:
+    """Exporter escaping round-trips per the text exposition format."""
+
+    HOSTILE_VALUES = (
+        'path\\to"thing"',
+        "line one\nline two",
+        '\\"\n\\n',           # escape sequences adjacent to each other
+        'trailing backslash\\',
+        "}",                  # a brace inside a value must not end the label set
+        'a="b",c="d"',        # a value that looks like more labels
+    )
+
+    def test_escape_is_invertible_through_the_scanner(self):
+        # The scanner parses rendered (sanitized) sample names, so the
+        # name here matches what the exporter emits.
+        for value in self.HOSTILE_VALUES:
+            key = sample_key("slo_state", (("objective", value),))
+            name, labels = split_sample_key(key)
+            assert name == "slo_state"
+            assert labels == {"objective": value}, value
+
+    def test_export_roundtrip_with_hostile_label_values(self):
+        registry = MetricsRegistry()
+        for index, value in enumerate(self.HOSTILE_VALUES):
+            registry.gauge("slo.state", labels={"objective": value}).set(float(index))
+        samples = parse_prometheus(registry.to_prometheus())
+        recovered = {}
+        for key, sample_value in samples.items():
+            name, labels = split_sample_key(key)
+            if name == "repro_slo_state":
+                recovered[labels["objective"]] = sample_value
+        assert recovered == {
+            value: float(index) for index, value in enumerate(self.HOSTILE_VALUES)
+        }
+
+    def test_escaped_text_stays_single_line(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", labels={"objective": "two\nlines"}).set(1.0)
+        body = registry.to_prometheus()
+        sample_lines = [line for line in body.splitlines() if line.startswith("repro_g")]
+        assert sample_lines == ['repro_g{objective="two\\nlines"} 1']
+
+    def test_bad_escape_sequences_are_rejected(self):
+        with pytest.raises(ValueError, match="bad escape"):
+            parse_prometheus('repro_g{objective="oops\\t"} 1\n')
