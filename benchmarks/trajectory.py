@@ -144,6 +144,32 @@ def _extract_pr8(payload):
     ]
 
 
+def _extract_pr9(payload):
+    suite = payload["suite"]
+    headline = payload["headline"]
+    rows = [
+        _row(
+            suite,
+            "replication.divergent_speedup",
+            headline["divergent_speedup"],
+            ">=",
+            headline.get("required", 1.3),
+        ),
+    ]
+    fault = payload.get("fault_leg")
+    if fault is not None:
+        rows.append(
+            _row(
+                suite,
+                "replication.lost_acked_writes",
+                fault["lost_acked_writes"],
+                "<=",
+                0,
+            )
+        )
+    return rows
+
+
 #: File stem -> headline extractor.  Files not listed here are checked
 #: for well-formedness only and reported by suite name.
 EXTRACTORS = {
@@ -153,6 +179,7 @@ EXTRACTORS = {
     "BENCH_PR6": _extract_pr6,
     "BENCH_PR7": _extract_pr7,
     "BENCH_PR8": _extract_pr8,
+    "BENCH_PR9": _extract_pr9,
 }
 
 

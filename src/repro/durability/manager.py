@@ -52,11 +52,22 @@ Pair = Tuple[Key, int]
 
 @dataclass(frozen=True)
 class Manifest:
-    """The durable routing epoch: which logs exist and how keys route."""
+    """The durable routing epoch: which logs exist and how keys route.
+
+    ``shards`` lists the *primary* log id per routing position.  A
+    replicated store additionally carries ``replicas``: the replication
+    factor, the per-replica divergence profile names (so recovery
+    rebuilds each copy under the same policy it crashed with), and the
+    full per-shard replica log id lists — every id a recovery must
+    consider reachable.
+    """
 
     epoch: int
     partitioner: Dict[str, Any]
-    shards: List[str]  # log ids, in routing-table order
+    shards: List[str]  # primary log ids, in routing-table order
+    #: Replication block: {"factor": int, "profiles": [str], "logs":
+    #: [[str]]} — or None for a plain single-copy store.
+    replicas: Optional[Dict[str, Any]] = None
 
 
 def partitioner_spec(partitioner: Any) -> Dict[str, Any]:
@@ -125,6 +136,16 @@ class DurabilityManager:
         """The durable name of the shard at ``position`` in ``epoch``."""
         return f"e{epoch:08d}-p{position:04d}"
 
+    @staticmethod
+    def replica_log_id(epoch: int, position: int, replica: int) -> str:
+        """The durable name of one replica's private log.
+
+        Replica 0 is the primary named in ``Manifest.shards``; every
+        replica (0 included) carries the ``-rNN`` suffix so a replicated
+        store's log ids never collide with a plain store's.
+        """
+        return f"{DurabilityManager.log_id(epoch, position)}-r{replica:02d}"
+
     # ------------------------------------------------------------------
     # Manifest (the commit point)
     # ------------------------------------------------------------------
@@ -143,6 +164,8 @@ class DurabilityManager:
             "partitioner": manifest.partitioner,
             "shards": list(manifest.shards),
         }
+        if manifest.replicas is not None:
+            payload["replicas"] = manifest.replicas
         encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         crc = zlib.crc32(encoded.encode("utf-8")) & 0xFFFFFFFF
         blob = json.dumps({"crc": crc, "payload": payload}, sort_keys=True).encode("utf-8")
@@ -177,10 +200,24 @@ class DurabilityManager:
         shards = payload["shards"]
         if not isinstance(shards, list) or not all(isinstance(s, str) for s in shards):
             raise CorruptSerializationError("manifest shard list is malformed")
+        replicas = payload.get("replicas")
+        if replicas is not None:
+            if (
+                not isinstance(replicas, dict)
+                or not isinstance(replicas.get("factor"), int)
+                or not isinstance(replicas.get("profiles"), list)
+                or not isinstance(replicas.get("logs"), list)
+                or not all(
+                    isinstance(ids, list) and all(isinstance(i, str) for i in ids)
+                    for ids in replicas["logs"]
+                )
+            ):
+                raise CorruptSerializationError("manifest replica block is malformed")
         return Manifest(
             epoch=int(payload["epoch"]),
             partitioner=dict(payload["partitioner"]),
             shards=list(shards),
+            replicas=replicas,
         )
 
     def has_manifest(self) -> bool:
@@ -225,6 +262,9 @@ class DurabilityManager:
         unreachable by construction, so deleting them is safe.
         """
         referenced = set(manifest.shards)
+        if manifest.replicas is not None:
+            for log_ids in manifest.replicas.get("logs", []):
+                referenced.update(log_ids)
         removed = 0
         for path in self.wal_dir.iterdir():
             if path.suffix == ".tmp" or (

@@ -41,12 +41,20 @@ class TenantSpec:
     partitioning: str = "hash"
     quota: Optional[TenantQuota] = None
     pairs: Sequence[Pair] = field(default_factory=tuple)
+    #: >1 provisions every shard as a replica set of divergently
+    #: adapting copies (requires the ``"adaptive"`` family).
+    replication_factor: int = 1
+    replica_profiles: Optional[Sequence[str]] = None
 
     def __post_init__(self) -> None:
         if not self.name or len(self.name.encode("utf-8")) > 255:
             raise ValueError(f"tenant name {self.name!r} must be 1..255 UTF-8 bytes")
         if self.num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {self.num_shards}")
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {self.replication_factor}"
+            )
 
 
 class TenantDirectory:
@@ -81,11 +89,17 @@ class TenantDirectory:
                 partitioning=spec.partitioning,
                 max_workers=max_workers_per_group,
                 durability=durability,
+                replication_factor=spec.replication_factor,
+                replica_profiles=spec.replica_profiles,
             )
             self._groups[spec.name] = router
             self._specs[spec.name] = spec
             self.arbiter.register_tenant(spec.name, spec.quota)
             for position, shard in enumerate(router.table.shards):
+                if shard.is_replicated:
+                    # Replica budgets are per-profile divergence policy;
+                    # the global arbiter must not rebalance over them.
+                    continue
                 self.arbiter.register_memory_member(
                     spec.name, f"shard-{position}", shard.index
                 )
@@ -150,6 +164,8 @@ def demo_directory(
     quota: Optional[TenantQuota] = None,
     budget: Optional[MemoryBudget] = None,
     durability_root: Optional[Union[str, Path]] = None,
+    replication_factor: int = 1,
+    replica_profiles: Optional[Sequence[str]] = None,
 ) -> TenantDirectory:
     """A synthetic directory: each tenant preloaded with even int keys.
 
@@ -166,6 +182,8 @@ def demo_directory(
             family=family,
             quota=quota,
             pairs=[(key * 2, key * 2 + 1) for key in range(keys_per_tenant)],
+            replication_factor=replication_factor,
+            replica_profiles=replica_profiles,
         )
         for name in tenants
     ]

@@ -81,6 +81,35 @@ def _tenant_rates(
     return rows
 
 
+def _shard_row(
+    label: str,
+    family: str,
+    info: Mapping[str, Any],
+    census: Mapping[str, Any],
+) -> str:
+    """One shard-table line (shared by plain shards and replica rows).
+
+    For replica rows ``family`` carries the divergence profile and
+    ``info`` is the per-replica stats dict, so the console shows each
+    copy's own encoding mix, ops, and WAL lag instead of an aggregate.
+    """
+    mix = (
+        " ".join(
+            f"{encoding}:{entry.get('count', entry) if isinstance(entry, Mapping) else entry}"
+            for encoding, entry in sorted(census.items())
+        )
+        or "-"
+    )
+    lag = info.get("wal_lag")
+    return (
+        f"  {label:<16} "
+        f"{family:<16} "
+        f"{info.get('num_keys', 0):>9} {info.get('ops', 0):>9} "
+        f"{info.get('migrations', 0):>5} "
+        f"{'-' if lag is None else lag:>8}  {mix}"
+    )
+
+
 def render_snapshot(
     stats: Mapping[str, Any],
     previous: Optional[Mapping[str, Any]] = None,
@@ -136,21 +165,33 @@ def render_snapshot(
         )
         for tenant, shard_list in sorted(shards.items()):
             for shard in shard_list:
-                census = shard.get("encoding_census", {}) or {}
-                mix = (
-                    " ".join(
-                        f"{encoding}:{entry.get('count', entry)}"
-                        for encoding, entry in sorted(census.items())
-                    )
-                    or "-"
-                )
-                lag = shard.get("wal_lag")
+                shard_label = tenant + "/" + str(shard.get("shard_id", "?"))
+                replicas = shard.get("replicas")
+                if replicas:
+                    # A replicated shard renders one row per replica —
+                    # the whole point of divergence is that the copies
+                    # differ, so an aggregate row would hide the signal.
+                    for replica in replicas:
+                        label = f"{shard_label}.r{replica.get('replica', '?')}"
+                        profile = str(replica.get("profile", "-"))
+                        if replica.get("down"):
+                            profile += "!"
+                        lines.append(
+                            _shard_row(
+                                label,
+                                profile,
+                                replica,
+                                replica.get("encoding_census", {}) or {},
+                            )
+                        )
+                    continue
                 lines.append(
-                    f"  {tenant + '/' + str(shard.get('shard_id', '?')):<16} "
-                    f"{str(shard.get('family', '-')):<16} "
-                    f"{shard.get('num_keys', 0):>9} {shard.get('ops', 0):>9} "
-                    f"{shard.get('migrations', 0):>5} "
-                    f"{'-' if lag is None else lag:>8}  {mix}"
+                    _shard_row(
+                        shard_label,
+                        str(shard.get("family", "-")),
+                        shard,
+                        shard.get("encoding_census", {}) or {},
+                    )
                 )
 
     latency = stats.get("latency", {})

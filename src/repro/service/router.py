@@ -213,6 +213,9 @@ class ShardRouter:
         budget: Optional[MemoryBudget] = None,
         index_factory: Optional[IndexFactory] = None,
         durability: Optional[DurabilityManager] = None,
+        replication_factor: int = 1,
+        replica_profiles: Optional[Sequence[str]] = None,
+        replica_routing: str = "cost",
     ) -> "ShardRouter":
         """Bulk-load a router from sorted unique pairs.
 
@@ -224,6 +227,15 @@ class ShardRouter:
         pairs) and the routing manifest is published before the router
         is handed out — a crash mid-bootstrap leaves either no manifest
         (re-bootstrap from the same pairs) or a complete one.
+
+        With ``replication_factor > 1`` (or explicit
+        ``replica_profiles``) every shard becomes a
+        :class:`~repro.replication.replica_set.ReplicatedShard`: N
+        copies built under divergent adaptation profiles, reads routed
+        by modeled cost (``replica_routing="cost"``, or
+        ``"round_robin"`` for the identical-replica baseline), writes
+        fanned out to per-replica WALs.  Replication requires the
+        ``"adaptive"`` family — the profiles exist to tune its manager.
         """
         if index_factory is None:
             if family not in FAMILY_FACTORIES:
@@ -246,6 +258,62 @@ class ShardRouter:
         groups: List[List[Pair]] = [[] for _ in range(num_shards)]
         for pair in pairs:
             groups[partitioner.shard_of(pair[0])].append(pair)
+        factor = replication_factor
+        if factor == 1 and replica_profiles is not None:
+            factor = len(replica_profiles)
+        if factor > 1 or replica_profiles is not None:
+            if family != "adaptive":
+                raise ValueError(
+                    "replication requires the 'adaptive' family — divergence "
+                    f"profiles tune its adaptation manager (got {family!r})"
+                )
+            from repro.replication.profiles import resolve_profiles
+            from repro.replication.replica_set import build_replicated_shard
+            from repro.replication.routing import ReplicaRouter
+
+            profiles = resolve_profiles(factor, replica_profiles)
+            shards: List[Shard] = [
+                build_replicated_shard(
+                    shard_id,
+                    group,
+                    profiles,
+                    durability=durability,
+                    epoch=0,
+                    router=ReplicaRouter(policy=replica_routing),
+                )
+                for shard_id, group in enumerate(groups)
+            ]
+            if durability is not None:
+                durability.publish_manifest(
+                    Manifest(
+                        epoch=0,
+                        partitioner=partitioner_spec(partitioner),
+                        shards=[
+                            DurabilityManager.replica_log_id(0, i, 0)
+                            for i in range(num_shards)
+                        ],
+                        replicas={
+                            "factor": factor,
+                            "profiles": [profile.name for profile in profiles],
+                            "logs": [
+                                [
+                                    DurabilityManager.replica_log_id(0, i, r)
+                                    for r in range(factor)
+                                ]
+                                for i in range(num_shards)
+                            ],
+                        },
+                    )
+                )
+            return cls(
+                shards,
+                partitioner,
+                index_factory,
+                max_workers=max_workers,
+                budget=budget,
+                durability=durability,
+                epoch=0,
+            )
         thread_safe = family in THREAD_SAFE_FAMILIES
         shards = []
         for shard_id, group in enumerate(groups):
@@ -308,6 +376,15 @@ class ShardRouter:
         manifest = durability.read_manifest()
         orphans_removed = durability.cleanup_orphans(manifest)
         partitioner = build_partitioner(manifest.partitioner)
+        if manifest.replicas is not None:
+            return cls._recover_replicated(
+                durability,
+                manifest,
+                partitioner,
+                orphans_removed,
+                max_workers=max_workers,
+                budget=budget,
+            )
         thread_safe = family in THREAD_SAFE_FAMILIES
         shards = []
         frames_replayed = 0
@@ -346,6 +423,99 @@ class ShardRouter:
         }
         return router
 
+    @classmethod
+    def _recover_replicated(
+        cls,
+        durability: DurabilityManager,
+        manifest: Manifest,
+        partitioner: Partitioner,
+        orphans_removed: int,
+        max_workers: int = _DEFAULT_MAX_WORKERS,
+        budget: Optional[MemoryBudget] = None,
+    ) -> "ShardRouter":
+        """Rebuild a replicated router: every replica from its own log.
+
+        Each replica recovers from its *own* newest snapshot plus WAL
+        tail, then bulk-loads under its *own* divergence profile (the
+        profile names come from the manifest).  Per shard, the replica
+        with the highest WAL LSN is authoritative — fan-out appends in
+        replica order, so a higher LSN implies a superset of acked
+        writes — and any straggler (a replica that was down or fenced
+        when the crash hit) is rebuilt from the authoritative content
+        and healed with a fresh snapshot.
+        """
+        from repro.replication.profiles import REPLICA_PROFILES
+        from repro.replication.replica_set import Replica, ReplicatedShard
+        from repro.replication.routing import ReplicaRouter
+
+        block = manifest.replicas
+        assert block is not None  # caller checked
+        unknown = [
+            name for name in block["profiles"] if name not in REPLICA_PROFILES
+        ]
+        if unknown:
+            raise ValueError(
+                f"manifest names unknown replica profiles {unknown}; "
+                f"expected names from {sorted(REPLICA_PROFILES)}"
+            )
+        profiles = [REPLICA_PROFILES[name] for name in block["profiles"]]
+        shards: List[Shard] = []
+        frames_replayed = 0
+        snapshots_skipped = 0
+        torn_bytes = 0
+        replicas_rebuilt = 0
+        for position, log_ids in enumerate(block["logs"]):
+            recovered = [durability.recover_log(log_id) for log_id in log_ids]
+            for _, result in recovered:
+                frames_replayed += result.frames_replayed
+                snapshots_skipped += result.snapshots_skipped
+                torn_bytes += result.torn_bytes
+            last_lsns = [log.last_lsn for log, _ in recovered]
+            authoritative = max(last_lsns)
+            auth_index = last_lsns.index(authoritative)
+            auth_pairs = sorted(recovered[auth_index][1].state.items())
+            replicas = []
+            for offset, (log, result) in enumerate(recovered):
+                if last_lsns[offset] < authoritative:
+                    # Straggler: its own log is consistent but behind
+                    # the acked history; rebuild from the authoritative
+                    # copy and checkpoint so its log is whole again.
+                    pairs = auth_pairs
+                    log.checkpoint(pairs)
+                    replicas_rebuilt += 1
+                else:
+                    pairs = sorted(result.state.items())
+                inner = Shard(
+                    position,
+                    profiles[offset].build_index(pairs),
+                    thread_safe=False,
+                    durable_log=log,
+                )
+                replicas.append(Replica(offset, profiles[offset], inner))
+            shards.append(
+                ReplicatedShard(position, replicas, router=ReplicaRouter())
+            )
+        router = cls(
+            shards,
+            partitioner,
+            FAMILY_FACTORIES["adaptive"],
+            max_workers=max_workers,
+            budget=budget,
+            durability=durability,
+            epoch=manifest.epoch,
+        )
+        router.last_recovery = {
+            "epoch": manifest.epoch,
+            "num_shards": len(shards),
+            "frames_replayed": frames_replayed,
+            "snapshots_skipped": snapshots_skipped,
+            "torn_bytes": torn_bytes,
+            "orphans_removed": orphans_removed,
+            "replication_factor": int(block["factor"]),
+            "replicas_rebuilt": replicas_rebuilt,
+        }
+        return router
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -357,8 +527,7 @@ class ShardRouter:
             executor.shutdown(wait=True)
         table = self._table
         for shard in table.shards:
-            if shard.durable_log is not None:
-                shard.durable_log.close()
+            shard.close_logs()
 
     def __enter__(self) -> "ShardRouter":
         return self
@@ -644,6 +813,11 @@ class ShardRouter:
             table = self._table
             self._check_shard_id(table, shard_id)
             shard = table.shards[shard_id]
+            if shard.is_replicated:
+                raise PartitionError(
+                    "online split is not supported on replicated shards; "
+                    "re-provision through build()/recover() instead"
+                )
             with shard.write_gate, shard._guard():
                 fault_point("service.split.collect")
                 pairs = shard.items()
@@ -709,6 +883,11 @@ class ShardRouter:
             # Validates adjacency and raises on hash partitions.
             new_partitioner = table.partitioner.merge(left_id)
             left, right = table.shards[left_id], table.shards[left_id + 1]
+            if left.is_replicated or right.is_replicated:
+                raise PartitionError(
+                    "online merge is not supported on replicated shards; "
+                    "re-provision through build()/recover() instead"
+                )
             # Gates before op locks on both shards: write_gate ranks above
             # op_lock in the lock hierarchy, and writers acquire gate then
             # op lock per shard, so interleaving gate/op across shards here
@@ -765,21 +944,12 @@ class ShardRouter:
         with self._admin_lock:
             table = self._table
             for position, shard in enumerate(table.shards):
-                log = shard.durable_log
-                if log is None:
+                if shard.durable_log is None:
                     continue
-                with shard.write_gate, shard._guard():
-                    pairs = shard.items()
-                    lsn = log.checkpoint(pairs)
-                summaries.append(
-                    {
-                        "position": position,
-                        "log_id": log.log_id,
-                        "lsn": lsn,
-                        "num_keys": len(pairs),
-                        "wal_bytes": log.wal_size_bytes(),
-                    }
-                )
+                with shard.write_gate:
+                    entries = shard.checkpoint_logs()
+                for entry in entries:
+                    summaries.append({"position": position, **entry})
             self.checkpoints += 1
             self._publish_admin_metrics("service.checkpoints")
         return {"epoch": self._epoch, "shards": summaries}
@@ -903,6 +1073,11 @@ class ShardRouter:
     def _register_shards(self) -> None:
         self.arbiter.clear()
         for position, shard in enumerate(self._table.shards):
+            if shard.is_replicated:
+                # Replica budgets are divergence policy (each profile
+                # carries its own); a global rebalance would overwrite
+                # them and erase the very asymmetry replication exploits.
+                continue
             self.arbiter.register(f"shard-{position}", shard.index)
         self.arbiter.rebalance()
 

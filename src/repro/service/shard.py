@@ -91,6 +91,11 @@ def span_if_traced(name: str, **attributes: object) -> Iterator[None]:
 class Shard:
     """One partition of the key space served by one index instance."""
 
+    #: True on :class:`~repro.replication.replica_set.ReplicatedShard`;
+    #: the router uses it to skip budget arbitration (replica budgets
+    #: are profile policy) and to refuse split/merge.
+    is_replicated = False
+
     def __init__(
         self,
         shard_id: int,
@@ -284,6 +289,34 @@ class Shard:
             if census is not None:
                 return dict(census_stats(census()))
         return {}
+
+    def checkpoint_logs(self) -> List[Dict[str, Any]]:
+        """Snapshot every log this shard carries and truncate its WAL.
+
+        The caller holds ``write_gate``; the operation lock is taken
+        here so the collected pairs are consistent with the WAL's LSN.
+        A plain shard carries at most one log; a replicated shard
+        overrides this to checkpoint every replica's log.
+        """
+        log = self.durable_log
+        if log is None:
+            return []
+        with self._guard():
+            pairs = self.items()
+            lsn = log.checkpoint(pairs)
+        return [
+            {
+                "log_id": log.log_id,
+                "lsn": lsn,
+                "num_keys": len(pairs),
+                "wal_bytes": log.wal_size_bytes(),
+            }
+        ]
+
+    def close_logs(self) -> None:
+        """Release every log handle this shard carries (idempotent)."""
+        if self.durable_log is not None:
+            self.durable_log.close()
 
     def wal_lag(self) -> Optional[int]:
         """Records appended since the last snapshot (None when not durable).

@@ -3,8 +3,14 @@
 The benchmarks run the experiments at representative scales; these tests
 only assert that each function executes and that its headline *shape*
 claim holds even at toy scale.
+
+The multi-phase campaign tests (tens of seconds even at toy scale) are
+marked ``slow``: the default lane deselects them via addopts while the
+nightly/full CI lane runs everything with ``-m ""``.
 """
 
+
+import pytest
 
 from repro.harness import experiments as exp
 
@@ -80,6 +86,7 @@ class TestMicroExperiments:
 
 
 class TestBtreeExperiments:
+    @pytest.mark.slow
     def test_fig12_adaptive_converges(self):
         result = exp.experiment_fig12(
             num_keys=8_000, ops_per_phase=12_000, interval_ops=3_000, training_ops=3_000
@@ -114,6 +121,7 @@ class TestBtreeExperiments:
         assert small[2] <= large[2]  # index size grows with budget
         assert small[3] <= large[3]  # expanded share grows with budget
 
+    @pytest.mark.slow
     def test_fig16_writes_then_scans(self):
         result = exp.experiment_fig16(
             num_keys=5_000, ops_per_phase=10_000, interval_ops=2_500
@@ -121,6 +129,7 @@ class TestBtreeExperiments:
         assert result["expansions"][-1] > 0
         assert result["compactions"][-1] > 0
 
+    @pytest.mark.slow
     def test_fig17_ahi_beats_dualstage_on_skew(self):
         result = exp.experiment_fig17(num_keys=8_000, num_ops=8_000, interval_ops=4_000)
         w4_rows = {row[1]: row for row in result["rows"] if row[0] == "W4"}
@@ -128,6 +137,7 @@ class TestBtreeExperiments:
 
 
 class TestTrieExperiments:
+    @pytest.mark.slow
     def test_fig19_tradeoff(self):
         result = exp.experiment_fig19(
             num_keys=3_000, num_ops=3_000, interval_ops=1_500, art_levels=4
@@ -138,6 +148,7 @@ class TestTrieExperiments:
         assert points["ahi-trie"][2] < points["fst"][2]     # hybrid beats FST
         assert points["ahi-trie"][4] < points["art"][4]     # and is smaller than ART
 
+    @pytest.mark.slow
     def test_fig20_adaptation_timeline(self):
         result = exp.experiment_fig20(
             num_keys=6_000, ops_per_phase=8_000, interval_ops=2_000

@@ -120,6 +120,53 @@ class TestRenderSnapshot:
         assert " 50.0%" in frame   # alpha's interval shed rate
         assert "  0.0%" in frame   # beta idle
 
+    def test_replicated_shards_render_one_row_per_replica(self):
+        stats = snapshot()
+        stats["shards"]["alpha"] = [
+            {
+                "shard_id": 0,
+                "family": "adaptive",
+                "num_keys": 2500,
+                "ops": 450,
+                "migrations": 10,
+                "wal_lag": 12,
+                "encoding_census": {"gapped": {"count": 9}},
+                "replicas": [
+                    {
+                        "replica": 0,
+                        "profile": "point",
+                        "down": False,
+                        "num_keys": 2500,
+                        "ops": 300,
+                        "migrations": 7,
+                        "wal_lag": 0,
+                        "encoding_census": {
+                            "gapped": {"count": 7},
+                            "succinct": {"count": 2},
+                        },
+                    },
+                    {
+                        "replica": 1,
+                        "profile": "squeezed",
+                        "down": True,
+                        "num_keys": 2500,
+                        "ops": 150,
+                        "migrations": 3,
+                        "wal_lag": 12,
+                        "encoding_census": {"succinct": {"count": 9}},
+                    },
+                ],
+            }
+        ]
+        frame = render_snapshot(stats)
+        # Per-replica rows, not one aggregate row.
+        assert "alpha/0.r0" in frame
+        assert "alpha/0.r1" in frame
+        assert "point" in frame
+        assert "squeezed!" in frame      # down replicas are flagged
+        assert "gapped:7 succinct:2" in frame
+        assert "gapped:9" not in frame   # the aggregate census is hidden
+
     def test_missing_sections_degrade_gracefully(self):
         frame = render_snapshot({"server": {}, "coalescer": {}, "tenants": {}})
         assert "server:" in frame

@@ -64,10 +64,11 @@ class TestCollect:
         assert len(errors) == 3
 
     def test_files_sort_by_pr_number(self, tmp_path):
+        # PR numbers without extractors, so ordering is all that matters.
+        write(tmp_path, "BENCH_PR11.json", {"suite": "eleven"})
         write(tmp_path, "BENCH_PR10.json", {"suite": "ten"})
-        write(tmp_path, "BENCH_PR9.json", {"suite": "nine"})
         rows, _errors = trajectory.collect(tmp_path)
-        assert [row["suite"] for row in rows] == ["nine", "ten"]
+        assert [row["suite"] for row in rows] == ["ten", "eleven"]
 
 
 class TestCommittedArtifacts:
