@@ -1,0 +1,202 @@
+"""Analyzer self-benchmark: cold parse-everything vs warm cache replay.
+
+PR 10 made ``repro.analysis`` incremental: a per-file manifest keyed by
+content hash lets an unchanged tree skip parsing entirely and replay
+recorded findings.  The claim worth pinning is the one developers feel —
+the warm re-run must be at least ``REQUIRED_SPEEDUP``x faster than the
+cold run over the same tree.  This bench times both legs in-process
+around the real CLI (``repro.analysis.cli.main``) against a throwaway
+cache directory, so the numbers include argument parsing, rule
+execution or replay, and report rendering, exactly as ``--cache`` users
+see them.
+
+Writes ``BENCH_PR10.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py
+    PYTHONPATH=src python benchmarks/bench_analysis.py \
+        --no-write --check BENCH_PR10.json --tolerance 0.30
+
+``--check`` compares the measured warm speedup against a committed
+baseline and fails on a regression beyond the tolerance; the absolute
+``>= REQUIRED_SPEEDUP`` floor is always enforced.
+"""
+
+import argparse
+import contextlib
+import io
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.cli import main as analysis_main  # noqa: E402
+
+RESULT_FILE = REPO_ROOT / "BENCH_PR10.json"
+TARGET = REPO_ROOT / "src" / "repro"
+
+#: The incremental engine's contract (docs/static_analysis.md): a warm
+#: re-run over an unchanged tree replays findings without parsing and
+#: must land at least this much faster than the cold run.
+REQUIRED_SPEEDUP = 5.0
+
+
+def _timed_run(cache_dir, out_path):
+    """One CLI invocation with the cache; returns (elapsed_s, exit_code)."""
+    argv = [
+        str(TARGET),
+        "--cache",
+        "--cache-dir",
+        str(cache_dir),
+        "--format",
+        "json",
+        "--output",
+        str(out_path),
+    ]
+    stderr = io.StringIO()
+    start = time.perf_counter()
+    with contextlib.redirect_stderr(stderr):
+        code = analysis_main(argv)
+    return time.perf_counter() - start, code, stderr.getvalue()
+
+
+def run_selfbench(warm_repeats=3):
+    """Cold run then ``warm_repeats`` warm runs; returns the payload."""
+    scratch = Path(tempfile.mkdtemp(prefix="repro-analysis-bench-"))
+    try:
+        cache_dir = scratch / "cache"
+        out_path = scratch / "report.json"
+        cold_s, cold_code, cold_err = _timed_run(cache_dir, out_path)
+        if "cache: cold" not in cold_err:
+            raise RuntimeError(f"expected a cold first run, got: {cold_err!r}")
+        report = json.loads(out_path.read_text())
+        files = len(json.loads((cache_dir / "manifest.json").read_text())["files"])
+        warm_samples = []
+        for _ in range(max(1, warm_repeats)):
+            warm_s, warm_code, warm_err = _timed_run(cache_dir, out_path)
+            if "cache: warm" not in warm_err:
+                raise RuntimeError(f"expected a warm re-run, got: {warm_err!r}")
+            if warm_code != cold_code:
+                raise RuntimeError(
+                    f"warm exit code {warm_code} != cold exit code {cold_code}"
+                )
+            warm_samples.append(warm_s)
+        warm_best = min(warm_samples)
+        return {
+            "suite": "analysis_selfbench",
+            "target": str(TARGET.relative_to(REPO_ROOT)),
+            "files": files,
+            "findings": len(report["findings"]),
+            "exit_code": cold_code,
+            "headline": {
+                "cold_s": round(cold_s, 4),
+                "warm_s": round(warm_best, 4),
+                "warm_samples_s": [round(s, 4) for s in warm_samples],
+                "warm_speedup": round(cold_s / warm_best, 1),
+                "required": REQUIRED_SPEEDUP,
+            },
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def format_report(payload):
+    headline = payload["headline"]
+    return (
+        f"analyzer self-bench over {payload['target']} "
+        f"({payload['files']} file(s), {payload['findings']} finding(s))\n"
+        f"  cold run : {headline['cold_s']:.3f} s (parse + analyze)\n"
+        f"  warm run : {headline['warm_s']:.3f} s (manifest replay, "
+        f"best of {len(headline['warm_samples_s'])})\n"
+        f"  speedup  : {headline['warm_speedup']:.1f}x "
+        f"(requires >= {headline['required']:.0f}x)"
+    )
+
+
+def check_headline(payload):
+    """Absolute floor; returns a list of failure strings."""
+    headline = payload["headline"]
+    failures = []
+    if headline["warm_speedup"] < headline["required"]:
+        failures.append(
+            f"warm_speedup {headline['warm_speedup']:.1f}x below the "
+            f"required {headline['required']:.0f}x"
+        )
+    if payload["exit_code"] != 0:
+        failures.append(
+            f"analyzer exited {payload['exit_code']} on {payload['target']}; "
+            "the tree must be clean for the bench to stand"
+        )
+    return failures
+
+
+def check_against_baseline(payload, baseline, tolerance):
+    """Relative regression gate against a committed BENCH_PR10.json."""
+    measured = payload["headline"]["warm_speedup"]
+    recorded = baseline["headline"]["warm_speedup"]
+    floor = recorded * (1.0 - tolerance)
+    if measured < floor:
+        return [
+            f"warm_speedup {measured:.1f}x regressed below {floor:.1f}x "
+            f"(baseline {recorded:.1f}x, tolerance {tolerance:.0%})"
+        ]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Analyzer self-bench (PR 10).")
+    parser.add_argument(
+        "--warm-repeats",
+        type=int,
+        default=3,
+        help="warm runs to sample; the best is the headline (default 3)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RESULT_FILE,
+        help=f"result JSON path (default {RESULT_FILE})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip writing the result JSON"
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="baseline JSON to compare the warm speedup against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative speedup regression vs the baseline (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_selfbench(warm_repeats=args.warm_repeats)
+    print(format_report(payload))
+    failures = check_headline(payload)
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failures.extend(check_against_baseline(payload, baseline, args.tolerance))
+        if not failures:
+            print(
+                f"no headline regressions vs {args.check} "
+                f"(tolerance {args.tolerance:.0%})"
+            )
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if failures:
+        return 1
+    if not args.no_write:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

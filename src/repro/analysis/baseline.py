@@ -1,0 +1,90 @@
+"""The checked-in warning baseline.
+
+``error`` findings always gate CI.  ``warning`` rules (today: RA007,
+whose cross-function ownership tracking is deliberately approximate)
+gate on *new* findings only: a reviewed-and-accepted warning is
+recorded in ``.repro-analysis-baseline.json`` at the repo root and
+stops failing the build, while anything not in the file still exits 1.
+
+Entries match on ``(rule, path, symbol, message)`` — deliberately not
+the line number, so unrelated edits that shift a baselined warning up
+or down the file do not resurrect it.  Editing the flagged function
+enough to change its message or symbol *does* resurrect it, which is
+the point: the baseline accepts a specific reviewed shape, not a
+location.  Regenerate with ``--write-baseline`` (and re-review the
+diff; a shrinking baseline is progress, a growing one is a decision).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-analysis-baseline.json"
+
+BaselineKey = Tuple[str, str, str, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.rule, finding.path, finding.symbol, finding.message)
+
+
+def load_baseline(path: Path) -> Set[BaselineKey]:
+    """Accepted-warning keys from ``path`` (empty set if unreadable)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return set()
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        return set()
+    keys: Set[BaselineKey] = set()
+    for entry in payload.get("entries", []):
+        if not isinstance(entry, dict):
+            continue
+        keys.add(
+            (
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("symbol", "")),
+                str(entry.get("message", "")),
+            )
+        )
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Record every *warning* finding in ``findings``; returns the count."""
+    entries = sorted(
+        {baseline_key(f) for f in findings if f.severity == "warning"}
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": rule, "path": fpath, "symbol": symbol, "message": message}
+            for rule, fpath, symbol, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def partition(
+    findings: Sequence[Finding], accepted: Set[BaselineKey]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (active, baselined).
+
+    Only warnings can be baselined; an error whose key appears in the
+    baseline file still gates.
+    """
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if finding.severity == "warning" and baseline_key(finding) in accepted:
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    return active, baselined

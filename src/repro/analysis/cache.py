@@ -1,0 +1,293 @@
+"""The incremental engine: content-hash cache with import-closure invalidation.
+
+A full analysis of the tree costs ~2s, almost all of it parsing and
+rule passes; hashing every file costs ~3ms.  The cache exploits that
+gap with a per-file manifest under ``.repro-analysis-cache/``:
+
+* each analyzed file is recorded with its content hash, dotted module
+  name, project-internal import deps, and the findings (kept and
+  suppressed) anchored in it;
+* a **warm** run — every hash matches, same engine fingerprint, same
+  rule selection — replays findings straight from the manifest without
+  parsing a single file;
+* a **partial** run re-analyzes only the *changed closure*: the changed
+  files plus everything transitively connected to them through the
+  import graph, in both directions (importers can observe changed
+  callees through the call graph; importees feed reachability walks
+  rooted in importers).  Findings for files outside the closure are
+  carried over from the manifest.
+
+The engine fingerprint is a hash of the analyzer's own sources, so
+editing a rule invalidates everything — a cache must never make the
+analyzer disagree with itself.
+
+Known approximation: whole-program rules (RA002/RA005 reachability,
+RA006's lock graph) only see the closure during a partial run, so a
+relationship spanning two modules with *no* import path between them
+can go stale until the next full run.  CI runs the full tree on main
+and nightly for exactly this reason (docs/static_analysis.md).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding
+from repro.analysis.loader import ParsedModule
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+DEFAULT_CACHE_DIR = ".repro-analysis-cache"
+
+#: Plan kinds, from cheapest to most expensive.
+WARM, PARTIAL, COLD = "warm", "partial", "cold"
+
+
+def file_hash(path: Path) -> str:
+    """Content hash of one source file (empty string if unreadable)."""
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return ""
+
+
+def engine_fingerprint() -> str:
+    """Hash of the analyzer's own sources.
+
+    Any edit to a rule, the loader, or this module changes the
+    fingerprint and invalidates every cached result.
+    """
+    package_root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in source.parts:
+            continue
+        digest.update(source.relative_to(package_root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def rule_key(rule_ids: Iterable[str], trace_schema: Optional[str]) -> str:
+    """Cache key component for the rule selection and its configuration."""
+    schema = trace_schema if trace_schema is not None else ""
+    return ",".join(sorted(rule_ids)) + "|trace_schema=" + schema
+
+
+def module_deps(tree: ast.Module, known_modules: Set[str]) -> List[str]:
+    """Project-internal modules ``tree`` imports (for invalidation).
+
+    ``from repro.x.y import Z`` depends on ``repro.x.y`` (or on
+    ``repro.x.y.Z`` when ``Z`` is itself a module); ``import repro.x.y``
+    depends on the longest prefix that names a known module.
+    """
+    deps: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.name
+                while name:
+                    if name in known_modules:
+                        deps.add(name)
+                        break
+                    name = name.rpartition(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                nested = f"{node.module}.{alias.name}"
+                if nested in known_modules:
+                    deps.add(nested)
+                elif node.module in known_modules:
+                    deps.add(node.module)
+    return sorted(deps)
+
+
+def import_closure(
+    seeds: Set[str], edges: Dict[str, Set[str]]
+) -> Set[str]:
+    """Modules transitively connected to ``seeds``, both directions."""
+    undirected: Dict[str, Set[str]] = {}
+    for source, targets in edges.items():
+        for target in targets:
+            undirected.setdefault(source, set()).add(target)
+            undirected.setdefault(target, set()).add(source)
+    reached = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        current = frontier.pop()
+        for neighbor in undirected.get(current, ()):
+            if neighbor not in reached:
+                reached.add(neighbor)
+                frontier.append(neighbor)
+    return reached
+
+
+@dataclass
+class CachePlan:
+    """What a cache lookup decided: replay, partial re-analysis, or cold."""
+
+    kind: str
+    hashes: Dict[str, str]
+    #: Paths (as given) that must be parsed and re-analyzed.
+    closure_paths: List[Path] = field(default_factory=list)
+    #: Findings carried over (warm: everything; partial: non-closure files).
+    carried_findings: List[Finding] = field(default_factory=list)
+    carried_suppressed: List[Finding] = field(default_factory=list)
+    #: Manifest entries reusable as-is (keyed by posix path).
+    carried_entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+
+class AnalysisCache:
+    """Manifest-backed incremental cache for one analyzed file set."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.manifest_path = directory / MANIFEST_NAME
+        self._fingerprint = engine_fingerprint()
+
+    # -- lookup ----------------------------------------------------------
+    def plan(self, files: Sequence[Path], key: str) -> CachePlan:
+        """Decide how much work the current file set actually needs."""
+        hashes = {path.as_posix(): file_hash(path) for path in files}
+        manifest = self._load()
+        if (
+            manifest is None
+            or manifest.get("engine") != self._fingerprint
+            or manifest.get("rule_key") != key
+        ):
+            return CachePlan(kind=COLD, hashes=hashes, closure_paths=list(files))
+        entries: Dict[str, Dict[str, object]] = manifest["files"]
+        changed = {
+            path
+            for path, digest in hashes.items()
+            if not digest or entries.get(path, {}).get("hash") != digest
+        }
+        deleted_modules = {
+            str(entry.get("module", ""))
+            for path, entry in entries.items()
+            if path not in hashes
+        }
+        if not changed and not deleted_modules:
+            findings, suppressed = self._replay(entries)
+            return CachePlan(
+                kind=WARM,
+                hashes=hashes,
+                carried_findings=findings,
+                carried_suppressed=suppressed,
+                carried_entries=dict(entries),
+            )
+        edges: Dict[str, Set[str]] = {
+            str(entry.get("module", "")): {str(dep) for dep in entry.get("deps", [])}  # type: ignore[union-attr]
+            for entry in entries.values()
+        }
+        seeds = {
+            str(entries[path].get("module", ""))
+            for path in changed
+            if path in entries
+        }
+        # A deleted module invalidates everything that imported it.
+        for module, deps in edges.items():
+            if deps & deleted_modules:
+                seeds.add(module)
+        closure_modules = import_closure(seeds, edges)
+        closure_paths: List[Path] = []
+        carried: Dict[str, Dict[str, object]] = {}
+        for path in files:
+            posix = path.as_posix()
+            entry = entries.get(posix)
+            if (
+                posix in changed
+                or entry is None
+                or str(entry.get("module", "")) in closure_modules
+            ):
+                closure_paths.append(path)
+            else:
+                carried[posix] = entry
+        findings, suppressed = self._replay(carried)
+        return CachePlan(
+            kind=PARTIAL,
+            hashes=hashes,
+            closure_paths=closure_paths,
+            carried_findings=findings,
+            carried_suppressed=suppressed,
+            carried_entries=carried,
+        )
+
+    # -- store -----------------------------------------------------------
+    def commit(
+        self,
+        plan: CachePlan,
+        key: str,
+        analyzed: Sequence[ParsedModule],
+        findings: Sequence[Finding],
+        suppressed: Sequence[Finding],
+    ) -> None:
+        """Write the merged manifest after (re-)analyzing ``analyzed``.
+
+        ``findings``/``suppressed`` are the fresh results for the
+        analyzed modules only; carried entries come from ``plan``.
+        """
+        known = {module.name for module in analyzed} | {
+            str(entry.get("module", ""))
+            for entry in plan.carried_entries.values()
+        }
+        by_path: Dict[str, List[Finding]] = {}
+        for finding in findings:
+            by_path.setdefault(finding.path, []).append(finding)
+        suppressed_by_path: Dict[str, List[Finding]] = {}
+        for finding in suppressed:
+            suppressed_by_path.setdefault(finding.path, []).append(finding)
+        entries: Dict[str, Dict[str, object]] = dict(plan.carried_entries)
+        for module in analyzed:
+            posix = module.path.as_posix()
+            entries[posix] = {
+                "hash": plan.hashes.get(posix) or file_hash(module.path),
+                "module": module.name,
+                "deps": module_deps(module.tree, known),
+                "findings": [f.as_dict() for f in by_path.get(posix, [])],
+                "suppressed": [
+                    f.as_dict() for f in suppressed_by_path.get(posix, [])
+                ],
+            }
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "engine": self._fingerprint,
+            "rule_key": key,
+            "files": entries,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True) + "\n")
+        tmp.replace(self.manifest_path)
+
+    # -- internals -------------------------------------------------------
+    def _load(self) -> Optional[Dict[str, object]]:
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != MANIFEST_VERSION
+            or not isinstance(payload.get("files"), dict)
+        ):
+            return None
+        return payload
+
+    @staticmethod
+    def _replay(
+        entries: Dict[str, Dict[str, object]]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        findings: List[Finding] = []
+        suppressed: List[Finding] = []
+        for entry in entries.values():
+            for payload in entry.get("findings", []):  # type: ignore[union-attr]
+                findings.append(Finding.from_dict(payload))
+            for payload in entry.get("suppressed", []):  # type: ignore[union-attr]
+                suppressed.append(Finding.from_dict(payload))
+        return sorted(findings), sorted(suppressed)

@@ -74,6 +74,16 @@ class ParsedModule:
         """Rule ids suppressed for findings reported on ``line``."""
         return self._by_line.get(line, set())
 
+    def suppression_targets(self) -> Dict[int, Set[str]]:
+        """Every suppression's *target* line mapped to its rule ids.
+
+        The target is the line findings must land on for the suppression
+        to match — the comment's own line, or for standalone comments
+        the next code line.  The stale-suppression check compares these
+        against the findings the rules actually produced.
+        """
+        return {line: set(rules) for line, rules in self._by_line.items()}
+
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         rules = self._by_line.get(line)
         if not rules:

@@ -20,19 +20,25 @@ TOOL_VERSION = "1.0.0"
 REPORT_VERSION = 1
 
 
-def render_text(findings: Sequence[Finding], suppressed: int = 0) -> str:
+def render_text(
+    findings: Sequence[Finding], suppressed: int = 0, baselined: int = 0
+) -> str:
     """One line per finding, ruff/gcc style, plus a summary line."""
     lines = [
         f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}"
         + (f" [{f.symbol}]" if f.symbol else "")
+        + (" (warning)" if f.severity == "warning" else "")
         for f in findings
     ]
     by_rule = Counter(f.rule for f in findings)
+    tail = f"; {baselined} baselined warning(s)" if baselined else ""
     if findings:
         counts = ", ".join(f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
-        lines.append(f"{len(findings)} finding(s) ({counts}); {suppressed} suppressed")
+        lines.append(
+            f"{len(findings)} finding(s) ({counts}); {suppressed} suppressed{tail}"
+        )
     else:
-        lines.append(f"clean: 0 findings; {suppressed} suppressed")
+        lines.append(f"clean: 0 findings; {suppressed} suppressed{tail}")
     return "\n".join(lines)
 
 
@@ -41,6 +47,7 @@ def render_json(
     rules: Sequence[Rule],
     paths: Sequence[str],
     suppressed: int = 0,
+    baselined: int = 0,
 ) -> Dict[str, object]:
     """The machine-readable report (docs/analysis_report_schema.json)."""
     by_rule = Counter(f.rule for f in findings)
@@ -49,13 +56,19 @@ def render_json(
         "tool": TOOL_NAME,
         "paths": list(paths),
         "rules": [
-            {"id": rule.id, "title": rule.title, "rationale": rule.rationale}
+            {
+                "id": rule.id,
+                "title": rule.title,
+                "rationale": rule.rationale,
+                "severity": rule.severity,
+            }
             for rule in rules
         ],
         "findings": [f.as_dict() for f in findings],
         "summary": {
             "total": len(findings),
             "suppressed": suppressed,
+            "baselined": baselined,
             "by_rule": {rule_id: by_rule[rule_id] for rule_id in sorted(by_rule)},
         },
     }
@@ -66,7 +79,7 @@ def render_sarif(findings: Sequence[Finding], rules: Sequence[Rule]) -> Dict[str
     results: List[Dict[str, object]] = [
         {
             "ruleId": f.rule,
-            "level": "error",
+            "level": f.severity,
             "message": {"text": f.message},
             "locations": [
                 {

@@ -3,49 +3,38 @@
 ``repro.service`` has exactly one sanctioned locking protocol, written
 down in ``docs/service.md`` and enforced here mechanically:
 
-1. **Acquisition order** — ``_admin_lock`` before any ``write_gate``
-   before any ``op_lock``/``_guard()``; private leaf locks
-   (``_executor_lock``, ``_inflight_lock``, ``_ops_lock``) innermost.
-   Lexically acquiring a lower-rank lock while a higher-rank lock is
-   held inverts the hierarchy and is a deadlock in waiting.
-2. **No blocking while holding a lock** — submitting to or waiting on
+1. **No blocking while holding a lock** — submitting to or waiting on
    the executor (``submit``/``wait``/``result``/``shutdown``/``sleep``,
    or the router helpers ``_pool``/``_run_per_shard``) under any
    service lock stalls every writer behind the holder.
-3. **Snapshot reads** — code that routes (indexes ``.shards[...]`` or
+2. **Snapshot reads** — code that routes (indexes ``.shards[...]`` or
    calls ``.partitioner.shard_of``) must do so on a *captured* routing
    table (``table = self._table``), never inline on ``self._table``:
    two inline reads can interleave with a concurrent split/merge swap
    and tear the snapshot.
-4. **Gated-write revalidation** — a write forwarded to a shard under
+3. **Gated-write revalidation** — a write forwarded to a shard under
    its ``write_gate`` must re-read ``self._table`` inside the gated
    block and confirm the route.  The PR-4 lost-write race happened
    because a writer woke up after a table swap and wrote into an
    orphaned shard; the revalidation block is what closes it, so its
    absence is reported.
+
+The *acquisition-order* check that used to live here moved to RA006,
+which derives the lock-order graph from observed nesting sites instead
+of a hand-written rank (see
+:mod:`repro.analysis.rules.ra006_lockgraph`).
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.core import Finding, Rule, register
 from repro.analysis.loader import ParsedModule
+from repro.analysis.locks import LockUse, classify_lock, is_service_lock
 from repro.analysis.project import FunctionInfo, Project, attribute_chain
-
-#: Lock rank by attribute name: outermost (0) to innermost (3).
-LOCK_RANKS: Dict[str, int] = {
-    "_admin_lock": 0,
-    "write_gate": 1,
-    "op_lock": 2,
-    "_guard": 2,
-    "_executor_lock": 3,
-    "_inflight_lock": 3,
-    "_ops_lock": 3,
-}
 
 #: Callables that block (or enqueue work) and must not run under a lock.
 BLOCKING_ATTRS = frozenset({"submit", "shutdown", "result", "map"})
@@ -56,30 +45,6 @@ BLOCKING_HELPERS = frozenset({"_pool", "_run_per_shard"})
 SHARD_WRITE_METHODS = frozenset({"put", "put_many", "delete", "insert", "insert_many"})
 
 DEFAULT_SCOPE: Tuple[str, ...] = ("repro.service", "repro.service.*")
-
-
-@dataclass(frozen=True)
-class _Lock:
-    """One lexically held lock: its rank and rendered receiver."""
-
-    rank: int
-    kind: str
-    receiver: str
-
-
-def _lock_of(expr: ast.expr) -> Optional[_Lock]:
-    """Classify a ``with`` context expression as a known lock, if it is one."""
-    target = expr
-    if isinstance(target, ast.Call):
-        target = target.func
-    chain = attribute_chain(target)
-    if chain is None or len(chain) < 2:
-        return None
-    kind = chain[-1]
-    rank = LOCK_RANKS.get(kind)
-    if rank is None:
-        return None
-    return _Lock(rank=rank, kind=kind, receiver=".".join(chain[:-1]))
 
 
 def _reads_routing_table(node: ast.AST) -> bool:
@@ -116,9 +81,9 @@ class LockDisciplineRule(Rule):
             yield from self._check_function(info)
             yield from self._check_snapshot_reads(info)
 
-    # -- checks 1, 2, and 4: a lexical walk tracking held locks ---------
+    # -- checks 1 and 3: a lexical walk tracking held locks -------------
     def _check_function(self, info: FunctionInfo) -> Iterator[Finding]:
-        held: List[_Lock] = []
+        held: List[LockUse] = []
 
         def walk_statements(statements: Sequence[ast.stmt]) -> Iterator[Finding]:
             for statement in statements:
@@ -128,22 +93,11 @@ class LockDisciplineRule(Rule):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not info.node:
                 return  # nested defs run later, under their caller's locks
             if isinstance(node, (ast.With, ast.AsyncWith)):
-                acquired: List[_Lock] = []
+                acquired: List[LockUse] = []
                 for item in node.items:
-                    lock = _lock_of(item.context_expr)
-                    if lock is None:
+                    lock = classify_lock(item.context_expr)
+                    if lock is None or not is_service_lock(lock):
                         continue
-                    deeper = [h for h in held if h.rank > lock.rank]
-                    if deeper:
-                        yield self.finding(
-                            info.module,
-                            item.context_expr,
-                            f"lock order violation: acquiring {lock.kind} of "
-                            f"{lock.receiver!r} while holding {deeper[0].kind} of "
-                            f"{deeper[0].receiver!r} (order: _admin_lock -> "
-                            "write_gate -> op_lock -> leaf locks)",
-                            symbol=info.qualname,
-                        )
                     acquired.append(lock)
                     held.append(lock)
                 yield from self._check_gated_writes(info, node, acquired)
@@ -159,7 +113,7 @@ class LockDisciplineRule(Rule):
         yield from walk_statements(info.node.body)
 
     def _check_blocking(
-        self, info: FunctionInfo, call: ast.Call, held: Sequence[_Lock]
+        self, info: FunctionInfo, call: ast.Call, held: Sequence[LockUse]
     ) -> Iterator[Finding]:
         func = call.func
         name: Optional[str] = None
@@ -181,7 +135,7 @@ class LockDisciplineRule(Rule):
         )
 
     def _check_gated_writes(
-        self, info: FunctionInfo, node: ast.With | ast.AsyncWith, acquired: Sequence[_Lock]
+        self, info: FunctionInfo, node: ast.With | ast.AsyncWith, acquired: Sequence[LockUse]
     ) -> Iterator[Finding]:
         gates = [lock for lock in acquired if lock.kind == "write_gate" and lock.receiver != "self"]
         if not gates:
@@ -208,7 +162,7 @@ class LockDisciplineRule(Rule):
                     symbol=info.qualname,
                 )
 
-    # -- check 3: snapshot reads ----------------------------------------
+    # -- check 2: snapshot reads ----------------------------------------
     def _check_snapshot_reads(self, info: FunctionInfo) -> Iterator[Finding]:
         for node in ast.walk(info.node):
             if isinstance(node, ast.Subscript):

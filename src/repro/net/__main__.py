@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import functools
 from typing import Optional, Sequence
 
 from repro.core.budget import TenantQuota
@@ -41,8 +42,17 @@ async def _serve(args: argparse.Namespace) -> None:
     if args.quota_ops is not None or args.max_inflight is not None:
         quota = TenantQuota(ops_per_sec=args.quota_ops, max_inflight=args.max_inflight)
     tenants = [f"t{i}" for i in range(args.tenants)]
-    directory = demo_directory(
-        tenants, keys_per_tenant=args.keys, num_shards=args.shards, quota=quota
+    # The demo build preloads every tenant's indexes; run it off-loop so
+    # the event loop is live from the first accepted connection (RA005).
+    directory = await asyncio.get_running_loop().run_in_executor(
+        None,
+        functools.partial(
+            demo_directory,
+            tenants,
+            keys_per_tenant=args.keys,
+            num_shards=args.shards,
+            quota=quota,
+        ),
     )
     try:
         async with NetServer(

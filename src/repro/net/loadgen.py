@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import sys
 from dataclasses import dataclass, field
@@ -421,13 +422,21 @@ async def _amain(args: argparse.Namespace) -> LoadgenResult:
             quota = TenantQuota(
                 ops_per_sec=args.quota_ops, max_inflight=args.max_inflight
             )
-        directory = demo_directory(
-            tenants,
-            keys_per_tenant=args.keys,
-            num_shards=args.shards,
-            family=args.family,
-            quota=quota,
-            durability_root=args.durable,
+        # Build the preloaded directory off-loop: with --self-serve the
+        # loadgen's own coroutines share this loop, and an inline index
+        # build (plus WAL creation under --durable) would stall them
+        # before the run starts (RA005).
+        directory = await asyncio.get_running_loop().run_in_executor(
+            None,
+            functools.partial(
+                demo_directory,
+                tenants,
+                keys_per_tenant=args.keys,
+                num_shards=args.shards,
+                family=args.family,
+                quota=quota,
+                durability_root=args.durable,
+            ),
         )
         try:
             async with NetServer(

@@ -1,0 +1,28 @@
+"""RA005 firing fixture: blocking work reachable from coroutines."""
+
+import time
+
+
+def _load_blob(path):
+    # Reached transitively from handle_request: blocking file I/O.
+    return path.read_bytes()
+
+
+async def handle_request(path):
+    blob = _load_blob(path)
+    time.sleep(0.01)
+    return blob
+
+
+async def rebuild(records, router):
+    directory = TenantDirectory(records)  # noqa: F821 (synthetic heavy builder)
+    router.put(1, records)
+    return directory
+
+
+async def flush(shard, fut):
+    with shard.op_lock:
+        fut.result()
+    shard.latch.acquire()
+    raw = open("wal.bin", "rb")
+    return raw

@@ -1,0 +1,25 @@
+"""RA006 firing fixture: two deadlocks-in-waiting.
+
+``Pair`` nests two generic locks in opposite orders across two
+functions (the classic two-path cycle); ``Router`` inverts the
+*documented* service hierarchy at a single site.
+"""
+
+
+class Pair:
+    def flush_then_commit(self):
+        with self._flush_lock:
+            with self._commit_lock:
+                self.write()
+
+    def commit_then_flush(self):
+        with self._commit_lock:
+            with self._flush_lock:
+                self.read()
+
+
+class Router:
+    def inverted(self, shard):
+        with shard._guard():
+            with shard.write_gate:
+                shard.noop()

@@ -1,0 +1,20 @@
+"""RA006 silent fixture: consistent nesting orders everywhere."""
+
+
+class Pair:
+    def flush_then_commit(self):
+        with self._flush_lock:
+            with self._commit_lock:
+                self.write()
+
+    def also_flush_then_commit(self):
+        with self._flush_lock:
+            with self._commit_lock:
+                self.read()
+
+
+class Router:
+    def documented_order(self, shard):
+        with shard.write_gate:
+            with shard._guard():
+                shard.noop()

@@ -1,0 +1,27 @@
+"""RA007 firing fixture: handles that miss close() on some path."""
+
+
+class Wal:
+    def truncate(self, cutoff):
+        replacement = self.build(cutoff)
+        try:
+            self._handle.close()
+            self.publish(replacement)
+        except BaseException:
+            self.discard(replacement)
+            # Abort path reopens without closing first: the PR-6 leak.
+            self._handle = open(self.path, "ab")
+            raise
+        self._handle = open(self.path, "ab")
+
+
+def never_closed(path):
+    h = open(path, "rb")
+    return h.read()
+
+
+def straightline_close(path):
+    h = open(path, "rb")
+    data = h.read()
+    h.close()
+    return data

@@ -1,0 +1,31 @@
+"""RA007 silent fixture: every handle closed, escaped, or managed."""
+
+
+class Wal:
+    def truncate(self, cutoff):
+        replacement = self.build(cutoff)
+        try:
+            self.publish(replacement)
+        except BaseException:
+            self.discard(replacement)
+            self._handle.close()
+            self._handle = open(self.path, "ab")
+            raise
+
+
+def finally_close(path):
+    h = open(path, "rb")
+    try:
+        return h.read()
+    finally:
+        h.close()
+
+
+def with_block(path):
+    with open(path, "rb") as h:
+        return h.read()
+
+
+def ownership_handoff(path, sink):
+    h = open(path, "rb")
+    sink.adopt(h)

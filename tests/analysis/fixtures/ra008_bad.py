@@ -1,0 +1,27 @@
+"""RA008 firing fixture: every way to lose an acked write."""
+
+
+class Shard:
+    def put(self, key, value):
+        with self.op_lock:
+            # Ack (index apply) before the durable append.
+            self.index.insert(key, value)
+            self.durable_log.append_put(key, value)
+
+
+class Wal:
+    def append_batch(self, blob):
+        try:
+            self._handle.write(blob)
+        except BaseException:
+            # Re-raising without poisoning: the next append acks over
+            # the torn frame this one may have left behind.
+            raise
+
+
+class Applier:
+    def apply(self, records):
+        try:
+            self.wal.append_batch(records)
+        except Exception:
+            return None

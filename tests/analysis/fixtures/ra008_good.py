@@ -1,0 +1,26 @@
+"""RA008 silent fixture: append first, fence on failure."""
+
+
+class Shard:
+    def put(self, key, value):
+        with self.op_lock:
+            self.durable_log.append_put(key, value)
+            self.index.insert(key, value)
+
+
+class Wal:
+    def append_batch(self, blob):
+        try:
+            self._handle.write(blob)
+        except BaseException as error:
+            self._poison(str(error))
+            raise
+
+
+class Applier:
+    def apply(self, records):
+        try:
+            self.wal.append_batch(records)
+        except Exception:
+            self.wal.seal()
+            raise

@@ -1,0 +1,135 @@
+"""Severity gating: errors always fail, baselined warnings do not."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    baseline_key,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.analysis.cli import main
+from repro.analysis.core import Finding
+
+
+def _warning(message="leak", path="a.py", symbol="f"):
+    return Finding(
+        path=path, line=3, col=1, rule="RA007",
+        message=message, symbol=symbol, severity="warning",
+    )
+
+
+def _error():
+    return Finding(
+        path="a.py", line=9, col=1, rule="RA008",
+        message="acked-then-lost", symbol="g", severity="error",
+    )
+
+
+class TestPartition:
+    def test_baselined_warning_is_inactive(self):
+        warning = _warning()
+        active, baselined = partition(
+            [warning, _error()], {baseline_key(warning)}
+        )
+        assert baselined == [warning]
+        assert active == [_error()]
+
+    def test_error_cannot_be_baselined(self):
+        error = _error()
+        active, baselined = partition([error], {baseline_key(error)})
+        assert active == [error]
+        assert baselined == []
+
+    def test_match_ignores_line_drift(self):
+        # The key is (rule, path, symbol, message): a baselined warning
+        # that moved down the file stays baselined.
+        recorded = _warning()
+        drifted = Finding(
+            path=recorded.path, line=80, col=5, rule=recorded.rule,
+            message=recorded.message, symbol=recorded.symbol,
+            severity="warning",
+        )
+        active, baselined = partition([drifted], {baseline_key(recorded)})
+        assert baselined == [drifted]
+        assert active == []
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        count = write_baseline(path, [_warning(), _error()])
+        assert count == 1  # only the warning is recorded
+        assert load_baseline(path) == {baseline_key(_warning())}
+
+    def test_unreadable_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "missing.json") == set()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_baseline(bad) == set()
+
+
+def _leaky_tree(tmp_path):
+    """One repro-scoped file whose only finding is an RA007 warning."""
+    root = tmp_path / "repro" / "durability"
+    root.mkdir(parents=True)
+    leak = root / "leak.py"
+    leak.write_text(
+        "def never_closed(path):\n"
+        "    h = open(path, 'rb')\n"
+        "    return h.read()\n"
+    )
+    return leak
+
+
+class TestCliGating:
+    def test_unbaselined_warning_gates(self, tmp_path, capsys):
+        leak = _leaky_tree(tmp_path)
+        code = main([str(leak), "--baseline", str(tmp_path / "b.json")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RA007" in out and "(warning)" in out
+
+    def test_write_baseline_then_pass(self, tmp_path, capsys):
+        leak = _leaky_tree(tmp_path)
+        baseline = tmp_path / "b.json"
+        code = main([str(leak), "--baseline", str(baseline), "--write-baseline"])
+        assert code == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        code = main(
+            [str(leak), "--baseline", str(baseline), "--format", "json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["findings"] == []
+        assert report["summary"]["baselined"] == 1
+
+    def test_baseline_does_not_hide_new_warnings(self, tmp_path, capsys):
+        leak = _leaky_tree(tmp_path)
+        baseline = tmp_path / "b.json"
+        main([str(leak), "--baseline", str(baseline), "--write-baseline"])
+        capsys.readouterr()
+        # A second, different leak appears: still gates.
+        leak.write_text(
+            leak.read_text()
+            + "\n\ndef second_leak(path):\n"
+            "    g = open(path, 'rb')\n"
+            "    return g.read()\n"
+        )
+        code = main([str(leak), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "second_leak" in out
+
+    def test_checked_in_baseline_is_valid_and_empty(self):
+        from tests.analysis.helpers import REPO_ROOT
+
+        path = REPO_ROOT / ".repro-analysis-baseline.json"
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        # The tree carries no accepted warnings today; additions need
+        # review (docs/static_analysis.md).
+        assert payload["entries"] == []
+        assert load_baseline(Path(path)) == set()

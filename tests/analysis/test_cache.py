@@ -1,0 +1,167 @@
+"""The incremental engine: warm replay, closure invalidation, changed-only."""
+
+import json
+import shutil
+import subprocess
+
+from repro.analysis.cache import (
+    AnalysisCache,
+    engine_fingerprint,
+    import_closure,
+    module_deps,
+)
+from repro.analysis.cli import main
+from repro.analysis.loader import load_module
+
+from tests.analysis.helpers import FIXTURES
+
+
+def _tree(tmp_path):
+    """A tiny repro-named tree: one file with findings, one importer, one loner."""
+    root = tmp_path / "repro" / "durability"
+    root.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (root / "__init__.py").write_text("")
+    bad = root / "bad.py"
+    shutil.copy(FIXTURES / "ra008_bad.py", bad)
+    (root / "importer.py").write_text(
+        "from repro.durability.bad import Shard\n\n\nKIND = Shard\n"
+    )
+    (root / "loner.py").write_text("VALUE = 1\n")
+    return tmp_path / "repro"
+
+
+def _run(tmp_path, tree, *extra):
+    argv = [
+        str(tree),
+        "--cache",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+        "--format",
+        "json",
+        "--baseline",
+        str(tmp_path / "baseline.json"),
+        *extra,
+    ]
+    return main(argv)
+
+
+class TestWarmReplay:
+    def test_warm_run_replays_identical_findings(self, tmp_path, capsys):
+        tree = _tree(tmp_path)
+        code_cold = _run(tmp_path, tree)
+        cold = capsys.readouterr()
+        code_warm = _run(tmp_path, tree)
+        warm = capsys.readouterr()
+        assert code_cold == code_warm == 1  # RA008 findings in bad.py
+        assert json.loads(cold.out) == json.loads(warm.out)
+        assert "cache: cold" in cold.err
+        assert "cache: warm" in warm.err
+
+    def test_engine_change_invalidates_everything(self, tmp_path, capsys):
+        tree = _tree(tmp_path)
+        _run(tmp_path, tree)
+        manifest_path = tmp_path / "cache" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["engine"] = "stale-fingerprint"
+        manifest_path.write_text(json.dumps(manifest))
+        capsys.readouterr()
+        _run(tmp_path, tree)
+        assert "cache: cold" in capsys.readouterr().err
+
+    def test_rule_selection_is_part_of_the_key(self, tmp_path, capsys):
+        tree = _tree(tmp_path)
+        _run(tmp_path, tree)
+        capsys.readouterr()
+        _run(tmp_path, tree, "--select", "RA001")
+        assert "cache: cold" in capsys.readouterr().err
+
+
+class TestPartialInvalidation:
+    def test_change_reanalyzes_only_the_import_closure(self, tmp_path, capsys):
+        tree = _tree(tmp_path)
+        _run(tmp_path, tree)
+        capsys.readouterr()
+        bad = tree / "durability" / "bad.py"
+        bad.write_text(bad.read_text() + "\nTOUCHED = True\n")
+        code = _run(tmp_path, tree)
+        err = capsys.readouterr().err
+        # bad.py and its importer re-analyze; loner.py and the package
+        # __init__s are served from the manifest.
+        assert "cache: partial, re-analyzing 2/5 file(s)" in err
+        assert code == 1
+
+    def test_partial_run_keeps_findings_correct(self, tmp_path, capsys):
+        tree = _tree(tmp_path)
+        _run(tmp_path, tree)
+        cold = json.loads(capsys.readouterr().out)
+        loner = tree / "durability" / "loner.py"
+        loner.write_text("VALUE = 2\n")
+        _run(tmp_path, tree)
+        partial = json.loads(capsys.readouterr().out)
+        # The untouched bad.py findings are carried, not lost.
+        assert partial["findings"] == cold["findings"]
+
+
+class TestGraphHelpers:
+    def test_module_deps_resolves_from_imports(self, tmp_path):
+        tree = _tree(tmp_path)
+        module = load_module(tree / "durability" / "importer.py")
+        deps = module_deps(
+            module.tree, {"repro.durability.bad", "repro.durability.loner"}
+        )
+        assert deps == ["repro.durability.bad"]
+
+    def test_import_closure_is_bidirectional(self):
+        edges = {"a": {"b"}, "b": {"c"}, "d": set()}
+        assert import_closure({"b"}, edges) == {"a", "b", "c"}
+        assert import_closure({"d"}, edges) == {"d"}
+
+    def test_fingerprint_is_stable_within_a_build(self):
+        assert engine_fingerprint() == engine_fingerprint()
+
+    def test_corrupt_manifest_degrades_to_cold(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "manifest.json").write_text("{not json")
+        cache = AnalysisCache(cache_dir)
+        plan = cache.plan([FIXTURES / "ra008_bad.py"], "key")
+        assert plan.kind == "cold"
+
+
+def _git(cwd, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestChangedOnly:
+    def test_only_the_changed_closure_is_analyzed(self, tmp_path, capsys, monkeypatch):
+        tree = _tree(tmp_path)
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        # Nothing changed: nothing analyzed, exit clean.
+        code = main(["repro", "--changed-only", "HEAD", "--baseline", "b.json"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "0/5 module(s)" in err
+        # Touch the findings file: its closure re-analyzes and gates.
+        bad = tree / "durability" / "bad.py"
+        bad.write_text(bad.read_text() + "\nTOUCHED = True\n")
+        code = main(["repro", "--changed-only", "HEAD", "--baseline", "b.json"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "2/5 module(s)" in captured.err
+        assert "RA008" in captured.out
+
+    def test_bad_ref_exits_two(self, tmp_path, capsys, monkeypatch):
+        _tree(tmp_path)
+        _git(tmp_path, "init", "-q")
+        monkeypatch.chdir(tmp_path)
+        code = main(["repro", "--changed-only", "no-such-ref"])
+        assert code == 2

@@ -61,8 +61,19 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         code, out = _cli("--list-rules", capsys=capsys)
         assert code == 0
-        for rule_id in ("RA001", "RA002", "RA003", "RA004"):
+        for rule_id in (
+            "RA001",
+            "RA002",
+            "RA003",
+            "RA004",
+            "RA005",
+            "RA006",
+            "RA007",
+            "RA008",
+        ):
             assert rule_id in out
+        # Severity is part of the catalogue: RA007 is the warning rule.
+        assert "[warning]" in out and "[error]" in out
 
 
 class TestJsonReport:
@@ -123,6 +134,10 @@ class TestSarifReport:
             "RA002",
             "RA003",
             "RA004",
+            "RA005",
+            "RA006",
+            "RA007",
+            "RA008",
         }
         assert all(result["ruleId"] == "RA004" for result in run["results"])
 
@@ -135,10 +150,46 @@ class TestSuppressionGate:
         assert code == 1
         assert "lacks a `-- justification`" in out
 
-    def test_justified_suppression_passes(self, tmp_path, capsys):
+    def test_justified_but_stale_suppression_fails(self, tmp_path, capsys):
+        # RA001 reports nothing on this line, so the suppression is dead
+        # weight that would silently swallow a future real finding.
         path = tmp_path / "mod.py"
         path.write_text("x = f()  # repro: ignore[RA001] -- reviewed\n")
         code, out = _cli(str(path), "--check-suppressions", capsys=capsys)
+        assert code == 1
+        assert "stale suppression ignore[RA001]" in out
+
+    def test_unknown_rule_suppression_fails(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("x = f()  # repro: ignore[RA999] -- reviewed\n")
+        code, out = _cli(str(path), "--check-suppressions", capsys=capsys)
+        assert code == 1
+        assert "unknown rule RA999" in out
+
+    def test_live_tree_suppressions_pass(self, capsys):
+        # Every suppression in src/repro is justified AND still matches
+        # a finding its rule produces — the CI lint gate stays green.
+        code, out = _cli(
+            str(REPO_ROOT / "src" / "repro"),
+            "--check-suppressions",
+            "--trace-schema",
+            TRACE_SCHEMA,
+            capsys=capsys,
+        )
+        assert code == 0
+        assert "suppression hygiene clean" in out
+
+    def test_select_scopes_staleness(self, tmp_path, capsys):
+        # A suppression for a rule excluded by --select is not judged.
+        path = tmp_path / "mod.py"
+        path.write_text("x = f()  # repro: ignore[RA001] -- reviewed\n")
+        code, out = _cli(
+            str(path),
+            "--check-suppressions",
+            "--select",
+            "RA004",
+            capsys=capsys,
+        )
         assert code == 0
         assert "suppression hygiene clean" in out
 

@@ -17,8 +17,17 @@ from tests.analysis.helpers import FIXTURES
 
 
 class TestRegistry:
-    def test_all_four_rules_register(self):
-        assert all_rule_ids() == ["RA001", "RA002", "RA003", "RA004"]
+    def test_all_eight_rules_register(self):
+        assert all_rule_ids() == [
+            "RA001",
+            "RA002",
+            "RA003",
+            "RA004",
+            "RA005",
+            "RA006",
+            "RA007",
+            "RA008",
+        ]
 
     def test_build_rules_selects(self):
         rules = build_rules(["RA004"])
@@ -66,7 +75,19 @@ class TestFindings:
             "col": 7,
             "message": "msg",
             "symbol": "mod.f",
+            "severity": "error",
         }
+        assert Finding.from_dict(finding.as_dict()) == finding
+
+    def test_from_dict_defaults_missing_severity_to_error(self):
+        payload = {
+            "rule": "RA001",
+            "path": "a.py",
+            "line": 1,
+            "col": 1,
+            "message": "m",
+        }
+        assert Finding.from_dict(payload).severity == "error"
 
 
 class _LineOneRule(Rule):

@@ -1,0 +1,145 @@
+"""The new rules against history: PR-6-era bugs, reintroduced.
+
+Each test takes a pristine production file, applies the minimal AST
+mutation that recreates a bug this repo has already shipped and fixed,
+and asserts the matching rule reports it — proof the rule would have
+caught the regression at review time.  The pristine twin of each test
+pins the zero-findings side so the rules stay precise, not just loud.
+"""
+
+import ast
+
+from repro.analysis.loader import load_module
+from repro.analysis.project import Project
+from repro.analysis.rules.ra006_lockgraph import (
+    DOCUMENTED_WITNESS,
+    LockOrderGraphRule,
+)
+from repro.analysis.rules.ra007_handles import HandleLifecycleRule
+from repro.analysis.rules.ra008_walfence import WalFenceRule
+
+from tests.analysis.helpers import REPO_ROOT
+
+SHARD = REPO_ROOT / "src" / "repro" / "service" / "shard.py"
+WAL = REPO_ROOT / "src" / "repro" / "durability" / "wal.py"
+REPLICA_SET = REPO_ROOT / "src" / "repro" / "replication" / "replica_set.py"
+
+
+def _findings(rule, path):
+    return sorted(rule.run(Project([load_module(path)])))
+
+
+def _mutate(tmp_path, source_path, transform):
+    mutated = tmp_path / f"{source_path.stem}_mutated.py"
+    mutated.write_text(transform(source_path.read_text()))
+    return mutated
+
+
+# -- RA008: apply-before-append in Shard.put ----------------------------
+def _ack_before_append(source: str) -> str:
+    """Move ``self.index.insert`` above the WAL append in ``Shard.put``."""
+    tree = ast.parse(source)
+    mutated = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "put":
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.With)
+                    and ast.unparse(inner.items[0].context_expr) == "self._guard()"
+                    and "self.index.insert" in ast.unparse(inner.body[-1])
+                ):
+                    inner.body = [inner.body[0], inner.body[-1], *inner.body[1:-1]]
+                    mutated = True
+    if not mutated:
+        raise AssertionError("Shard.put guard body not found")
+    return ast.unparse(ast.fix_missing_locations(tree))
+
+
+class TestWalFenceMutation:
+    def test_ack_first_put_makes_ra008_fire(self, tmp_path):
+        mutated = _mutate(tmp_path, SHARD, _ack_before_append)
+        findings = [
+            f
+            for f in _findings(WalFenceRule(modules=("*",)), mutated)
+            if "before the durable WAL append" in f.message
+        ]
+        assert findings, "RA008 no longer detects apply-before-append"
+        assert any(f.symbol.endswith("Shard.put") for f in findings)
+
+    def test_pristine_shard_is_clean(self):
+        assert _findings(WalFenceRule(modules=("*",)), SHARD) == []
+
+
+# -- RA007: the truncate_upto abort-path fd leak ------------------------
+def _strip_abort_close(source: str) -> str:
+    """Remove the in-handler close() before the reopen — the PR-6 leak."""
+    tree = ast.parse(source)
+    mutated = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "truncate_upto":
+            for handler in ast.walk(node):
+                if not isinstance(handler, ast.ExceptHandler):
+                    continue
+                kept = []
+                for stmt in handler.body:
+                    if isinstance(stmt, ast.Try) and "self._handle.close()" in ast.unparse(stmt):
+                        mutated = True
+                        continue
+                    kept.append(stmt)
+                handler.body = kept
+    if not mutated:
+        raise AssertionError("truncate_upto abort-path close not found")
+    return ast.unparse(ast.fix_missing_locations(tree))
+
+
+class TestHandleLifecycleMutation:
+    def test_stripping_abort_close_makes_ra007_fire(self, tmp_path):
+        mutated = _mutate(tmp_path, WAL, _strip_abort_close)
+        findings = [
+            f
+            for f in _findings(HandleLifecycleRule(modules=("*",)), mutated)
+            if "reassigning self._handle" in f.message
+        ]
+        assert findings, "RA007 no longer detects the truncate abort-path leak"
+        assert any(f.symbol.endswith("truncate_upto") for f in findings)
+        assert any("in this except handler" in f.message for f in findings)
+
+    def test_pristine_wal_has_no_reassign_finding(self):
+        findings = [
+            f
+            for f in _findings(HandleLifecycleRule(modules=("*",)), WAL)
+            if "reassigning self._handle" in f.message
+        ]
+        assert findings == []
+
+
+# -- RA006: inverted gate/guard nesting in revive -----------------------
+def _invert_revive_nesting(source: str) -> str:
+    """Acquire the shard guard before the write gate in ``revive``."""
+    tree = ast.parse(source)
+    mutated = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.With) and len(node.items) == 2:
+            first, second = (ast.unparse(item.context_expr) for item in node.items)
+            if first == "self.write_gate" and second == "self._guard()":
+                node.items.reverse()
+                mutated = True
+    if not mutated:
+        raise AssertionError("revive write_gate/_guard nesting not found")
+    return ast.unparse(ast.fix_missing_locations(tree))
+
+
+class TestLockGraphMutation:
+    def test_inverted_nesting_makes_ra006_fire(self, tmp_path):
+        mutated = _mutate(tmp_path, REPLICA_SET, _invert_revive_nesting)
+        findings = _findings(LockOrderGraphRule(modules=("*",)), mutated)
+        assert findings, "RA006 no longer detects inverted gate/guard nesting"
+        (cycle,) = findings
+        # The cycle names both paths: the observed inverted site and the
+        # documented hierarchy it contradicts.
+        assert "revive" in cycle.message
+        assert DOCUMENTED_WITNESS in cycle.message
+        assert "_guard -> write_gate" in cycle.message
+
+    def test_pristine_replica_set_is_clean(self):
+        assert _findings(LockOrderGraphRule(modules=("*",)), REPLICA_SET) == []

@@ -1,0 +1,53 @@
+"""RA006 derived lock-order graph: cycles, witnesses, documented seed."""
+
+from repro.analysis.rules.ra006_lockgraph import (
+    DOCUMENTED_WITNESS,
+    LockOrderGraphRule,
+    _documented_edges,
+)
+
+from tests.analysis.helpers import fixture_project
+
+
+def _run(fixture):
+    project = fixture_project(fixture)
+    return sorted(LockOrderGraphRule(modules=("*",)).run(project))
+
+
+class TestFiringFixture:
+    def test_exact_finding_count(self):
+        findings = _run("ra006_bad.py")
+        assert len(findings) == 2
+        assert all(f.rule == "RA006" for f in findings)
+
+    def test_two_path_cycle_reports_both_witness_paths(self):
+        (pair,) = [f for f in _run("ra006_bad.py") if "Pair" in f.symbol]
+        assert "flush_then_commit" in pair.message
+        assert "commit_then_flush" in pair.message
+        assert "_flush_lock" in pair.message and "_commit_lock" in pair.message
+
+    def test_documented_order_inversion_is_a_cycle(self):
+        (inverted,) = [f for f in _run("ra006_bad.py") if "Router" in f.symbol]
+        assert inverted.symbol.endswith("Router.inverted")
+        assert DOCUMENTED_WITNESS in inverted.message
+        assert "_guard -> write_gate" in inverted.message
+
+
+class TestSilentFixture:
+    def test_consistent_order_is_clean(self):
+        assert _run("ra006_good.py") == []
+
+
+class TestDocumentedSeed:
+    def test_service_hierarchy_edges_present(self):
+        edges = set(_documented_edges())
+        assert ("_admin_lock", "write_gate") in edges
+        assert ("write_gate", "op_lock") in edges
+        assert ("write_gate", "_guard") in edges
+
+    def test_same_kind_nesting_is_not_an_edge(self):
+        # Two shard write_gates in one `with` are ordered by shard id
+        # (RA001's business), not by the kind graph.
+        rule = LockOrderGraphRule(modules=("*",))
+        graph = rule.build_graph(fixture_project("ra006_good.py"))
+        assert ("write_gate", "write_gate") not in graph

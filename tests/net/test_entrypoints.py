@@ -1,0 +1,98 @@
+"""The two CLI entry points after the RA005 fix.
+
+Both ``python -m repro.net`` and loadgen ``--self-serve`` used to build
+their demo directory (index preload, optional WAL creation) inline in
+the coroutine, stalling the event loop before the first connection was
+accepted.  RA005 flagged both; these tests pin the fix — the build runs
+on the executor, off the loop thread — and that the self-serve path
+still works end to end.
+"""
+
+import asyncio
+import contextlib
+import json
+import threading
+
+import repro.net.__main__ as net_main
+from repro.net import loadgen
+
+
+class TestNetMain:
+    def test_demo_directory_builds_off_loop(self, monkeypatch):
+        built_on = {}
+        real = net_main.demo_directory
+
+        def spy(*args, **kwargs):
+            built_on["thread"] = threading.current_thread()
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(net_main, "demo_directory", spy)
+
+        async def drive():
+            args = net_main._build_parser().parse_args(
+                ["--port", "0", "--tenants", "1", "--keys", "50", "--shards", "1"]
+            )
+            task = asyncio.ensure_future(net_main._serve(args))
+            for _ in range(500):
+                if "thread" in built_on:
+                    break
+                await asyncio.sleep(0.01)
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+        asyncio.run(drive())
+        assert built_on["thread"] is not threading.main_thread()
+
+
+class TestLoadgenSelfServe:
+    def test_self_serve_round_trip(self, capsys):
+        code = loadgen.main(
+            [
+                "--self-serve",
+                "--rate",
+                "200",
+                "--duration",
+                "0.3",
+                "--tenants",
+                "2",
+                "--keys",
+                "200",
+                "--connections",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["offered"] == 60
+        assert summary["errors"] == 0
+
+    def test_self_serve_build_runs_off_loop(self, monkeypatch, capsys):
+        built_on = {}
+        from repro.net import tenancy
+
+        real = tenancy.demo_directory
+
+        def spy(*args, **kwargs):
+            built_on["thread"] = threading.current_thread()
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(tenancy, "demo_directory", spy)
+        code = loadgen.main(
+            [
+                "--self-serve",
+                "--rate",
+                "100",
+                "--duration",
+                "0.1",
+                "--tenants",
+                "1",
+                "--keys",
+                "50",
+                "--json",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert built_on["thread"] is not threading.main_thread()

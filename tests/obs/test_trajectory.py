@@ -64,11 +64,12 @@ class TestCollect:
         assert len(errors) == 3
 
     def test_files_sort_by_pr_number(self, tmp_path):
-        # PR numbers without extractors, so ordering is all that matters.
-        write(tmp_path, "BENCH_PR11.json", {"suite": "eleven"})
-        write(tmp_path, "BENCH_PR10.json", {"suite": "ten"})
+        # PR numbers without extractors, so ordering is all that matters;
+        # 12 vs 101 sorts numerically, not lexicographically.
+        write(tmp_path, "BENCH_PR101.json", {"suite": "one-oh-one"})
+        write(tmp_path, "BENCH_PR12.json", {"suite": "twelve"})
         rows, _errors = trajectory.collect(tmp_path)
-        assert [row["suite"] for row in rows] == ["ten", "eleven"]
+        assert [row["suite"] for row in rows] == ["twelve", "one-oh-one"]
 
 
 class TestCommittedArtifacts:
